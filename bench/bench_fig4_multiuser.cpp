@@ -1,0 +1,143 @@
+// Fig. 4 — TPA under concurrent users.
+//
+// u users audit their own edges through ONE shared pair of multi-tenant
+// TPA services at the same time (net/tenant.h gives each user an isolated
+// tag store inside the shared service, exactly like a real auditor cloud).
+// Fig. 4a reports mean audit latency vs u; Fig. 4b the latency
+// distribution (the paper observes growing fluctuation and a long tail).
+//
+// Substitution note: the paper's TPA is a 32-thread Xeon; this host has a
+// single core, so concurrency shows pure queueing with no parallel speedup
+// — the long-tail phenomenon appears in exaggerated form (documented in
+// EXPERIMENTS.md).
+#include "support.h"
+
+#include <thread>
+
+#include "common/stats.h"
+#include "net/tenant.h"
+
+namespace {
+
+using namespace ice;
+using namespace ice::bench;
+
+proto::ProtocolParams make_params() {
+  proto::ProtocolParams p;
+  p.modulus_bits = 512;
+  p.block_bytes = 1024;
+  return p;
+}
+
+/// One user's private world (keys, CSP, edge) sharing the two TPA services
+/// with everyone else through its tenant channels.
+struct UserWorld {
+  UserWorld(std::uint64_t user_id, net::MultiTenantHandler& tpa0,
+            net::MultiTenantHandler& tpa1)
+      : keys(bench_keypair(512, user_id)),
+        csp(mec::BlockStore::synthetic(40, 1024, user_id)),
+        edge_csp(csp),
+        edge(0, make_params(), keys.pk,
+             mec::EdgeCache(8, mec::EvictionPolicy::kLru), edge_csp),
+        edge_channel(edge),
+        tpa_edge(edge),
+        raw_tpa0(tpa0),
+        raw_tpa1(tpa1),
+        user_tpa0(raw_tpa0, user_id),
+        user_tpa1(raw_tpa1, user_id),
+        user(make_params(), keys, user_tpa0, user_tpa1) {
+    // The verifier tenant needs its own channel to this user's edge.
+    auto& tenant0 =
+        dynamic_cast<proto::TpaService&>(tpa0.tenant(user_id));
+    tenant0.register_edge(0, tpa_edge);
+    std::vector<Bytes> blocks;
+    for (std::size_t i = 0; i < csp.store().size(); ++i) {
+      blocks.push_back(csp.store().block(i));
+    }
+    user.setup_file(blocks);
+    edge.pre_download({1, 3, 5, 7, 9});
+  }
+
+  proto::KeyPair keys;
+  proto::CspService csp;
+  net::InMemoryChannel edge_csp;
+  proto::EdgeService edge;
+  net::InMemoryChannel edge_channel;
+  net::InMemoryChannel tpa_edge;
+  net::InMemoryChannel raw_tpa0;
+  net::InMemoryChannel raw_tpa1;
+  net::TenantChannel user_tpa0;
+  net::TenantChannel user_tpa1;
+  proto::UserClient user;
+};
+
+}  // namespace
+
+int main() {
+  print_header("Fig. 4 — TPA computation cost, multi-user scenario "
+               "(one shared multi-tenant TPA pair)");
+  const int kAuditsPerUser = 6;
+
+  std::printf("\n%-8s %12s %12s %12s %12s %12s\n", "#users", "mean (ms)",
+              "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)");
+
+  SampleStats last_dist;
+  std::size_t last_u = 0;
+  for (std::size_t u : {1u, 2u, 4u, 8u, 16u}) {
+    const auto factory = [](std::uint64_t) {
+      return std::make_unique<proto::TpaService>();
+    };
+    net::MultiTenantHandler tpa0(factory);
+    net::MultiTenantHandler tpa1(factory);
+    std::vector<std::unique_ptr<UserWorld>> worlds;
+    for (std::size_t i = 0; i < u; ++i) {
+      worlds.push_back(std::make_unique<UserWorld>(1000 + i, tpa0, tpa1));
+    }
+    std::mutex stats_mu;
+    SampleStats latency_ms;
+    std::vector<std::thread> threads;
+    threads.reserve(u);
+    for (std::size_t i = 0; i < u; ++i) {
+      threads.emplace_back([&, i] {
+        UserWorld& w = *worlds[i];
+        for (int a = 0; a < kAuditsPerUser; ++a) {
+          Stopwatch sw;
+          const bool pass = w.user.audit_edge(w.edge_channel, 0);
+          const double ms = sw.millis();
+          if (!pass) std::fprintf(stderr, "BUG: audit failed\n");
+          std::lock_guard lock(stats_mu);
+          latency_ms.add(ms);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    std::printf("%-8zu %12.2f %12.2f %12.2f %12.2f %12.2f\n", u,
+                latency_ms.mean(), latency_ms.percentile(50),
+                latency_ms.percentile(95), latency_ms.percentile(99),
+                latency_ms.max());
+    last_dist = latency_ms;
+    last_u = u;
+  }
+
+  // Fig. 4b: the latency distribution at the highest concurrency.
+  std::printf("\nFig. 4b: latency distribution at %zu users "
+              "(histogram, 10 equal-width bins)\n", last_u);
+  const double lo = last_dist.min();
+  const double hi = last_dist.max();
+  const double width = (hi - lo) / 10.0 + 1e-9;
+  std::vector<int> bins(10, 0);
+  for (double v : last_dist.samples()) {
+    auto b = static_cast<std::size_t>((v - lo) / width);
+    if (b >= bins.size()) b = bins.size() - 1;
+    ++bins[b];
+  }
+  for (std::size_t b = 0; b < bins.size(); ++b) {
+    std::printf("%8.1f-%8.1f ms | ", lo + static_cast<double>(b) * width,
+                lo + static_cast<double>(b + 1) * width);
+    for (int c = 0; c < bins[b]; ++c) std::printf("#");
+    std::printf("\n");
+  }
+  std::printf("\nShape check vs paper: mean grows slowly with #users; "
+              "spread and tail grow clearly (Fig. 4b long tail).\n");
+  return 0;
+}

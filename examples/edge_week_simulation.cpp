@@ -1,0 +1,66 @@
+// Scenario example: a simulated "week" of edge operation under three
+// operating conditions, driven entirely through the real protocol stack by
+// the sim library.
+//
+// Contrasts a healthy edge, a flaky edge, and a flaky edge with heavy
+// writes — the last one demonstrates the unrecoverable-update data loss the
+// paper's introduction uses to motivate edge-side integrity checking.
+//
+// Run: ./build/examples/edge_week_simulation
+#include <cstdio>
+
+#include "sim/simulator.h"
+#include "support_keys.h"
+
+namespace {
+
+void report_line(const char* label, const ice::sim::SimReport& r) {
+  std::printf(
+      "%-22s %7zu req  %5.1f%% hit  %3zu audits (%zu failed)  "
+      "%3zu repaired  %2zu updates lost  %5.1f ms/audit\n",
+      label, r.requests, 100.0 * r.hit_rate(), r.audits, r.failed_audits,
+      r.blocks_repaired, r.updates_lost,
+      r.audits == 0 ? 0.0 : 1e3 * r.audit_seconds_total /
+                                static_cast<double>(r.audits));
+}
+
+}  // namespace
+
+int main() {
+  using namespace ice;
+
+  std::printf("== edge week simulation ==\n");
+  const proto::KeyPair keys = examples::demo_keypair(512);
+
+  sim::SimConfig healthy;
+  healthy.ticks = 700;  // one "week" of 100-tick days
+  healthy.corruption_prob_per_tick = 0.0;
+
+  sim::SimConfig flaky = healthy;
+  flaky.corruption_prob_per_tick = 0.02;
+
+  sim::SimConfig flaky_busy = flaky;
+  flaky_busy.write_fraction = 0.3;
+  flaky_busy.flush_every = 350;  // lazy write-back: updates at risk longer
+
+  const auto healthy_report = sim::run_simulation(healthy, keys, 1);
+  const auto flaky_report = sim::run_simulation(flaky, keys, 1);
+  const auto busy_report = sim::run_simulation(flaky_busy, keys, 1);
+
+  report_line("healthy edge", healthy_report);
+  report_line("flaky edge", flaky_report);
+  report_line("flaky + heavy writes", busy_report);
+
+  std::printf(
+      "\nReading the last column pair: every corruption was caught by an "
+      "audit and repaired,\nbut 'updates lost' counts dirty blocks whose "
+      "only copy was destroyed before write-back —\nthe unrecoverable case "
+      "that makes edge integrity auditing necessary (paper Sec. I).\n");
+
+  const bool ok = healthy_report.failed_audits == 0 &&
+                  flaky_report.blocks_repaired > 0 &&
+                  busy_report.corruptions_injected > 0;
+  std::printf("%s\n",
+              ok ? "edge_week_simulation OK" : "edge_week_simulation FAILED");
+  return ok ? 0 : 1;
+}

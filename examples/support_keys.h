@@ -1,0 +1,55 @@
+// Cached safe primes for the example programs.
+//
+// Real deployments call proto::keygen(), which searches for fresh safe
+// primes; at 512-1024 bit moduli that takes minutes of CPU, which would
+// bury the examples' actual content. These primes were generated once with
+// this library's own random_safe_prime and are re-validated in the test
+// suite. DO NOT reuse them outside demos.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "crypto/csprng.h"
+#include "ice/keys.h"
+
+namespace ice::examples {
+
+inline proto::KeyPair demo_keypair(std::size_t modulus_bits) {
+  crypto::Csprng rng;  // fresh generator g each run; primes cached
+  const char* p_hex = nullptr;
+  const char* q_hex = nullptr;
+  switch (modulus_bits) {
+    case 256:
+      p_hex = "9c0fed7e75ff0872b00f5aa289a45043";
+      q_hex = "e9627eb0afce6d6c10c3df253db3e5ab";
+      break;
+    case 512:
+      p_hex =
+          "e44beb1515866fba68468af8631da0cce5d6f12264aa763d5cc233bbd08840bb";
+      q_hex =
+          "84d17fc49fdd91edb379dbf82494d568134da67b9c153dafece0826fe68e3447";
+      break;
+    case 1024:
+      p_hex =
+          "d910e3b27182e2137ffbfd0e6f56239142fafeb64c4f170e9dece7710ec4f42c"
+          "dc229f9f270e7c22cdf6d8ed9670743597c151bfbbed1f34984f1e922bf94c83";
+      q_hex =
+          "8f3958def5298492ece4f64345f6c1343a288a0d73a2b5176227dc0d1139f094"
+          "18ac4922c01812b1f16d330fe318395756c486893d865d430a2ed110c6bafe3f";
+      break;
+    default:
+      std::fprintf(stderr,
+                   "demo_keypair: no cached primes for %zu-bit modulus; "
+                   "falling back to live safe-prime search (slow)\n",
+                   modulus_bits);
+      proto::ProtocolParams params;
+      params.modulus_bits = modulus_bits;
+      return proto::keygen(params, rng);
+  }
+  return proto::keygen_from_primes(bn::BigInt::from_hex(p_hex),
+                                   bn::BigInt::from_hex(q_hex), rng,
+                                   /*validate_primality=*/false);
+}
+
+}  // namespace ice::examples

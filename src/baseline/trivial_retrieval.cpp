@@ -1,0 +1,32 @@
+#include "baseline/trivial_retrieval.h"
+
+#include "common/error.h"
+
+namespace ice::baseline {
+
+std::vector<bn::BigInt> trivial_retrieve(
+    const proto::TagStore& store, const std::vector<std::size_t>& indices) {
+  // Fetch everything (that is the point of the baseline), then select.
+  std::vector<bn::BigInt> all;
+  all.reserve(store.n());
+  for (std::size_t i = 0; i < store.n(); ++i) all.push_back(store.tag(i));
+  std::vector<bn::BigInt> out;
+  out.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    if (idx >= all.size()) throw ParamError("trivial_retrieve: bad index");
+    out.push_back(all[idx]);
+  }
+  return out;
+}
+
+bool sequential_audits(proto::UserClient& user,
+                       const std::vector<net::RpcChannel*>& edge_channels) {
+  bool all_pass = true;
+  for (std::size_t j = 0; j < edge_channels.size(); ++j) {
+    all_pass &= user.audit_edge(*edge_channels[j],
+                                static_cast<std::uint32_t>(j));
+  }
+  return all_pass;
+}
+
+}  // namespace ice::baseline

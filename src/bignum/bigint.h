@@ -1,0 +1,142 @@
+// Arbitrary-precision signed integers.
+//
+// This is the arithmetic substrate for the ICE protocols: tags are
+// `g^{b_i} mod N` where the exponent is an entire data block (up to
+// megabits), so the library needs fast multiplication (Karatsuba), Knuth-D
+// division, and Montgomery exponentiation (bignum/montgomery.h).
+//
+// Representation: sign-magnitude; magnitude is a little-endian vector of
+// 64-bit limbs with no trailing zero limb. Zero has an empty limb vector and
+// sign 0. All operations keep values normalized.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace ice::bn {
+
+class BigInt {
+ public:
+  using Limb = std::uint64_t;
+  static constexpr int kLimbBits = 64;
+
+  /// Zero.
+  BigInt() = default;
+  BigInt(std::int64_t v);   // NOLINT(google-explicit-constructor) numeric literal convenience
+  BigInt(std::uint64_t v);  // NOLINT(google-explicit-constructor)
+  BigInt(int v) : BigInt(static_cast<std::int64_t>(v)) {}  // NOLINT
+
+  /// Parses an optionally '-'-prefixed hex string (no "0x" prefix).
+  static BigInt from_hex(std::string_view hex);
+  /// Parses an optionally '-'-prefixed decimal string.
+  static BigInt from_dec(std::string_view dec);
+  /// Interprets big-endian bytes as a non-negative integer.
+  static BigInt from_bytes_be(BytesView bytes);
+
+  /// Lowercase hex, '-'-prefixed if negative; "0" for zero.
+  [[nodiscard]] std::string to_hex() const;
+  /// Decimal string.
+  [[nodiscard]] std::string to_dec() const;
+  /// Minimal-length big-endian bytes of |*this| (empty for zero).
+  [[nodiscard]] Bytes to_bytes_be() const;
+  /// Big-endian bytes of |*this| left-padded/truncated check to `len` bytes.
+  /// Throws ParamError if the value does not fit.
+  [[nodiscard]] Bytes to_bytes_be(std::size_t len) const;
+
+  [[nodiscard]] bool is_zero() const { return sign_ == 0; }
+  [[nodiscard]] bool is_negative() const { return sign_ < 0; }
+  [[nodiscard]] bool is_odd() const {
+    return !limbs_.empty() && (limbs_[0] & 1u);
+  }
+  [[nodiscard]] bool is_even() const { return !is_odd(); }
+  [[nodiscard]] int sign() const { return sign_; }
+
+  /// Number of significant bits of the magnitude (0 for zero).
+  [[nodiscard]] std::size_t bit_length() const;
+  /// Value of magnitude bit `i` (false beyond bit_length()).
+  [[nodiscard]] bool bit(std::size_t i) const;
+
+  /// Fits in int64/uint64? Conversion throws ParamError if not.
+  [[nodiscard]] bool fits_u64() const;
+  [[nodiscard]] std::uint64_t to_u64() const;
+
+  [[nodiscard]] BigInt abs() const;
+  [[nodiscard]] BigInt negated() const;
+
+  BigInt& operator+=(const BigInt& rhs);
+  BigInt& operator-=(const BigInt& rhs);
+  BigInt& operator*=(const BigInt& rhs);
+  /// Truncated division (C semantics: quotient rounds toward zero,
+  /// remainder has the dividend's sign).
+  BigInt& operator/=(const BigInt& rhs);
+  BigInt& operator%=(const BigInt& rhs);
+  BigInt& operator<<=(std::size_t bits);
+  BigInt& operator>>=(std::size_t bits);
+
+  friend BigInt operator+(BigInt a, const BigInt& b) { return a += b; }
+  friend BigInt operator-(BigInt a, const BigInt& b) { return a -= b; }
+  friend BigInt operator*(BigInt a, const BigInt& b) { return a *= b; }
+  friend BigInt operator/(BigInt a, const BigInt& b) { return a /= b; }
+  friend BigInt operator%(BigInt a, const BigInt& b) { return a %= b; }
+  friend BigInt operator<<(BigInt a, std::size_t bits) { return a <<= bits; }
+  friend BigInt operator>>(BigInt a, std::size_t bits) { return a >>= bits; }
+
+  /// Quotient and remainder in one pass (truncated division).
+  /// Throws ParamError on division by zero.
+  static void divmod(const BigInt& num, const BigInt& den, BigInt& quot,
+                     BigInt& rem);
+
+  /// Canonical non-negative residue in [0, m). m must be positive.
+  [[nodiscard]] BigInt mod(const BigInt& m) const;
+
+  friend bool operator==(const BigInt& a, const BigInt& b) {
+    return a.sign_ == b.sign_ && a.limbs_ == b.limbs_;
+  }
+  friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
+
+  /// Raw limb access for inner loops (montgomery.h, serde).
+  [[nodiscard]] const std::vector<Limb>& limbs() const { return limbs_; }
+  /// Constructs from raw little-endian limbs (normalizes). sign>=0 only.
+  static BigInt from_limbs(std::vector<Limb> limbs);
+
+ private:
+  friend class Montgomery;
+
+  void normalize();
+  /// Compares magnitudes only.
+  static int cmp_mag(const BigInt& a, const BigInt& b);
+  /// Magnitude ops; signs handled by callers.
+  static std::vector<Limb> add_mag(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<Limb> sub_mag(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  static std::vector<Limb> mul_mag(const std::vector<Limb>& a,
+                                   const std::vector<Limb>& b);
+  static std::vector<Limb> mul_school(const std::vector<Limb>& a,
+                                      const std::vector<Limb>& b);
+  static std::vector<Limb> mul_karatsuba(const std::vector<Limb>& a,
+                                         const std::vector<Limb>& b);
+  static void divmod_mag(const std::vector<Limb>& num,
+                         const std::vector<Limb>& den,
+                         std::vector<Limb>& quot, std::vector<Limb>& rem);
+
+  int sign_ = 0;                // -1, 0, +1
+  std::vector<Limb> limbs_;     // little-endian magnitude, normalized
+};
+
+/// Greatest common divisor of |a| and |b| (binary GCD); gcd(0,0) == 0.
+BigInt gcd(const BigInt& a, const BigInt& b);
+
+/// Modular inverse of a mod m (m > 1). Throws ParamError if gcd(a, m) != 1.
+BigInt mod_inverse(const BigInt& a, const BigInt& m);
+
+/// base^exp mod m for non-negative exp, m > 0. Uses Montgomery for odd m.
+BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+}  // namespace ice::bn

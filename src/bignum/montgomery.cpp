@@ -1,0 +1,177 @@
+#include "bignum/montgomery.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/error.h"
+
+namespace ice::bn {
+
+namespace {
+
+using u128 = unsigned __int128;
+using Limb = BigInt::Limb;
+
+// Inverse of odd `x` modulo 2^64 by Newton iteration (quadratic convergence:
+// 6 steps reach 64 bits from the 1-bit seed).
+Limb inv64(Limb x) {
+  Limb inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - x * inv;
+  return inv;
+}
+
+}  // namespace
+
+Montgomery::Montgomery(const BigInt& modulus) : n_big_(modulus) {
+  if (modulus <= BigInt(1) || modulus.is_even()) {
+    throw ParamError("Montgomery: modulus must be odd and > 1");
+  }
+  n_ = modulus.limbs();
+  k_ = n_.size();
+  n0inv_ = ~inv64(n_[0]) + 1;  // -inv mod 2^64
+
+  // R^2 mod N with R = 2^{64k}: compute (2^{64k})^2 mod N via BigInt.
+  BigInt r2 = (BigInt(1) << (64 * k_ * 2)).mod(modulus);
+  r2_ = r2.limbs();
+  r2_.resize(k_, 0);
+  BigInt r1 = (BigInt(1) << (64 * k_)).mod(modulus);
+  one_mont_ = r1.limbs();
+  one_mont_.resize(k_, 0);
+}
+
+Montgomery::LimbVec Montgomery::mont_mul(const LimbVec& a,
+                                         const LimbVec& b) const {
+  // CIOS (Coarsely Integrated Operand Scanning).
+  const std::size_t k = k_;
+  LimbVec t(k + 2, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    // t += a[i] * b
+    Limb carry = 0;
+    const Limb ai = a[i];
+    for (std::size_t j = 0; j < k; ++j) {
+      const u128 s = static_cast<u128>(ai) * b[j] + t[j] + carry;
+      t[j] = static_cast<Limb>(s);
+      carry = static_cast<Limb>(s >> 64);
+    }
+    u128 s = static_cast<u128>(t[k]) + carry;
+    t[k] = static_cast<Limb>(s);
+    t[k + 1] += static_cast<Limb>(s >> 64);
+
+    // m = t[0] * n0inv mod 2^64; t += m * n; t >>= 64
+    const Limb m = t[0] * n0inv_;
+    carry = 0;
+    {
+      const u128 s0 = static_cast<u128>(m) * n_[0] + t[0];
+      carry = static_cast<Limb>(s0 >> 64);
+    }
+    for (std::size_t j = 1; j < k; ++j) {
+      const u128 sj = static_cast<u128>(m) * n_[j] + t[j] + carry;
+      t[j - 1] = static_cast<Limb>(sj);
+      carry = static_cast<Limb>(sj >> 64);
+    }
+    s = static_cast<u128>(t[k]) + carry;
+    t[k - 1] = static_cast<Limb>(s);
+    t[k] = t[k + 1] + static_cast<Limb>(s >> 64);
+    t[k + 1] = 0;
+  }
+  t.resize(k + 1);
+  // Conditional final subtraction: result < 2N is guaranteed.
+  bool need_sub = t[k] != 0;
+  if (!need_sub) {
+    need_sub = true;  // t == N also subtracts (yields 0, still reduced)
+    for (std::size_t i = k; i-- > 0;) {
+      if (t[i] != n_[i]) {
+        need_sub = t[i] > n_[i];
+        break;
+      }
+    }
+  }
+  if (need_sub) {
+    Limb borrow = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const Limb ti = t[i];
+      const Limb d = ti - n_[i];
+      const Limb b1 = ti < n_[i] ? 1u : 0u;
+      t[i] = d - borrow;
+      const Limb b2 = d < borrow ? 1u : 0u;
+      borrow = b1 | b2;
+    }
+  }
+  t.resize(k);
+  return t;
+}
+
+Montgomery::LimbVec Montgomery::to_mont(const BigInt& x) const {
+  BigInt red = x.mod(n_big_);
+  LimbVec v = red.limbs();
+  v.resize(k_, 0);
+  return mont_mul(v, r2_);
+}
+
+BigInt Montgomery::from_mont(const LimbVec& x) const {
+  LimbVec one(k_, 0);
+  one[0] = 1;
+  LimbVec v = mont_mul(x, one);
+  return BigInt::from_limbs(std::move(v));
+}
+
+BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
+  return from_mont(mont_mul(to_mont(a), to_mont(b)));
+}
+
+BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
+  if (exp.is_negative()) throw ParamError("Montgomery::pow: negative exponent");
+  if (exp.is_zero()) return BigInt(1).mod(n_big_);
+
+  // Precompute base^0..base^15 in Montgomery form.
+  constexpr std::size_t kWindow = 4;
+  std::array<LimbVec, 1u << kWindow> table;
+  table[0] = one_mont_;
+  table[1] = to_mont(base);
+  for (std::size_t i = 2; i < table.size(); ++i) {
+    table[i] = mont_mul(table[i - 1], table[1]);
+  }
+
+  const std::size_t nbits = exp.bit_length();
+  // Process exponent in fixed 4-bit windows from the top.
+  std::size_t top = (nbits + kWindow - 1) / kWindow * kWindow;
+  LimbVec acc = one_mont_;
+  bool started = false;
+  for (std::size_t w = top; w > 0; w -= kWindow) {
+    if (started) {
+      for (std::size_t s = 0; s < kWindow; ++s) acc = mont_mul(acc, acc);
+    }
+    unsigned digit = 0;
+    for (std::size_t b = 0; b < kWindow; ++b) {
+      const std::size_t bitpos = w - kWindow + b;
+      if (exp.bit(bitpos)) digit |= 1u << b;
+    }
+    if (digit != 0) {
+      acc = mont_mul(acc, table[digit]);
+      started = true;
+    } else if (!started) {
+      continue;
+    }
+  }
+  if (!started) return BigInt(1).mod(n_big_);
+  return from_mont(acc);
+}
+
+BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  if (m.sign() <= 0) throw ParamError("mod_pow: modulus must be positive");
+  if (m == BigInt(1)) return BigInt(0);
+  if (m.is_odd()) {
+    return Montgomery(m).pow(base, exp);
+  }
+  // Even modulus: plain square-and-multiply (not on any hot path).
+  if (exp.is_negative()) throw ParamError("mod_pow: negative exponent");
+  BigInt result(1);
+  BigInt b = base.mod(m);
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    result = (result * result).mod(m);
+    if (exp.bit(i)) result = (result * b).mod(m);
+  }
+  return result;
+}
+
+}  // namespace ice::bn

@@ -1,0 +1,50 @@
+// Montgomery-form modular arithmetic for odd moduli.
+//
+// The ICE hot path is modular exponentiation: TagGen computes `g^{b_i}` with
+// block-sized exponents, edges compute one huge-exponent power per proof, and
+// the TPA computes |S_j| small-exponent powers per verification. A reusable
+// Montgomery context amortizes precomputation across those calls.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigint.h"
+
+namespace ice::bn {
+
+/// Montgomery context for a fixed odd modulus N > 1.
+/// Thread-safe for concurrent use after construction (all methods const).
+class Montgomery {
+ public:
+  using Limb = BigInt::Limb;
+
+  /// Throws ParamError unless `modulus` is odd and > 1.
+  explicit Montgomery(const BigInt& modulus);
+
+  [[nodiscard]] const BigInt& modulus() const { return n_big_; }
+
+  /// (a * b) mod N. Inputs need not be reduced; they are reduced first.
+  [[nodiscard]] BigInt mul(const BigInt& a, const BigInt& b) const;
+
+  /// base^exp mod N for exp >= 0 (throws ParamError on negative exp).
+  /// Sliding fixed 4-bit window over Montgomery residues.
+  [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exp) const;
+
+ private:
+  using LimbVec = std::vector<Limb>;
+
+  /// Montgomery product: a * b * R^{-1} mod N; a, b are k-limb residues.
+  [[nodiscard]] LimbVec mont_mul(const LimbVec& a, const LimbVec& b) const;
+  [[nodiscard]] LimbVec to_mont(const BigInt& x) const;
+  [[nodiscard]] BigInt from_mont(const LimbVec& x) const;
+
+  std::size_t k_;      // limb count of modulus
+  LimbVec n_;          // modulus limbs, length k_
+  BigInt n_big_;
+  Limb n0inv_;         // -N^{-1} mod 2^64
+  LimbVec r2_;         // R^2 mod N (R = 2^{64 k_}), length k_
+  LimbVec one_mont_;   // R mod N
+};
+
+}  // namespace ice::bn

@@ -1,0 +1,25 @@
+// Primality testing and (safe-)prime generation.
+//
+// ICE KeyGen needs safe primes p = 2p' + 1 so that the QR subgroup of Z_N^*
+// has large prime order p'q' (Sec. III-A of the paper).
+#pragma once
+
+#include <cstddef>
+
+#include "bignum/bigint.h"
+#include "bignum/random.h"
+
+namespace ice::bn {
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases.
+/// Deterministic (trial division) for tiny candidates.
+bool is_probable_prime(const BigInt& n, Rng64& rng, int rounds = 40);
+
+/// Random prime with exactly `bits` bits (top and bottom bit set).
+BigInt random_prime(Rng64& rng, std::size_t bits, int mr_rounds = 40);
+
+/// Random safe prime p = 2p' + 1 with exactly `bits` bits; both p and p'
+/// pass Miller–Rabin. Expensive for large sizes — callers should cache.
+BigInt random_safe_prime(Rng64& rng, std::size_t bits, int mr_rounds = 40);
+
+}  // namespace ice::bn

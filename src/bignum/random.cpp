@@ -1,0 +1,41 @@
+#include "bignum/random.h"
+
+#include "common/error.h"
+
+namespace ice::bn {
+
+BigInt random_bits(Rng64& rng, std::size_t bits) {
+  if (bits == 0) throw ParamError("random_bits: bits must be >= 1");
+  const std::size_t limbs = (bits + 63) / 64;
+  std::vector<BigInt::Limb> v(limbs);
+  for (auto& limb : v) limb = rng.next_u64();
+  const std::size_t top_bits = bits - (limbs - 1) * 64;  // 1..64
+  if (top_bits < 64) v.back() &= (BigInt::Limb{1} << top_bits) - 1;
+  v.back() |= BigInt::Limb{1} << (top_bits - 1);  // force exact bit length
+  return BigInt::from_limbs(std::move(v));
+}
+
+BigInt random_below(Rng64& rng, const BigInt& bound) {
+  if (bound.sign() <= 0) throw ParamError("random_below: bound must be > 0");
+  const std::size_t bits = bound.bit_length();
+  const std::size_t limbs = (bits + 63) / 64;
+  const std::size_t top_bits = bits - (limbs - 1) * 64;
+  for (;;) {
+    std::vector<BigInt::Limb> v(limbs);
+    for (auto& limb : v) limb = rng.next_u64();
+    if (top_bits < 64) v.back() &= (BigInt::Limb{1} << top_bits) - 1;
+    BigInt candidate = BigInt::from_limbs(std::move(v));
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt random_unit(Rng64& rng, const BigInt& n) {
+  if (n <= BigInt(2)) throw ParamError("random_unit: modulus too small");
+  for (;;) {
+    BigInt x = random_below(rng, n);
+    if (x <= BigInt(1)) continue;
+    if (gcd(x, n) == BigInt(1)) return x;
+  }
+}
+
+}  // namespace ice::bn

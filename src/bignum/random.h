@@ -1,0 +1,42 @@
+// Randomness interface for bignum operations.
+//
+// bignum must not depend on the crypto module, so prime generation and
+// random residue sampling take this minimal source; crypto/csprng.h and the
+// simulation RNG both satisfy it via Rng64Adapter.
+#pragma once
+
+#include <cstdint>
+
+#include "bignum/bigint.h"
+
+namespace ice::bn {
+
+/// Minimal 64-bit entropy source.
+class Rng64 {
+ public:
+  virtual ~Rng64() = default;
+  virtual std::uint64_t next_u64() = 0;
+};
+
+/// Adapts any URBG-like callable object with operator() returning uint64_t.
+template <typename G>
+class Rng64Adapter final : public Rng64 {
+ public:
+  explicit Rng64Adapter(G& gen) : gen_(&gen) {}
+  std::uint64_t next_u64() override { return (*gen_)(); }
+
+ private:
+  G* gen_;
+};
+
+/// Uniform integer with exactly `bits` significant bits (top bit set).
+/// bits must be >= 1.
+BigInt random_bits(Rng64& rng, std::size_t bits);
+
+/// Uniform integer in [0, bound) for bound > 0 (rejection sampling).
+BigInt random_below(Rng64& rng, const BigInt& bound);
+
+/// Uniform unit of Z_N^*: x in [2, n) with gcd(x, n) == 1.
+BigInt random_unit(Rng64& rng, const BigInt& n);
+
+}  // namespace ice::bn

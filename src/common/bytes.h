@@ -1,0 +1,31 @@
+// Byte-buffer helpers shared by every module.
+//
+// `Bytes` is the canonical owned byte container in this codebase; views are
+// passed as std::span<const std::uint8_t> per C++ Core Guidelines I.13/F.24.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ice {
+
+using Bytes = std::vector<std::uint8_t>;
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encodes `data` as lowercase hex ("" for empty input).
+std::string to_hex(BytesView data);
+
+/// Decodes a hex string (upper or lower case, even length).
+/// Throws std::invalid_argument on malformed input.
+Bytes from_hex(std::string_view hex);
+
+/// Constant-time equality for secret material (length leaks, contents do not).
+bool ct_equal(BytesView a, BytesView b) noexcept;
+
+/// Converts a string literal/body to Bytes (convenience for tests/examples).
+Bytes to_bytes(std::string_view s);
+
+}  // namespace ice

@@ -1,0 +1,44 @@
+// Error types for the ICE library.
+//
+// Policy (CppCoreGuidelines E.2/E.3): exceptions signal violations of
+// preconditions or environment failures; *expected* negative outcomes (a
+// failed audit, a cache miss) are ordinary return values, never exceptions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ice {
+
+/// Root of the library's exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Malformed or out-of-range protocol/crypto parameters.
+class ParamError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Wire-format violations: truncated frames, bad tags, overflow lengths.
+class CodecError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Transport-layer failures (socket errors, closed peers).
+class TransportError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// A protocol participant sent a message that violates the protocol state
+/// machine (distinct from a *failed audit*, which is a normal result).
+class ProtocolError : public Error {
+ public:
+  using Error::Error;
+};
+
+}  // namespace ice

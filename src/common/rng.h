@@ -1,0 +1,51 @@
+// Seedable non-cryptographic RNG for workload generation and tests.
+//
+// Crypto randomness lives in crypto/csprng.h; this SplitMix64 is for
+// reproducible simulations only (Zipf draws, cache traces, fault injection).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace ice {
+
+/// SplitMix64: tiny, fast, statistically solid for simulation purposes.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  std::uint64_t below(std::uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit = max() - max() % bound;
+    std::uint64_t v;
+    do {
+      v = (*this)();
+    } while (v >= limit);
+    return v % bound;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace ice

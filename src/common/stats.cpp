@@ -1,0 +1,54 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ice {
+
+namespace {
+void require_nonempty(const std::vector<double>& s) {
+  if (s.empty()) throw std::logic_error("SampleStats: no samples");
+}
+}  // namespace
+
+double SampleStats::mean() const {
+  require_nonempty(samples_);
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double SampleStats::min() const {
+  require_nonempty(samples_);
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::max() const {
+  require_nonempty(samples_);
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double SampleStats::stddev() const {
+  require_nonempty(samples_);
+  if (samples_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0.0;
+  for (double v : samples_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double SampleStats::percentile(double p) const {
+  require_nonempty(samples_);
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0) return sorted.front();
+  if (p >= 100) return sorted.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+}  // namespace ice

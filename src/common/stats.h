@@ -1,0 +1,36 @@
+// Small descriptive-statistics helper for latency samples.
+//
+// Used by the multi-user TPA experiment (paper Fig. 4b reports a latency
+// distribution with a long tail) and by the benchmark harnesses.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ice {
+
+/// Accumulates double-valued samples and reports summary statistics.
+/// Percentile queries sort a copy; intended for offline analysis, not hot
+/// paths.
+class SampleStats {
+ public:
+  void add(double v) { samples_.push_back(v); }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// Sample standard deviation (0 for fewer than 2 samples).
+  [[nodiscard]] double stddev() const;
+  /// Linear-interpolated percentile, p in [0, 100].
+  [[nodiscard]] double percentile(double p) const;
+
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace ice

@@ -1,0 +1,31 @@
+// Wall-clock stopwatch used by benchmarks and examples.
+#pragma once
+
+#include <chrono>
+
+namespace ice {
+
+/// Monotonic stopwatch; starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  [[nodiscard]] double millis() const { return seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  [[nodiscard]] double micros() const { return seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ice

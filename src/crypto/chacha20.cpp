@@ -1,0 +1,104 @@
+#include "crypto/chacha20.h"
+
+#include <bit>
+#include <cstring>
+
+namespace ice::crypto {
+
+namespace {
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return std::uint32_t{p[0]} | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const Key& key, const Nonce& nonce, std::uint32_t counter) {
+  // "expand 32-byte k"
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = load_le32(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = load_le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::refill() {
+  std::array<std::uint32_t, 16> x = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const std::uint32_t v = x[static_cast<std::size_t>(i)] +
+                            state_[static_cast<std::size_t>(i)];
+    block_[static_cast<std::size_t>(4 * i + 0)] =
+        static_cast<std::uint8_t>(v);
+    block_[static_cast<std::size_t>(4 * i + 1)] =
+        static_cast<std::uint8_t>(v >> 8);
+    block_[static_cast<std::size_t>(4 * i + 2)] =
+        static_cast<std::uint8_t>(v >> 16);
+    block_[static_cast<std::size_t>(4 * i + 3)] =
+        static_cast<std::uint8_t>(v >> 24);
+  }
+  ++state_[12];  // 32-bit counter; 256 GiB per nonce is ample here
+  block_pos_ = 0;
+}
+
+void ChaCha20::keystream(std::span<std::uint8_t> out) {
+  std::size_t done = 0;
+  while (done < out.size()) {
+    if (block_pos_ == kBlockSize) refill();
+    const std::size_t take =
+        std::min(out.size() - done, kBlockSize - block_pos_);
+    std::memcpy(out.data() + done, block_.data() + block_pos_, take);
+    block_pos_ += take;
+    done += take;
+  }
+}
+
+Bytes ChaCha20::next(std::size_t n) {
+  Bytes out(n);
+  keystream(out);
+  return out;
+}
+
+void ChaCha20::xor_inplace(std::span<std::uint8_t> data) {
+  std::size_t done = 0;
+  while (done < data.size()) {
+    if (block_pos_ == kBlockSize) refill();
+    const std::size_t take =
+        std::min(data.size() - done, kBlockSize - block_pos_);
+    for (std::size_t i = 0; i < take; ++i) {
+      data[done + i] ^= block_[block_pos_ + i];
+    }
+    block_pos_ += take;
+    done += take;
+  }
+}
+
+std::uint64_t ChaCha20::next_u64() {
+  std::uint8_t buf[8];
+  keystream(buf);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | buf[i];
+  return v;
+}
+
+}  // namespace ice::crypto

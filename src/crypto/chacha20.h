@@ -1,0 +1,48 @@
+// ChaCha20 stream cipher (RFC 8439).
+//
+// Serves as the protocol PRF/PRG: the TPA's challenge key `e` seeds a
+// ChaCha20 keystream that both the edge and the verifier expand into the
+// per-block challenge coefficients a_1 .. a_{n_j} (Sec. III-A of the paper),
+// and the CSPRNG (csprng.h) runs ChaCha20 over entropy from the OS.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ice::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+  static constexpr std::size_t kBlockSize = 64;
+
+  using Key = std::array<std::uint8_t, kKeySize>;
+  using Nonce = std::array<std::uint8_t, kNonceSize>;
+
+  /// Keystream starts at block `counter` (RFC 8439 initial counter).
+  ChaCha20(const Key& key, const Nonce& nonce, std::uint32_t counter = 0);
+
+  /// Fills `out` with the next keystream bytes.
+  void keystream(std::span<std::uint8_t> out);
+
+  /// Next keystream bytes as an owned buffer.
+  Bytes next(std::size_t n);
+
+  /// XORs `data` with the keystream in place (encrypt == decrypt).
+  void xor_inplace(std::span<std::uint8_t> data);
+
+  /// Next 64 bits of keystream as an integer (little-endian).
+  std::uint64_t next_u64();
+
+ private:
+  void refill();
+
+  std::array<std::uint32_t, 16> state_;
+  std::array<std::uint8_t, kBlockSize> block_{};
+  std::size_t block_pos_ = kBlockSize;  // forces refill on first use
+};
+
+}  // namespace ice::crypto

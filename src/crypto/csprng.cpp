@@ -1,0 +1,44 @@
+#include "crypto/csprng.h"
+
+#include <random>
+
+namespace ice::crypto {
+
+namespace {
+
+ChaCha20::Key os_entropy_key() {
+  std::random_device rd;
+  ChaCha20::Key key{};
+  for (std::size_t i = 0; i < key.size(); i += 4) {
+    const std::uint32_t v = rd();
+    key[i] = static_cast<std::uint8_t>(v);
+    key[i + 1] = static_cast<std::uint8_t>(v >> 8);
+    key[i + 2] = static_cast<std::uint8_t>(v >> 16);
+    key[i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return key;
+}
+
+}  // namespace
+
+Csprng::Csprng(const ChaCha20::Key& key) : stream_(key, ChaCha20::Nonce{}) {}
+
+Csprng::Csprng() : Csprng(os_entropy_key()) {}
+
+Csprng Csprng::deterministic(std::uint64_t seed) {
+  ChaCha20::Key key{};
+  for (int i = 0; i < 8; ++i) {
+    key[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seed >> (8 * i));
+  }
+  key[8] = 0x5e;  // domain-separate from the all-zero key
+  return Csprng(key);
+}
+
+std::uint64_t Csprng::next_u64() { return stream_.next_u64(); }
+
+void Csprng::fill(std::span<std::uint8_t> out) { stream_.keystream(out); }
+
+Bytes Csprng::bytes(std::size_t n) { return stream_.next(n); }
+
+}  // namespace ice::crypto

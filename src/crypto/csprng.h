@@ -1,0 +1,37 @@
+// Cryptographically secure PRNG.
+//
+// ChaCha20 keyed from std::random_device entropy. Implements bn::Rng64 so it
+// can drive prime generation and random residue sampling directly. A seeded
+// deterministic mode exists for reproducible tests and benchmarks.
+#pragma once
+
+#include <cstdint>
+
+#include "bignum/random.h"
+#include "crypto/chacha20.h"
+
+namespace ice::crypto {
+
+class Csprng final : public bn::Rng64 {
+ public:
+  /// Seeds from the operating system entropy source.
+  Csprng();
+
+  /// Deterministic stream for tests/benchmarks. NOT for production keys.
+  static Csprng deterministic(std::uint64_t seed);
+
+  std::uint64_t next_u64() override;
+
+  /// Fills a buffer with random bytes.
+  void fill(std::span<std::uint8_t> out);
+
+  /// Returns `n` random bytes.
+  Bytes bytes(std::size_t n);
+
+ private:
+  explicit Csprng(const ChaCha20::Key& key);
+
+  ChaCha20 stream_;
+};
+
+}  // namespace ice::crypto

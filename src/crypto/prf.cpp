@@ -1,0 +1,53 @@
+#include "crypto/prf.h"
+
+#include "common/error.h"
+#include "crypto/sha256.h"
+
+namespace ice::crypto {
+
+namespace {
+
+ChaCha20::Key derive_key(const bn::BigInt& e) {
+  const Bytes material = e.to_bytes_be();
+  Sha256 h;
+  const Bytes domain = to_bytes("ice-coefficient-prf-v1");
+  h.update(domain);
+  h.update(material);
+  const auto digest = h.finalize();
+  ChaCha20::Key key{};
+  std::copy(digest.begin(), digest.end(), key.begin());
+  return key;
+}
+
+}  // namespace
+
+CoefficientPrf::CoefficientPrf(const bn::BigInt& key, std::size_t coeff_bits)
+    : coeff_bits_(coeff_bits), stream_(derive_key(key), ChaCha20::Nonce{}) {
+  if (coeff_bits == 0 || coeff_bits > 256) {
+    throw ParamError("CoefficientPrf: coefficient width must be in [1, 256]");
+  }
+}
+
+bn::BigInt CoefficientPrf::next() {
+  const std::size_t nbytes = (coeff_bits_ + 7) / 8;
+  for (;;) {
+    Bytes raw = stream_.next(nbytes);
+    // Mask down to exactly coeff_bits_.
+    const std::size_t excess = nbytes * 8 - coeff_bits_;
+    raw[0] &= static_cast<std::uint8_t>(0xff >> excess);
+    bn::BigInt v = bn::BigInt::from_bytes_be(raw);
+    if (!v.is_zero()) return v;
+  }
+}
+
+std::vector<bn::BigInt> CoefficientPrf::expand(const bn::BigInt& key,
+                                               std::size_t coeff_bits,
+                                               std::size_t count) {
+  CoefficientPrf prf(key, coeff_bits);
+  std::vector<bn::BigInt> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) out.push_back(prf.next());
+  return out;
+}
+
+}  // namespace ice::crypto

@@ -1,0 +1,45 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used for key derivation (challenge key -> PRF key), block fingerprints in
+// the MEC substrate, and test fixtures. Incremental (init/update/final) and
+// one-shot APIs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ice::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorbs more input.
+  void update(BytesView data);
+
+  /// Finalizes and returns the digest. The object must not be reused after
+  /// finalization (construct a new one).
+  Digest finalize();
+
+  /// One-shot convenience.
+  static Digest hash(BytesView data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finalized_ = false;
+};
+
+/// Digest as an owned byte vector (handy for serde and concatenation).
+Bytes sha256(BytesView data);
+
+}  // namespace ice::crypto

@@ -1,0 +1,21 @@
+#include "gf/gf4.h"
+
+#include "common/error.h"
+
+namespace ice::gf {
+
+GF4 dot(const GF4Vector& a, const GF4Vector& b) {
+  if (a.size() != b.size()) throw ParamError("gf::dot: size mismatch");
+  GF4 acc;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+GF4Vector axpy(const GF4Vector& a, GF4 c, const GF4Vector& b) {
+  if (a.size() != b.size()) throw ParamError("gf::axpy: size mismatch");
+  GF4Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + c * b[i];
+  return out;
+}
+
+}  // namespace ice::gf

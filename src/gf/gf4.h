@@ -1,0 +1,62 @@
+// The field GF(4) = GF(2)[x] / (x^2 + x + 1).
+//
+// The Woodruff–Yekhanin PIR that implements private tag retrieval works over
+// F_4 (paper Sec. III-B: queries phi(j) + t*z with t in {1, 2}, z in F_4^γ).
+// Elements are encoded as 2-bit values: 0, 1, 2 = x, 3 = x + 1. Addition is
+// XOR (characteristic 2); multiplication follows the quotient relation
+// x^2 = x + 1.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace ice::gf {
+
+class GF4 {
+ public:
+  constexpr GF4() = default;
+  /// v must be in [0, 3]; masked defensively.
+  explicit constexpr GF4(std::uint8_t v) : v_(v & 0x3) {}
+
+  [[nodiscard]] constexpr std::uint8_t value() const { return v_; }
+  [[nodiscard]] constexpr bool is_zero() const { return v_ == 0; }
+
+  friend constexpr GF4 operator+(GF4 a, GF4 b) {
+    return GF4(static_cast<std::uint8_t>(a.v_ ^ b.v_));
+  }
+  friend constexpr GF4 operator-(GF4 a, GF4 b) { return a + b; }  // char 2
+  friend constexpr GF4 operator*(GF4 a, GF4 b) {
+    return GF4(kMulTable[a.v_][b.v_]);
+  }
+  constexpr GF4& operator+=(GF4 o) { return *this = *this + o; }
+  constexpr GF4& operator-=(GF4 o) { return *this = *this - o; }
+  constexpr GF4& operator*=(GF4 o) { return *this = *this * o; }
+
+  /// Multiplicative inverse; undefined for zero (returns zero defensively).
+  [[nodiscard]] constexpr GF4 inverse() const { return GF4(kInvTable[v_]); }
+
+  friend constexpr bool operator==(GF4 a, GF4 b) = default;
+
+  static constexpr GF4 zero() { return GF4(0); }
+  static constexpr GF4 one() { return GF4(1); }
+  /// The generator x of GF(4)* — the paper's element "2" (t_1).
+  static constexpr GF4 x() { return GF4(2); }
+
+ private:
+  static constexpr std::uint8_t kMulTable[4][4] = {
+      {0, 0, 0, 0}, {0, 1, 2, 3}, {0, 2, 3, 1}, {0, 3, 1, 2}};
+  static constexpr std::uint8_t kInvTable[4] = {0, 1, 3, 2};
+
+  std::uint8_t v_ = 0;
+};
+
+using GF4Vector = std::vector<GF4>;
+
+/// Inner product <a, b> over GF(4); sizes must match (throws otherwise).
+GF4 dot(const GF4Vector& a, const GF4Vector& b);
+
+/// a + c * b componentwise; sizes must match.
+GF4Vector axpy(const GF4Vector& a, GF4 c, const GF4Vector& b);
+
+}  // namespace ice::gf

@@ -1,0 +1,90 @@
+#include "gf/gf4_matrix.h"
+
+#include "common/error.h"
+
+namespace ice::gf {
+
+GF4Matrix::GF4Matrix(std::size_t rows, std::size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+GF4Matrix::GF4Matrix(std::initializer_list<std::initializer_list<int>> rows) {
+  rows_ = rows.size();
+  cols_ = rows.size() == 0 ? 0 : rows.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : rows) {
+    if (row.size() != cols_) {
+      throw ParamError("GF4Matrix: ragged initializer");
+    }
+    for (int v : row) data_.push_back(GF4(static_cast<std::uint8_t>(v)));
+  }
+}
+
+GF4Matrix GF4Matrix::identity(std::size_t n) {
+  GF4Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.set(i, i, GF4::one());
+  return m;
+}
+
+GF4Vector GF4Matrix::mul(const GF4Vector& v) const {
+  if (v.size() != cols_) throw ParamError("GF4Matrix::mul: size mismatch");
+  GF4Vector out(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    GF4 acc;
+    for (std::size_t c = 0; c < cols_; ++c) acc += at(r, c) * v[c];
+    out[r] = acc;
+  }
+  return out;
+}
+
+GF4Matrix GF4Matrix::mul(const GF4Matrix& o) const {
+  if (cols_ != o.rows_) throw ParamError("GF4Matrix::mul: shape mismatch");
+  GF4Matrix out(rows_, o.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const GF4 a = at(r, k);
+      if (a.is_zero()) continue;
+      for (std::size_t c = 0; c < o.cols_; ++c) {
+        out.set(r, c, out.at(r, c) + a * o.at(k, c));
+      }
+    }
+  }
+  return out;
+}
+
+GF4Matrix GF4Matrix::inverse() const {
+  if (rows_ != cols_) throw ParamError("GF4Matrix::inverse: not square");
+  const std::size_t n = rows_;
+  GF4Matrix aug = *this;
+  GF4Matrix inv = identity(n);
+  for (std::size_t col = 0; col < n; ++col) {
+    // Find pivot.
+    std::size_t pivot = col;
+    while (pivot < n && aug.at(pivot, col).is_zero()) ++pivot;
+    if (pivot == n) throw ParamError("GF4Matrix::inverse: singular");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) {
+        std::swap(aug.data_[pivot * n + c], aug.data_[col * n + c]);
+        std::swap(inv.data_[pivot * n + c], inv.data_[col * n + c]);
+      }
+    }
+    // Scale pivot row to 1.
+    const GF4 scale = aug.at(col, col).inverse();
+    for (std::size_t c = 0; c < n; ++c) {
+      aug.set(col, c, aug.at(col, c) * scale);
+      inv.set(col, c, inv.at(col, c) * scale);
+    }
+    // Eliminate the column elsewhere.
+    for (std::size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const GF4 factor = aug.at(r, col);
+      if (factor.is_zero()) continue;
+      for (std::size_t c = 0; c < n; ++c) {
+        aug.set(r, c, aug.at(r, c) - factor * aug.at(col, c));
+        inv.set(r, c, inv.at(r, c) - factor * inv.at(col, c));
+      }
+    }
+  }
+  return inv;
+}
+
+}  // namespace ice::gf

@@ -1,0 +1,50 @@
+// Dense matrices over GF(4) with Gauss–Jordan inversion.
+//
+// The PIR decoder needs the inverse of the 4x4 interpolation matrix M built
+// from the evaluation points (paper Lemma 2); we implement general dense
+// matrices so tests can exercise the algebra beyond the 4x4 case.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+#include "gf/gf4.h"
+
+namespace ice::gf {
+
+class GF4Matrix {
+ public:
+  GF4Matrix() = default;
+  /// rows x cols zero matrix.
+  GF4Matrix(std::size_t rows, std::size_t cols);
+  /// From row-major initializer values 0..3; all rows must be equal length.
+  GF4Matrix(std::initializer_list<std::initializer_list<int>> rows);
+
+  static GF4Matrix identity(std::size_t n);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] GF4 at(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+  void set(std::size_t r, std::size_t c, GF4 v) { data_[r * cols_ + c] = v; }
+
+  /// Matrix-vector product; v.size() must equal cols().
+  [[nodiscard]] GF4Vector mul(const GF4Vector& v) const;
+  /// Matrix-matrix product; this->cols() must equal o.rows().
+  [[nodiscard]] GF4Matrix mul(const GF4Matrix& o) const;
+
+  /// Inverse via Gauss–Jordan. Throws ParamError if singular or non-square.
+  [[nodiscard]] GF4Matrix inverse() const;
+
+  friend bool operator==(const GF4Matrix& a, const GF4Matrix& b) = default;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<GF4> data_;
+};
+
+}  // namespace ice::gf

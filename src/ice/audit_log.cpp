@@ -1,0 +1,47 @@
+#include "ice/audit_log.h"
+
+#include "net/serde.h"
+
+namespace ice::proto {
+
+Bytes AuditRecord::encode() const {
+  net::Writer w;
+  w.u64(sequence);
+  w.u64(session_id);
+  w.u32(edge_id);
+  w.u8(batch ? 1 : 0);
+  w.u8(pass ? 1 : 0);
+  w.bytes(prev_digest);
+  return w.take();
+}
+
+Bytes AuditRecord::digest() const { return crypto::sha256(encode()); }
+
+const AuditRecord& AuditLog::append(std::uint64_t session_id,
+                                    std::uint32_t edge_id, bool batch,
+                                    bool pass) {
+  AuditRecord record;
+  record.sequence = records_.size();
+  record.session_id = session_id;
+  record.edge_id = edge_id;
+  record.batch = batch;
+  record.pass = pass;
+  if (!records_.empty()) record.prev_digest = records_.back().digest();
+  records_.push_back(std::move(record));
+  return records_.back();
+}
+
+std::optional<std::size_t> AuditLog::first_broken_link() const {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const AuditRecord& r = records_[i];
+    if (r.sequence != i) return i;
+    if (i == 0) {
+      if (!r.prev_digest.empty()) return i;
+    } else if (r.prev_digest != records_[i - 1].digest()) {
+      return i;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace ice::proto

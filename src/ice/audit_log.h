@@ -1,0 +1,62 @@
+// Tamper-evident audit log.
+//
+// The TPA is semi-honest, but its customers still want accountability: an
+// append-only log of every verdict, hash-chained so that rewriting history
+// (dropping a FAIL, flipping a verdict) is detectable by anyone replaying
+// the chain. Each record commits to the previous record's digest.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bytes.h"
+#include "crypto/sha256.h"
+
+namespace ice::proto {
+
+struct AuditRecord {
+  std::uint64_t sequence = 0;   // position in the chain, from 0
+  std::uint64_t session_id = 0;
+  std::uint32_t edge_id = 0;
+  bool batch = false;           // ICE-batch vs ICE-basic verdict
+  bool pass = false;
+  Bytes prev_digest;            // SHA-256 of the previous record (empty for
+                                // the genesis record)
+
+  /// Canonical encoding used for chaining.
+  [[nodiscard]] Bytes encode() const;
+  /// SHA-256 over encode().
+  [[nodiscard]] Bytes digest() const;
+};
+
+class AuditLog {
+ public:
+  /// Appends a verdict; sequence and prev_digest are assigned here.
+  const AuditRecord& append(std::uint64_t session_id, std::uint32_t edge_id,
+                            bool batch, bool pass);
+
+  [[nodiscard]] const std::vector<AuditRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::size_t size() const { return records_.size(); }
+
+  /// Replays the chain; returns the index of the first record whose links
+  /// or sequence are inconsistent, or nullopt when the chain is intact.
+  [[nodiscard]] std::optional<std::size_t> first_broken_link() const;
+
+  /// Convenience: intact chain?
+  [[nodiscard]] bool verify_chain() const {
+    return !first_broken_link().has_value();
+  }
+
+  /// Direct mutation hook for tamper tests.
+  [[nodiscard]] std::vector<AuditRecord>& records_for_tamper() {
+    return records_;
+  }
+
+ private:
+  std::vector<AuditRecord> records_;
+};
+
+}  // namespace ice::proto

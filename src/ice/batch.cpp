@@ -1,0 +1,116 @@
+#include "ice/batch.h"
+
+#include <algorithm>
+#include <map>
+
+#include "bignum/montgomery.h"
+#include "common/error.h"
+#include "crypto/prf.h"
+
+namespace ice::proto {
+
+Challenge make_batch_base(const PublicKey& pk, bn::Rng64& rng,
+                          ChallengeSecret& secret_out) {
+  Challenge base;
+  secret_out.s = bn::random_unit(rng, pk.n);
+  base.g_s = bn::Montgomery(pk.n).pow(pk.g, secret_out.s);
+  base.e = bn::BigInt(0);  // per-edge keys live with the user in ICE-batch
+  return base;
+}
+
+std::vector<bn::BigInt> draw_challenge_keys(const ProtocolParams& params,
+                                            std::size_t edges,
+                                            bn::Rng64& rng) {
+  if (edges == 0) throw ParamError("draw_challenge_keys: no edges");
+  std::vector<bn::BigInt> keys;
+  keys.reserve(edges);
+  const bn::BigInt bound = bn::BigInt(1) << params.challenge_key_bits;
+  for (std::size_t j = 0; j < edges; ++j) {
+    bn::BigInt e;
+    do {
+      e = bn::random_below(rng, bound);
+    } while (e.is_zero());
+    keys.push_back(std::move(e));
+  }
+  return keys;
+}
+
+Proof make_batch_proof(const PublicKey& pk, const ProtocolParams& params,
+                       const std::vector<Bytes>& blocks, const bn::BigInt& e_j,
+                       const bn::BigInt& g_s) {
+  if (blocks.empty()) throw ParamError("make_batch_proof: no blocks");
+  crypto::CoefficientPrf prf(e_j, params.coeff_bits);
+  bn::BigInt aggregate(0);
+  for (const auto& block : blocks) {
+    aggregate += prf.next() * bn::BigInt::from_bytes_be(block);
+  }
+  Proof proof;
+  proof.p = bn::Montgomery(pk.n).pow(g_s, aggregate);
+  return proof;
+}
+
+std::vector<std::size_t> union_of_sets(
+    const std::vector<std::vector<std::size_t>>& edge_sets) {
+  std::vector<std::size_t> u;
+  for (const auto& s : edge_sets) u.insert(u.end(), s.begin(), s.end());
+  std::sort(u.begin(), u.end());
+  u.erase(std::unique(u.begin(), u.end()), u.end());
+  return u;
+}
+
+std::vector<bn::BigInt> batch_repack(
+    const PublicKey& pk, const ProtocolParams& params,
+    const std::vector<std::size_t>& union_indices,
+    const std::vector<bn::BigInt>& union_tags,
+    const std::vector<std::vector<std::size_t>>& edge_sets,
+    const std::vector<bn::BigInt>& challenge_keys) {
+  if (union_indices.size() != union_tags.size()) {
+    throw ParamError("batch_repack: indices/tags size mismatch");
+  }
+  if (edge_sets.size() != challenge_keys.size()) {
+    throw ParamError("batch_repack: edge_sets/keys size mismatch");
+  }
+  // Aggregated exponent per union block: sum over edges holding it of that
+  // edge's coefficient at the block's position within S_j.
+  std::map<std::size_t, bn::BigInt> aggregate;
+  for (std::size_t j = 0; j < edge_sets.size(); ++j) {
+    crypto::CoefficientPrf prf(challenge_keys[j], params.coeff_bits);
+    for (std::size_t k : edge_sets[j]) {
+      const bn::BigInt a = prf.next();
+      auto [it, inserted] = aggregate.try_emplace(k, a);
+      if (!inserted) it->second += a;
+    }
+  }
+  const bn::Montgomery mont(pk.n);
+  std::vector<bn::BigInt> repacked;
+  repacked.reserve(union_indices.size());
+  for (std::size_t i = 0; i < union_indices.size(); ++i) {
+    const auto it = aggregate.find(union_indices[i]);
+    if (it == aggregate.end()) {
+      throw ParamError("batch_repack: union index not covered by any edge");
+    }
+    repacked.push_back(mont.pow(union_tags[i], it->second));
+  }
+  if (aggregate.size() != union_indices.size()) {
+    throw ParamError("batch_repack: edge sets mention non-union indices");
+  }
+  return repacked;
+}
+
+bool verify_batch(const PublicKey& pk,
+                  const std::vector<bn::BigInt>& repacked_tags,
+                  const std::vector<Proof>& proofs,
+                  const ChallengeSecret& secret) {
+  if (repacked_tags.empty() || proofs.empty()) {
+    throw ParamError("verify_batch: empty batch");
+  }
+  const bn::Montgomery mont(pk.n);
+  bn::BigInt r(1);
+  for (const auto& t : repacked_tags) r = mont.mul(r, t);
+  const bn::BigInt expected = mont.pow(r, secret.s);
+  bn::BigInt combined(1);
+  for (const auto& proof : proofs) combined = mont.mul(combined, proof.p);
+  return expected == combined;
+}
+
+}  // namespace ice::proto

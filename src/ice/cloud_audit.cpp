@@ -1,0 +1,71 @@
+#include "ice/cloud_audit.h"
+
+#include <algorithm>
+
+#include "bignum/montgomery.h"
+#include "common/error.h"
+#include "crypto/prf.h"
+#include "ice/wire.h"
+
+namespace ice::proto {
+
+double sampling_detection_probability(std::size_t n, std::size_t corrupted,
+                                      std::size_t c) {
+  if (corrupted == 0 || c == 0) return 0.0;
+  if (c + corrupted > n) return 1.0;  // pigeonhole: must hit a bad block
+  // P[miss] = prod_{i=0}^{c-1} (n - corrupted - i) / (n - i).
+  double miss = 1.0;
+  for (std::size_t i = 0; i < c; ++i) {
+    miss *= static_cast<double>(n - corrupted - i) /
+            static_cast<double>(n - i);
+  }
+  return 1.0 - miss;
+}
+
+CloudAuditResult audit_cloud(UserClient& user, net::RpcChannel& csp_channel,
+                             std::size_t sample_size, bn::Rng64& rng) {
+  const std::size_t n = user.file_blocks();
+  if (n == 0) throw ProtocolError("audit_cloud: no file");
+  if (sample_size == 0 || sample_size > n) {
+    throw ParamError("audit_cloud: need 1 <= sample_size <= n");
+  }
+  // Distinct random sample (partial Fisher-Yates over [0, n)).
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  for (std::size_t i = 0; i < sample_size; ++i) {
+    const auto offset = static_cast<std::size_t>(
+        bn::random_below(rng, bn::BigInt(n - i)).to_u64());
+    std::swap(order[i], order[i + offset]);
+  }
+  CloudAuditResult result;
+  result.sampled.assign(order.begin(),
+                        order.begin() +
+                            static_cast<std::ptrdiff_t>(sample_size));
+  std::sort(result.sampled.begin(), result.sampled.end());
+
+  // Challenge the CSP (owner-driven: the user verifies itself).
+  const PublicKey& pk = user.pk();
+  const bn::Montgomery mont(pk.n);
+  ProtocolParams params;  // coefficient widths are the protocol defaults
+  bn::BigInt e;
+  do {
+    e = bn::random_below(rng, bn::BigInt(1) << params.challenge_key_bits);
+  } while (e.is_zero());
+  const bn::BigInt s = bn::random_unit(rng, pk.n);
+  const bn::BigInt g_s = mont.pow(pk.g, s);
+  const CspClient csp(csp_channel);
+  csp.set_key(pk, params);  // idempotent; the CSP needs (N, g) and d
+  const Proof proof = csp.challenge(e, g_s, result.sampled);
+
+  // Verify against privately retrieved tags.
+  const std::vector<bn::BigInt> tags = user.retrieve_tags(result.sampled);
+  crypto::CoefficientPrf prf(e, params.coeff_bits);
+  bn::BigInt r(1);
+  for (const auto& tag : tags) {
+    r = mont.mul(r, mont.pow(tag, prf.next()));
+  }
+  result.pass = mont.pow(r, s) == proof.p.mod(pk.n);
+  return result;
+}
+
+}  // namespace ice::proto

@@ -1,0 +1,39 @@
+// Cloud-side provable data possession.
+//
+// The paper assumes back-end cloud integrity is handled by prior PDP work
+// ([3], [8]); this module supplies that substrate with the same HVT
+// machinery as ICE. Unlike the edge audit (which challenges every cached
+// block), the cloud audit follows the classic PDP recipe: sample c random
+// block indexes per challenge, giving detection probability 1-(1-f)^c for
+// corrupted fraction f at O(c) cost regardless of file size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/random.h"
+#include "ice/csp_service.h"
+#include "ice/keys.h"
+#include "ice/params.h"
+#include "ice/protocol.h"
+#include "ice/user_client.h"
+
+namespace ice::proto {
+
+struct CloudAuditResult {
+  bool pass = false;
+  std::vector<std::size_t> sampled;  // which blocks were challenged
+};
+
+/// Detection probability of sampling `c` of `n` blocks when `corrupted`
+/// of them are bad (hypergeometric complement).
+double sampling_detection_probability(std::size_t n, std::size_t corrupted,
+                                      std::size_t c);
+
+/// Runs one sampled PDP audit of the CSP: draws `sample_size` distinct
+/// random indexes, challenges the CSP over them, privately retrieves the
+/// corresponding tags through `user`, and verifies.
+CloudAuditResult audit_cloud(UserClient& user, net::RpcChannel& csp_channel,
+                             std::size_t sample_size, bn::Rng64& rng);
+
+}  // namespace ice::proto

@@ -1,0 +1,127 @@
+#include "ice/csp_service.h"
+
+#include "common/error.h"
+#include "ice/batch.h"
+#include "ice/wire.h"
+
+namespace ice::proto {
+
+Bytes CspService::handle(std::uint16_t method, BytesView request) {
+  try {
+    std::lock_guard lock(mu_);
+    net::Reader r(request);
+    switch (method) {
+      case kCspInfo: {
+        net::Writer w;
+        w.varint(store_.size());
+        w.varint(store_.block_size());
+        return ok_response(std::move(w));
+      }
+      case kCspFetch: {
+        const auto index = static_cast<std::size_t>(r.varint());
+        r.expect_done();
+        net::Writer w;
+        w.bytes(store_.block(index));
+        return ok_response(std::move(w));
+      }
+      case kCspWriteBack: {
+        const std::uint64_t count = r.varint();
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const auto index = static_cast<std::size_t>(r.varint());
+          store_.update_block(index, r.bytes());
+        }
+        r.expect_done();
+        return ok_empty();
+      }
+      case kCspSetKey: {
+        PublicKey pk;
+        pk.n = r.bigint();
+        pk.g = r.bigint();
+        params_.coeff_bits = static_cast<std::size_t>(r.varint());
+        params_.challenge_key_bits = static_cast<std::size_t>(r.varint());
+        r.expect_done();
+        if (!plausible_public_key(pk)) {
+          return error_response("CspService: implausible public key");
+        }
+        params_.modulus_bits = pk.n.bit_length();
+        pk_ = std::move(pk);
+        return ok_empty();
+      }
+      case kCspChallenge: {
+        if (!pk_) return error_response("CspService: set key first");
+        const bn::BigInt e = r.bigint();
+        const bn::BigInt g_s = r.bigint();
+        const std::vector<std::size_t> sample = read_index_list(r);
+        r.expect_done();
+        std::vector<Bytes> blocks;
+        blocks.reserve(sample.size());
+        for (std::size_t index : sample) {
+          blocks.push_back(store_.block(index));
+        }
+        const Proof proof = make_batch_proof(*pk_, params_, blocks, e, g_s);
+        net::Writer w;
+        w.bigint(proof.p);
+        return ok_response(std::move(w));
+      }
+      default:
+        return error_response("CspService: unknown method");
+    }
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+CspClient::Info CspClient::info() const {
+  const Bytes raw = channel_->call(kCspInfo, {});
+  net::Reader r = unwrap(raw);
+  Info out;
+  out.n = static_cast<std::size_t>(r.varint());
+  out.block_size = static_cast<std::size_t>(r.varint());
+  return out;
+}
+
+Bytes CspClient::fetch(std::size_t index) const {
+  net::Writer w;
+  w.varint(index);
+  const Bytes raw = channel_->call(kCspFetch, w.take());
+  net::Reader r = unwrap(raw);
+  return r.bytes();
+}
+
+void CspClient::write_back(
+    const std::vector<std::pair<std::size_t, Bytes>>& blocks) const {
+  net::Writer w;
+  w.varint(blocks.size());
+  for (const auto& [index, data] : blocks) {
+    w.varint(index);
+    w.bytes(data);
+  }
+  const Bytes raw = channel_->call(kCspWriteBack, w.take());
+  unwrap(raw);
+}
+
+void CspClient::set_key(const PublicKey& pk,
+                        const ProtocolParams& params) const {
+  net::Writer w;
+  w.bigint(pk.n);
+  w.bigint(pk.g);
+  w.varint(params.coeff_bits);
+  w.varint(params.challenge_key_bits);
+  const Bytes raw = channel_->call(kCspSetKey, w.take());
+  unwrap(raw);
+}
+
+Proof CspClient::challenge(const bn::BigInt& e, const bn::BigInt& g_s,
+                           const std::vector<std::size_t>& sample) const {
+  net::Writer w;
+  w.bigint(e);
+  w.bigint(g_s);
+  write_index_list(w, sample);
+  const Bytes raw = channel_->call(kCspChallenge, w.take());
+  net::Reader r = unwrap(raw);
+  Proof proof;
+  proof.p = r.bigint();
+  return proof;
+}
+
+}  // namespace ice::proto

@@ -1,0 +1,61 @@
+// Cloud service provider actor: serves blocks and accepts write-backs.
+//
+// The paper assumes CSP-side integrity is already solved ([3], [5], [8]);
+// this actor is the honest substrate edges pre-download from.
+#pragma once
+
+#include <mutex>
+#include <optional>
+
+#include "ice/keys.h"
+#include "ice/params.h"
+#include "ice/protocol.h"
+#include "mec/block_store.h"
+#include "net/rpc.h"
+
+namespace ice::proto {
+
+class CspService final : public net::RpcHandler {
+ public:
+  explicit CspService(mec::BlockStore store) : store_(std::move(store)) {}
+
+  Bytes handle(std::uint16_t method, BytesView request) override;
+
+  /// Direct store access for test setup (single-threaded phases only).
+  [[nodiscard]] const mec::BlockStore& store() const { return store_; }
+
+  /// Fault-injection access for cloud-audit tests.
+  [[nodiscard]] mec::BlockStore& store_for_corruption() { return store_; }
+
+ private:
+  std::mutex mu_;
+  mec::BlockStore store_;
+  std::optional<PublicKey> pk_;  // for answering PDP challenges
+  ProtocolParams params_;
+};
+
+/// Client stub over any channel to a CspService.
+class CspClient {
+ public:
+  explicit CspClient(net::RpcChannel& channel) : channel_(&channel) {}
+
+  struct Info {
+    std::size_t n;
+    std::size_t block_size;
+  };
+  [[nodiscard]] Info info() const;
+  [[nodiscard]] Bytes fetch(std::size_t index) const;
+  void write_back(
+      const std::vector<std::pair<std::size_t, Bytes>>& blocks) const;
+  /// Installs the public key the CSP needs to answer PDP challenges.
+  void set_key(const PublicKey& pk, const ProtocolParams& params) const;
+  /// Sampled PDP challenge over the given block indexes (cloud_audit.h).
+  [[nodiscard]] Proof challenge(const bn::BigInt& e, const bn::BigInt& g_s,
+                                const std::vector<std::size_t>& sample)
+      const;
+
+ private:
+  net::RpcChannel* channel_;
+};
+
+}  // namespace ice::proto

@@ -1,0 +1,231 @@
+#include "ice/edge_service.h"
+
+#include "common/error.h"
+#include "ice/batch.h"
+#include "ice/csp_service.h"
+#include "ice/wire.h"
+
+namespace ice::proto {
+
+EdgeService::EdgeService(std::uint32_t edge_id, const ProtocolParams& params,
+                         PublicKey pk, mec::EdgeCache cache,
+                         net::RpcChannel& csp, net::RpcChannel* tpa)
+    : edge_id_(edge_id),
+      params_(params),
+      pk_(std::move(pk)),
+      cache_(std::move(cache)),
+      csp_(&csp),
+      tpa_(tpa) {}
+
+Bytes EdgeService::handle(std::uint16_t method, BytesView request) {
+  try {
+    std::lock_guard lock(mu_);
+    net::Reader r(request);
+    return handle_locked(method, r);
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+Bytes EdgeService::fetch_from_csp(std::size_t index) {
+  const Bytes block = CspClient(*csp_).fetch(index);
+  cache_.admit(index, block);
+  return block;
+}
+
+std::vector<Bytes> EdgeService::cached_blocks_ordered() {
+  std::vector<Bytes> blocks;
+  for (std::size_t index : cache_.cached_indices()) {
+    blocks.push_back(*cache_.get(index));
+  }
+  return blocks;
+}
+
+Bytes EdgeService::handle_locked(std::uint16_t method, net::Reader& r) {
+  switch (method) {
+    case kEdgeRead: {
+      const auto index = static_cast<std::size_t>(r.varint());
+      r.expect_done();
+      auto cached = cache_.get(index);
+      const Bytes block = cached ? std::move(*cached)
+                                 : fetch_from_csp(index);
+      net::Writer w;
+      w.bytes(block);
+      return ok_response(std::move(w));
+    }
+    case kEdgeWrite: {
+      const auto index = static_cast<std::size_t>(r.varint());
+      Bytes data = r.bytes();
+      r.expect_done();
+      if (!cache_.contains(index)) {
+        (void)fetch_from_csp(index);  // write-allocate
+      }
+      cache_.write(index, std::move(data));
+      return ok_empty();
+    }
+    case kEdgeIndexQuery: {
+      r.expect_done();
+      net::Writer w;
+      write_index_list(w, cache_.cached_indices());
+      return ok_response(std::move(w));
+    }
+    case kEdgeShareBlind: {
+      const std::uint64_t session = r.u64();
+      bn::BigInt s_tilde = r.bigint();
+      r.expect_done();
+      if (s_tilde.is_zero()) {
+        return error_response("EdgeService: zero blinding");
+      }
+      session_blindings_[session] = std::move(s_tilde);
+      return ok_empty();
+    }
+    case kEdgeChallenge: {
+      const std::uint64_t session = r.u64();
+      Challenge chal;
+      chal.e = r.bigint();
+      chal.g_s = r.bigint();
+      r.expect_done();
+      const auto it = session_blindings_.find(session);
+      if (it == session_blindings_.end()) {
+        return error_response("EdgeService: no blinding for session");
+      }
+      const Proof proof =
+          make_proof(pk_, params_, cached_blocks_ordered(), chal, it->second);
+      session_blindings_.erase(it);  // one-shot
+      net::Writer w;
+      w.bigint(proof.p);
+      return ok_response(std::move(w));
+    }
+    case kEdgeBatchChallenge: {
+      const std::uint64_t batch_id = r.u64();
+      const bn::BigInt e_j = r.bigint();
+      const bn::BigInt g_s = r.bigint();
+      r.expect_done();
+      if (tpa_ == nullptr) {
+        return error_response("EdgeService: no TPA channel for batch");
+      }
+      const Proof proof =
+          make_batch_proof(pk_, params_, cached_blocks_ordered(), e_j, g_s);
+      net::Writer w;
+      w.u64(batch_id);
+      w.bigint(proof.p);
+      const Bytes raw = tpa_->call(kTpaSubmitProof, w.take());
+      unwrap(raw);
+      return ok_empty();
+    }
+    case kEdgeSubsetProof: {
+      const bn::BigInt e = r.bigint();
+      const bn::BigInt g_s = r.bigint();
+      const std::vector<std::size_t> subset = read_index_list(r);
+      r.expect_done();
+      std::vector<Bytes> blocks;
+      blocks.reserve(subset.size());
+      for (std::size_t index : subset) {
+        auto cached = cache_.get(index);
+        if (!cached) {
+          return error_response("EdgeService: subset block not cached");
+        }
+        blocks.push_back(std::move(*cached));
+      }
+      // Owner-driven challenge: the data owner verifies with its own s, so
+      // no session blinding is involved (make_batch_proof has exactly the
+      // unblinded shape needed).
+      const Proof proof = make_batch_proof(pk_, params_, blocks, e, g_s);
+      net::Writer w;
+      w.bigint(proof.p);
+      return ok_response(std::move(w));
+    }
+    case kEdgeFlush: {
+      r.expect_done();
+      auto dirty = cache_.flush();
+      CspClient(*csp_).write_back(dirty);
+      net::Writer w;
+      w.varint(dirty.size());
+      return ok_response(std::move(w));
+    }
+    default:
+      return error_response("EdgeService: unknown method");
+  }
+}
+
+void EdgeService::pre_download(const std::vector<std::size_t>& indices) {
+  std::lock_guard lock(mu_);
+  for (std::size_t index : indices) {
+    if (!cache_.contains(index)) (void)fetch_from_csp(index);
+  }
+}
+
+Bytes EdgeClient::read(std::size_t index) const {
+  net::Writer w;
+  w.varint(index);
+  const Bytes raw = channel_->call(kEdgeRead, w.take());
+  net::Reader r = unwrap(raw);
+  return r.bytes();
+}
+
+void EdgeClient::write(std::size_t index, BytesView data) const {
+  net::Writer w;
+  w.varint(index);
+  w.bytes(data);
+  const Bytes raw = channel_->call(kEdgeWrite, w.take());
+  unwrap(raw);
+}
+
+std::vector<std::size_t> EdgeClient::index_query() const {
+  const Bytes raw = channel_->call(kEdgeIndexQuery, {});
+  net::Reader r = unwrap(raw);
+  return read_index_list(r);
+}
+
+void EdgeClient::share_blinding(std::uint64_t session_id,
+                                const bn::BigInt& s_tilde) const {
+  net::Writer w;
+  w.u64(session_id);
+  w.bigint(s_tilde);
+  const Bytes raw = channel_->call(kEdgeShareBlind, w.take());
+  unwrap(raw);
+}
+
+Proof EdgeClient::challenge(std::uint64_t session_id,
+                            const Challenge& chal) const {
+  net::Writer w;
+  w.u64(session_id);
+  w.bigint(chal.e);
+  w.bigint(chal.g_s);
+  const Bytes raw = channel_->call(kEdgeChallenge, w.take());
+  net::Reader r = unwrap(raw);
+  Proof proof;
+  proof.p = r.bigint();
+  return proof;
+}
+
+void EdgeClient::batch_challenge(std::uint64_t batch_id, const bn::BigInt& e_j,
+                                 const bn::BigInt& g_s) const {
+  net::Writer w;
+  w.u64(batch_id);
+  w.bigint(e_j);
+  w.bigint(g_s);
+  const Bytes raw = channel_->call(kEdgeBatchChallenge, w.take());
+  unwrap(raw);
+}
+
+Proof EdgeClient::subset_proof(const bn::BigInt& e, const bn::BigInt& g_s,
+                               const std::vector<std::size_t>& subset) const {
+  net::Writer w;
+  w.bigint(e);
+  w.bigint(g_s);
+  write_index_list(w, subset);
+  const Bytes raw = channel_->call(kEdgeSubsetProof, w.take());
+  net::Reader r = unwrap(raw);
+  Proof proof;
+  proof.p = r.bigint();
+  return proof;
+}
+
+std::size_t EdgeClient::flush() const {
+  const Bytes raw = channel_->call(kEdgeFlush, {});
+  net::Reader r = unwrap(raw);
+  return static_cast<std::size_t>(r.varint());
+}
+
+}  // namespace ice::proto

@@ -1,0 +1,85 @@
+// Edge-node actor: serves nearby users from its cache, pre-downloads from
+// the CSP on misses, defers write-backs, and answers integrity challenges.
+//
+// The edge is the UNTRUSTED party in the protocol: nothing here is relied
+// on for security — a tampered edge simply fails verification. Tests
+// exercise that through the fault-injection hook.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <optional>
+
+#include "ice/keys.h"
+#include "ice/params.h"
+#include "ice/protocol.h"
+#include "mec/edge_cache.h"
+#include "net/rpc.h"
+#include "net/serde.h"
+
+namespace ice::proto {
+
+class EdgeService final : public net::RpcHandler {
+ public:
+  /// `csp` is the upstream channel for cache misses and write-backs;
+  /// `tpa` (may be null) is where ICE-batch proofs are submitted.
+  EdgeService(std::uint32_t edge_id, const ProtocolParams& params,
+              PublicKey pk, mec::EdgeCache cache, net::RpcChannel& csp,
+              net::RpcChannel* tpa = nullptr);
+
+  Bytes handle(std::uint16_t method, BytesView request) override;
+
+  /// Warms the cache with specific blocks (experiment setup).
+  void pre_download(const std::vector<std::size_t>& indices);
+
+  /// Fault-injection access to the cache (tests/experiments only).
+  [[nodiscard]] mec::EdgeCache& cache_for_corruption() { return cache_; }
+
+  [[nodiscard]] std::uint32_t id() const { return edge_id_; }
+
+ private:
+  Bytes handle_locked(std::uint16_t method, net::Reader& r);
+  /// Current cache content as (blocks, indices) in index order.
+  [[nodiscard]] std::vector<Bytes> cached_blocks_ordered();
+  Bytes fetch_from_csp(std::size_t index);
+
+  std::uint32_t edge_id_;
+  ProtocolParams params_;
+  PublicKey pk_;
+  std::mutex mu_;
+  mec::EdgeCache cache_;
+  net::RpcChannel* csp_;
+  net::RpcChannel* tpa_;
+  std::map<std::uint64_t, bn::BigInt> session_blindings_;  // s~ per session
+};
+
+/// Client stub for the user-side (and TPA-side challenge) calls.
+class EdgeClient {
+ public:
+  explicit EdgeClient(net::RpcChannel& channel) : channel_(&channel) {}
+
+  [[nodiscard]] Bytes read(std::size_t index) const;
+  void write(std::size_t index, BytesView data) const;
+  [[nodiscard]] std::vector<std::size_t> index_query() const;
+  void share_blinding(std::uint64_t session_id,
+                      const bn::BigInt& s_tilde) const;
+  /// TPA-side: deliver a challenge, get the proof back.
+  [[nodiscard]] Proof challenge(std::uint64_t session_id,
+                                const Challenge& chal) const;
+  /// ICE-batch: deliver (e_j, g_s); the edge pushes its proof to the TPA.
+  void batch_challenge(std::uint64_t batch_id, const bn::BigInt& e_j,
+                       const bn::BigInt& g_s) const;
+  /// Flushes dirty blocks to the CSP; returns how many were written back.
+  std::size_t flush() const;
+  /// Owner-driven subset challenge (corruption localization): proof over
+  /// the cached blocks at `subset`, coefficients from e, base g_s. Throws
+  /// ProtocolError if the edge no longer holds one of the blocks.
+  [[nodiscard]] Proof subset_proof(const bn::BigInt& e, const bn::BigInt& g_s,
+                                   const std::vector<std::size_t>& subset)
+      const;
+
+ private:
+  net::RpcChannel* channel_;
+};
+
+}  // namespace ice::proto

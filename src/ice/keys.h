@@ -1,0 +1,51 @@
+// ICE KeyGen (paper Sec. III-A).
+//
+// pk = (N, g) and sk = (p, q) with N = pq, p = 2p'+1 and q = 2q'+1 safe
+// primes, and g = b^2 mod N for random b with gcd(b-1, N) = gcd(b+1, N) = 1.
+// g then generates the quadratic-residue subgroup of order p'q', which is
+// what the KEA1-r security argument needs.
+#pragma once
+
+#include <optional>
+
+#include "bignum/bigint.h"
+#include "bignum/random.h"
+#include "ice/params.h"
+
+namespace ice::proto {
+
+struct PublicKey {
+  bn::BigInt n;  // RSA modulus N = pq
+  bn::BigInt g;  // generator of QR_N
+
+  /// K = |N| in bits.
+  [[nodiscard]] std::size_t modulus_bits() const { return n.bit_length(); }
+};
+
+struct SecretKey {
+  bn::BigInt p;
+  bn::BigInt q;
+};
+
+struct KeyPair {
+  PublicKey pk;
+  SecretKey sk;
+};
+
+/// Full KeyGen: samples fresh safe primes of modulus_bits/2 bits each.
+/// Expensive for production sizes (minutes at 1024-bit); tests and
+/// benchmarks should prefer keygen_from_primes with cached safe primes.
+KeyPair keygen(const ProtocolParams& params, bn::Rng64& rng);
+
+/// KeyGen from pre-generated safe primes p and q (validated: both must be
+/// distinct safe primes of equal bit length). Throws ParamError otherwise.
+/// Set `validate_primality` false to skip the Miller-Rabin re-check when the
+/// caller already trusts the primes (benchmark hot paths).
+KeyPair keygen_from_primes(const bn::BigInt& p, const bn::BigInt& q,
+                           bn::Rng64& rng, bool validate_primality = true);
+
+/// Checks the structural pk invariants a verifier can test without sk:
+/// N odd and composite-sized, g in (1, N) a quadratic residue candidate.
+bool plausible_public_key(const PublicKey& pk);
+
+}  // namespace ice::proto

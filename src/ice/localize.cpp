@@ -1,0 +1,93 @@
+#include "ice/localize.h"
+
+#include <algorithm>
+
+#include "bignum/montgomery.h"
+#include "common/error.h"
+#include "crypto/prf.h"
+#include "ice/protocol.h"
+
+namespace ice::proto {
+
+namespace {
+
+/// User-side subset audit: the user is the data owner, so it may act as
+/// its own verifier (it knows the true tags; no blinding needed).
+/// Returns true iff the edge's proof over `subset` checks out.
+bool subset_passes(const PublicKey& pk, const ProtocolParams& params,
+                   const EdgeClient& edge, const bn::Montgomery& mont,
+                   const std::vector<std::size_t>& subset,
+                   const std::vector<bn::BigInt>& subset_tags,
+                   bn::Rng64& rng, std::size_t& proof_count) {
+  bn::BigInt e;
+  do {
+    e = bn::random_below(rng, bn::BigInt(1) << params.challenge_key_bits);
+  } while (e.is_zero());
+  const bn::BigInt s = bn::random_unit(rng, pk.n);
+  const bn::BigInt g_s = mont.pow(pk.g, s);
+
+  ++proof_count;
+  Proof proof;
+  try {
+    proof = edge.subset_proof(e, g_s, subset);
+  } catch (const ProtocolError&) {
+    // Edge no longer holds some block of the subset: treat as failing.
+    return false;
+  }
+
+  crypto::CoefficientPrf prf(e, params.coeff_bits);
+  bn::BigInt r(1);
+  for (const auto& tag : subset_tags) {
+    r = mont.mul(r, mont.pow(tag, prf.next()));
+  }
+  return mont.pow(r, s) == proof.p.mod(pk.n);
+}
+
+void bisect(const PublicKey& pk, const ProtocolParams& params,
+            const EdgeClient& edge, const bn::Montgomery& mont,
+            const std::vector<std::size_t>& indices,
+            const std::vector<bn::BigInt>& tags, bn::Rng64& rng,
+            LocalizationResult& out) {
+  if (indices.empty()) return;
+  if (subset_passes(pk, params, edge, mont, indices, tags, rng,
+                    out.proofs_requested)) {
+    return;  // whole subtree clean
+  }
+  if (indices.size() == 1) {
+    out.corrupted.push_back(indices[0]);
+    return;
+  }
+  const std::size_t half = indices.size() / 2;
+  const std::vector<std::size_t> left(indices.begin(),
+                                      indices.begin() +
+                                          static_cast<std::ptrdiff_t>(half));
+  const std::vector<std::size_t> right(
+      indices.begin() + static_cast<std::ptrdiff_t>(half), indices.end());
+  const std::vector<bn::BigInt> left_tags(
+      tags.begin(), tags.begin() + static_cast<std::ptrdiff_t>(half));
+  const std::vector<bn::BigInt> right_tags(
+      tags.begin() + static_cast<std::ptrdiff_t>(half), tags.end());
+  bisect(pk, params, edge, mont, left, left_tags, rng, out);
+  bisect(pk, params, edge, mont, right, right_tags, rng, out);
+}
+
+}  // namespace
+
+LocalizationResult localize_corruption(const PublicKey& pk,
+                                       const ProtocolParams& params,
+                                       const EdgeClient& edge,
+                                       const std::vector<std::size_t>&
+                                           indices,
+                                       const std::vector<bn::BigInt>& tags,
+                                       bn::Rng64& rng) {
+  if (indices.size() != tags.size()) {
+    throw ParamError("localize_corruption: indices/tags size mismatch");
+  }
+  LocalizationResult out;
+  const bn::Montgomery mont(pk.n);
+  bisect(pk, params, edge, mont, indices, tags, rng, out);
+  std::sort(out.corrupted.begin(), out.corrupted.end());
+  return out;
+}
+
+}  // namespace ice::proto

@@ -1,0 +1,44 @@
+// Corruption localization.
+//
+// A failed audit says "at least one cached block is bad" but not which.
+// Because the data owner holds the true tags (privately retrieved during
+// the failed round), it can challenge the edge itself on SUBSETS of S_j and
+// bisect: a passing subset is clean, a failing singleton is corrupted.
+// Cost: O(k log |S_j|) subset proofs to localize k corrupted blocks — far
+// cheaper than re-downloading the cache when k is small, and each proof is
+// one edge modexp.
+//
+// This runs user<->edge only (the fast local link); the TPA is not
+// involved, and no new information is revealed to anyone.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/random.h"
+#include "ice/edge_service.h"
+#include "ice/keys.h"
+#include "ice/params.h"
+
+namespace ice::proto {
+
+struct LocalizationResult {
+  /// Block indexes whose proofs failed at singleton level, plus indexes the
+  /// edge no longer holds at all. Sorted.
+  std::vector<std::size_t> corrupted;
+  /// How many subset proofs the edge produced (cost metric).
+  std::size_t proofs_requested = 0;
+};
+
+/// Bisects `indices` (with their true `tags`, aligned) against the edge.
+/// The caller obtained tags via private retrieval; this function talks to
+/// the edge through `edge` only.
+LocalizationResult localize_corruption(const PublicKey& pk,
+                                       const ProtocolParams& params,
+                                       const EdgeClient& edge,
+                                       const std::vector<std::size_t>&
+                                           indices,
+                                       const std::vector<bn::BigInt>& tags,
+                                       bn::Rng64& rng);
+
+}  // namespace ice::proto

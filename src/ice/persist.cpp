@@ -1,0 +1,118 @@
+#include "ice/persist.h"
+
+#include <fstream>
+
+#include "common/error.h"
+#include "crypto/sha256.h"
+#include "ice/wire.h"
+#include "net/serde.h"
+
+namespace ice::proto {
+
+namespace {
+
+constexpr std::uint32_t kKeyMagic = 0x49434b31;   // "ICK1"
+constexpr std::uint32_t kTagMagic = 0x49435431;   // "ICT1"
+constexpr std::uint16_t kVersion = 1;
+
+void write_file(const std::filesystem::path& path, std::uint32_t magic,
+                net::Writer&& payload) {
+  net::Writer w;
+  w.u32(magic);
+  w.u16(kVersion);
+  const Bytes body = payload.take();
+  w.bytes(body);
+  Bytes out = w.take();
+  const Bytes digest = crypto::sha256(out);
+  out.insert(out.end(), digest.begin(), digest.end());
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    throw TransportError("persist: cannot open " + path.string() +
+                         " for writing");
+  }
+  file.write(reinterpret_cast<const char*>(out.data()),
+             static_cast<std::streamsize>(out.size()));
+  if (!file) {
+    throw TransportError("persist: short write to " + path.string());
+  }
+}
+
+Bytes read_checked(const std::filesystem::path& path, std::uint32_t magic) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) {
+    throw TransportError("persist: cannot open " + path.string());
+  }
+  const auto size = static_cast<std::size_t>(file.tellg());
+  if (size < 4 + 2 + crypto::Sha256::kDigestSize) {
+    throw CodecError("persist: file too short");
+  }
+  Bytes raw(size);
+  file.seekg(0);
+  file.read(reinterpret_cast<char*>(raw.data()),
+            static_cast<std::streamsize>(size));
+  if (!file) throw TransportError("persist: short read");
+
+  const std::size_t body_len = size - crypto::Sha256::kDigestSize;
+  const BytesView body(raw.data(), body_len);
+  const BytesView trailer(raw.data() + body_len, crypto::Sha256::kDigestSize);
+  if (!ct_equal(crypto::sha256(body), trailer)) {
+    throw CodecError("persist: checksum mismatch (file corrupted)");
+  }
+  net::Reader r(body);
+  if (r.u32() != magic) throw CodecError("persist: wrong file type");
+  if (r.u16() != kVersion) throw CodecError("persist: unsupported version");
+  return r.bytes();
+}
+
+}  // namespace
+
+void save_keypair(const std::filesystem::path& path, const KeyPair& keys) {
+  net::Writer w;
+  w.bigint(keys.pk.n);
+  w.bigint(keys.pk.g);
+  w.bigint(keys.sk.p);
+  w.bigint(keys.sk.q);
+  write_file(path, kKeyMagic, std::move(w));
+}
+
+KeyPair load_keypair(const std::filesystem::path& path) {
+  const Bytes payload = read_checked(path, kKeyMagic);
+  net::Reader r(payload);
+  KeyPair keys;
+  keys.pk.n = r.bigint();
+  keys.pk.g = r.bigint();
+  keys.sk.p = r.bigint();
+  keys.sk.q = r.bigint();
+  r.expect_done();
+  if (!plausible_public_key(keys.pk) ||
+      keys.sk.p * keys.sk.q != keys.pk.n) {
+    throw ParamError("persist: loaded key pair is inconsistent");
+  }
+  return keys;
+}
+
+void save_tags(const std::filesystem::path& path,
+               const std::vector<bn::BigInt>& tags, std::size_t tag_bits) {
+  net::Writer w;
+  w.varint(tag_bits);
+  write_bigint_list(w, tags);
+  write_file(path, kTagMagic, std::move(w));
+}
+
+StoredTags load_tags(const std::filesystem::path& path) {
+  const Bytes payload = read_checked(path, kTagMagic);
+  net::Reader r(payload);
+  StoredTags out;
+  out.tag_bits = static_cast<std::size_t>(r.varint());
+  out.tags = read_bigint_list(r);
+  r.expect_done();
+  for (const auto& tag : out.tags) {
+    if (tag.bit_length() > out.tag_bits) {
+      throw CodecError("persist: tag exceeds declared width");
+    }
+  }
+  return out;
+}
+
+}  // namespace ice::proto

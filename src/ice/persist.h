@@ -1,0 +1,38 @@
+// Durable on-disk state.
+//
+// The user device must keep its key pair across sessions (losing sk makes
+// every stored tag unverifiable), and a TPA must survive restarts without
+// re-uploading the tag set. Format: magic + version + payload +
+// SHA-256 trailer; any bit rot or truncation is detected at load time and
+// reported as CodecError rather than silently yielding wrong keys.
+#pragma once
+
+#include <filesystem>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "ice/keys.h"
+
+namespace ice::proto {
+
+/// Writes the key pair (INCLUDING the secret key) to `path`. The caller is
+/// responsible for the file's access permissions.
+void save_keypair(const std::filesystem::path& path, const KeyPair& keys);
+
+/// Loads a key pair; throws CodecError on any corruption or version
+/// mismatch, ParamError if the recovered key is implausible.
+KeyPair load_keypair(const std::filesystem::path& path);
+
+/// Writes a tag set with its bit width.
+void save_tags(const std::filesystem::path& path,
+               const std::vector<bn::BigInt>& tags, std::size_t tag_bits);
+
+struct StoredTags {
+  std::vector<bn::BigInt> tags;
+  std::size_t tag_bits = 0;
+};
+
+/// Loads a tag set; throws CodecError on corruption.
+StoredTags load_tags(const std::filesystem::path& path);
+
+}  // namespace ice::proto

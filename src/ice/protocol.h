@@ -1,0 +1,71 @@
+// ICE-basic protocol primitives (paper Sec. III-A).
+//
+// These are pure, transport-free functions; the entity actors in
+// ice/entities.h wire them to RPC. Roles:
+//
+//   TPA   — make_challenge, verify_proof
+//   Edge  — make_proof
+//   User  — repack_tags (+ TagGenerator::updated_tag for dirty blocks)
+//
+// Verification identity (Lemma 1):
+//   P  = (g^s)^{s~ * sum_k a_k m_k}
+//   P~ = (prod_k (T_k^{s~})^{a_k})^s   with T_k = g^{m_k}
+// so an edge holding the exact blocks passes, and (Thm. 6, under KEA1-r +
+// factoring) nothing else does.
+#pragma once
+
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "bignum/random.h"
+#include "common/bytes.h"
+#include "ice/keys.h"
+#include "ice/params.h"
+
+namespace ice::proto {
+
+/// What the TPA sends to the edge: chal = (e, g_s).
+struct Challenge {
+  bn::BigInt e;    // challenge key seeding the coefficient PRF
+  bn::BigInt g_s;  // g^s mod N
+};
+
+/// TPA-private state behind a challenge (s never leaves the TPA).
+struct ChallengeSecret {
+  bn::BigInt s;
+};
+
+/// Edge's response.
+struct Proof {
+  bn::BigInt p;
+};
+
+/// TPA side: draws e in [1, 2^kappa) and s in Z_N^*, returns chal and the
+/// secret s.
+Challenge make_challenge(const PublicKey& pk, const ProtocolParams& params,
+                         bn::Rng64& rng, ChallengeSecret& secret_out);
+
+/// Edge side: expands e into coefficients a_1..a_{|blocks|} of d bits and
+/// computes P = (g_s)^{s_tilde * sum a_k m_k} mod N. `s_tilde` is the
+/// user-chosen blinding the edge received over the fast local link.
+Proof make_proof(const PublicKey& pk, const ProtocolParams& params,
+                 const std::vector<Bytes>& blocks, const Challenge& challenge,
+                 const bn::BigInt& s_tilde);
+
+/// User side: T~_k = T_k^{s_tilde} mod N for each retrieved tag.
+std::vector<bn::BigInt> repack_tags(const PublicKey& pk,
+                                    const std::vector<bn::BigInt>& tags,
+                                    const bn::BigInt& s_tilde);
+
+/// TPA side: recomputes the coefficients from e, aggregates the repacked
+/// tags, raises to s, and compares with the edge's proof.
+/// Returns true iff the audit passes (a normal outcome, not an error).
+bool verify_proof(const PublicKey& pk, const ProtocolParams& params,
+                  const std::vector<bn::BigInt>& repacked_tags,
+                  const Challenge& challenge, const ChallengeSecret& secret,
+                  const Proof& proof);
+
+/// Draws the user's blinding s_tilde uniformly from Z_N^* \ {1}.
+bn::BigInt draw_blinding(const PublicKey& pk, bn::Rng64& rng);
+
+}  // namespace ice::proto

@@ -1,0 +1,31 @@
+#include "ice/tag.h"
+
+#include "common/error.h"
+
+namespace ice::proto {
+
+TagGenerator::TagGenerator(PublicKey pk)
+    : pk_(std::move(pk)), mont_(pk_.n) {
+  if (!plausible_public_key(pk_)) {
+    throw ParamError("TagGenerator: implausible public key");
+  }
+}
+
+bn::BigInt TagGenerator::tag(BytesView block) const {
+  return mont_.pow(pk_.g, bn::BigInt::from_bytes_be(block));
+}
+
+std::vector<bn::BigInt> TagGenerator::tag_all(
+    const std::vector<Bytes>& blocks) const {
+  std::vector<bn::BigInt> tags;
+  tags.reserve(blocks.size());
+  for (const auto& b : blocks) tags.push_back(tag(b));
+  return tags;
+}
+
+bn::BigInt TagGenerator::updated_tag(BytesView block,
+                                     const bn::BigInt& s_tilde) const {
+  return mont_.pow(pk_.g, bn::BigInt::from_bytes_be(block) * s_tilde);
+}
+
+}  // namespace ice::proto

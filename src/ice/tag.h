@@ -1,0 +1,43 @@
+// TagGen (paper Sec. III-A): T_i = g^{b_i} mod N.
+//
+// The block content is the exponent, so tag generation costs one modular
+// exponentiation with a |block|-bit exponent — the dominant user-side setup
+// cost measured in the paper's Tab. III.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bignum/montgomery.h"
+#include "common/bytes.h"
+#include "ice/keys.h"
+
+namespace ice::proto {
+
+/// Reusable tag generator bound to one public key (owns the Montgomery
+/// context so the per-tag precomputation is amortized).
+class TagGenerator {
+ public:
+  explicit TagGenerator(PublicKey pk);
+
+  /// Tag of one block: g^{block-as-integer} mod N.
+  [[nodiscard]] bn::BigInt tag(BytesView block) const;
+
+  /// Tags for a whole file.
+  [[nodiscard]] std::vector<bn::BigInt> tag_all(
+      const std::vector<Bytes>& blocks) const;
+
+  /// g^{m * s_tilde} mod N — the re-tag of an updated block used in
+  /// VerifyEdge step 2 (the user substitutes this for the stored tag).
+  [[nodiscard]] bn::BigInt updated_tag(BytesView block,
+                                       const bn::BigInt& s_tilde) const;
+
+  [[nodiscard]] const PublicKey& pk() const { return pk_; }
+  [[nodiscard]] const bn::Montgomery& mont() const { return mont_; }
+
+ private:
+  PublicKey pk_;
+  bn::Montgomery mont_;
+};
+
+}  // namespace ice::proto

@@ -1,0 +1,30 @@
+#include "ice/tag_store.h"
+
+#include "common/error.h"
+
+namespace ice::proto {
+
+TagStore::TagStore(const ProtocolParams& params,
+                   std::vector<bn::BigInt> tags, pir::EvalStrategy strategy)
+    : db_(params.tag_bits()),
+      embedding_(std::make_unique<pir::Embedding>(
+          tags.empty() ? 1 : tags.size())),
+      server_(db_, *embedding_, strategy) {
+  if (tags.empty()) throw ParamError("TagStore: empty tag set");
+  for (const auto& t : tags) db_.add(t);
+}
+
+std::vector<bn::BigInt> retrieve_tags_direct(
+    const TagStore& tpa0, const TagStore& tpa1,
+    std::span<const std::size_t> indices, bn::Rng64& rng) {
+  if (tpa0.n() != tpa1.n() || tpa0.tag_bits() != tpa1.tag_bits()) {
+    throw ParamError("retrieve_tags_direct: TPA replicas disagree");
+  }
+  const pir::PirClient client(tpa0.embedding(), tpa0.tag_bits());
+  auto enc = client.encode(indices, rng);
+  const pir::PirResponse r0 = tpa0.respond(enc.queries[0]);
+  const pir::PirResponse r1 = tpa1.respond(enc.queries[1]);
+  return client.decode(enc.secrets, r0, r1);
+}
+
+}  // namespace ice::proto

@@ -1,0 +1,65 @@
+// The tag-side state one TPA keeps for one user's file.
+//
+// TPASetup (paper Sec. III-A): given the n tags, fix gamma and the embedding
+// phi, and build the polynomial/matrix representation used to answer
+// private tag queries. Both TPAs hold identical replicas (the 2-server PIR
+// non-collusion assumption).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "ice/params.h"
+#include "pir/client.h"
+#include "pir/server.h"
+
+namespace ice::proto {
+
+class TagStore {
+ public:
+  /// Takes ownership of the tag set; K comes from `params.tag_bits()`.
+  TagStore(const ProtocolParams& params, std::vector<bn::BigInt> tags,
+           pir::EvalStrategy strategy = pir::EvalStrategy::kBitsliced);
+
+  [[nodiscard]] std::size_t n() const { return db_.size(); }
+  [[nodiscard]] std::size_t tag_bits() const { return db_.tag_bits(); }
+  [[nodiscard]] const pir::Embedding& embedding() const { return *embedding_; }
+
+  /// Plain (non-private) tag read; used by trusted-path tests and by the
+  /// naive full-download baseline.
+  [[nodiscard]] bn::BigInt tag(std::size_t index) const {
+    return db_.tag(index);
+  }
+
+  /// Replaces the tag of an updated block (data dynamics).
+  void update(std::size_t index, const bn::BigInt& tag) {
+    db_.update(index, tag);
+  }
+
+  /// Answers one PIR query batch (paper Alg. 1 "tag response").
+  [[nodiscard]] pir::PirResponse respond(const pir::PirQuery& query) const {
+    return server_.respond(query);
+  }
+
+  /// Forces the TPASetup preprocessing and reports its duration in seconds
+  /// (paper Tab. III row "TPASetup").
+  double preprocess() { return db_.build_planes(); }
+
+ private:
+  pir::TagDatabase db_;
+  std::unique_ptr<pir::Embedding> embedding_;  // stable address for server_
+  pir::PirServer server_;
+};
+
+/// User-side helper: retrieves tags for `indices` from two TagStore replicas
+/// (direct in-process variant used by tests and single-process simulations;
+/// the RPC variant lives in entities.h).
+std::vector<bn::BigInt> retrieve_tags_direct(const TagStore& tpa0,
+                                             const TagStore& tpa1,
+                                             std::span<const std::size_t>
+                                                 indices,
+                                             bn::Rng64& rng);
+
+}  // namespace ice::proto

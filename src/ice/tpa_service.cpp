@@ -1,0 +1,253 @@
+#include "ice/tpa_service.h"
+
+#include "common/error.h"
+#include "ice/edge_service.h"
+#include "ice/wire.h"
+
+namespace ice::proto {
+
+// An abandoned audit (user never submits repacked tags) would otherwise
+// leak a session entry forever; cap the table so a hostile user cannot
+// exhaust TPA memory.
+constexpr std::size_t kMaxOpenSessions = 4096;
+
+TpaService::TpaService(pir::EvalStrategy strategy) : strategy_(strategy) {}
+
+void TpaService::register_edge(std::uint32_t edge_id,
+                               net::RpcChannel& channel) {
+  std::lock_guard lock(mu_);
+  edges_[edge_id] = &channel;
+}
+
+Bytes TpaService::handle(std::uint16_t method, BytesView request) {
+  try {
+    // kEdgeChallenge round trips back through this TPA only via separate
+    // services, so holding the lock across the edge call cannot deadlock.
+    std::lock_guard lock(mu_);
+    net::Reader r(request);
+    return handle_locked(method, r);
+  } catch (const std::exception& e) {
+    return error_response(e.what());
+  }
+}
+
+Bytes TpaService::handle_locked(std::uint16_t method, net::Reader& r) {
+  switch (method) {
+    case kTpaSetKey: {
+      PublicKey pk;
+      pk.n = r.bigint();
+      pk.g = r.bigint();
+      params_.coeff_bits = static_cast<std::size_t>(r.varint());
+      params_.challenge_key_bits = static_cast<std::size_t>(r.varint());
+      r.expect_done();
+      if (!plausible_public_key(pk)) {
+        return error_response("TpaService: implausible public key");
+      }
+      params_.modulus_bits = pk.n.bit_length();
+      pk_ = std::move(pk);
+      store_.reset();  // tags from an old key are meaningless now
+      return ok_empty();
+    }
+    case kTpaStoreTags: {
+      if (!pk_) return error_response("TpaService: set key first");
+      std::vector<bn::BigInt> tags = read_bigint_list(r);
+      r.expect_done();
+      if (tags.empty()) return error_response("TpaService: no tags");
+      store_.emplace(params_, std::move(tags), strategy_);
+      store_->preprocess();
+      return ok_empty();
+    }
+    case kTpaTagQuery: {
+      if (!store_) return error_response("TpaService: no tags stored");
+      const pir::PirQuery query = read_pir_query(r);
+      r.expect_done();
+      net::Writer w;
+      write_pir_response(w, store_->respond(query));
+      return ok_response(std::move(w));
+    }
+    case kTpaStartAudit: {
+      if (!pk_) return error_response("TpaService: set key first");
+      const auto edge_id = static_cast<std::uint32_t>(r.varint());
+      // Session id is a user-chosen nonce: the user already shared the
+      // blinding s~ with the edge under this id, and the edge looks it up
+      // when our challenge arrives.
+      const std::uint64_t id = r.u64();
+      r.expect_done();
+      const auto it = edges_.find(edge_id);
+      if (it == edges_.end()) {
+        return error_response("TpaService: unknown edge");
+      }
+      if (sessions_.contains(id)) {
+        return error_response("TpaService: session id already in use");
+      }
+      if (sessions_.size() >= kMaxOpenSessions) {
+        return error_response("TpaService: too many open sessions");
+      }
+      AuditSession session;
+      session.edge_id = edge_id;
+      session.challenge =
+          make_challenge(*pk_, params_, rng_, session.secret);
+      session.proof = EdgeClient(*it->second).challenge(id,
+                                                        session.challenge);
+      sessions_[id] = std::move(session);
+      return ok_empty();
+    }
+    case kTpaSubmitRepacked: {
+      const std::uint64_t id = r.u64();
+      const std::vector<bn::BigInt> tags = read_bigint_list(r);
+      r.expect_done();
+      const auto it = sessions_.find(id);
+      if (it == sessions_.end()) {
+        return error_response("TpaService: unknown session");
+      }
+      const AuditSession session = std::move(it->second);
+      sessions_.erase(it);
+      const bool pass = verify_proof(*pk_, params_, tags, session.challenge,
+                                     session.secret, session.proof);
+      log_.append(id, session.edge_id, /*batch=*/false, pass);
+      net::Writer w;
+      w.u8(pass ? 1 : 0);
+      return ok_response(std::move(w));
+    }
+    case kTpaBatchBegin: {
+      if (!pk_) return error_response("TpaService: set key first");
+      const auto num_edges = static_cast<std::size_t>(r.varint());
+      r.expect_done();
+      if (num_edges == 0) return error_response("TpaService: empty batch");
+      if (batches_.size() >= kMaxOpenSessions) {
+        return error_response("TpaService: too many open batches");
+      }
+      BatchSession batch;
+      const Challenge base = make_batch_base(*pk_, rng_, batch.secret);
+      batch.expected_proofs = num_edges;
+      const std::uint64_t id = next_id_++;
+      batches_[id] = std::move(batch);
+      net::Writer w;
+      w.u64(id);
+      w.bigint(base.g_s);
+      return ok_response(std::move(w));
+    }
+    case kTpaSubmitProof: {
+      const std::uint64_t id = r.u64();
+      Proof proof;
+      proof.p = r.bigint();
+      r.expect_done();
+      const auto it = batches_.find(id);
+      if (it == batches_.end()) {
+        return error_response("TpaService: unknown batch");
+      }
+      if (it->second.proofs.size() >= it->second.expected_proofs) {
+        return error_response("TpaService: batch already full");
+      }
+      it->second.proofs.push_back(std::move(proof));
+      return ok_empty();
+    }
+    case kTpaBatchFinish: {
+      const std::uint64_t id = r.u64();
+      const std::vector<bn::BigInt> tags = read_bigint_list(r);
+      r.expect_done();
+      const auto it = batches_.find(id);
+      if (it == batches_.end()) {
+        return error_response("TpaService: unknown batch");
+      }
+      if (it->second.proofs.size() != it->second.expected_proofs) {
+        return error_response("TpaService: batch proofs incomplete");
+      }
+      const BatchSession batch = std::move(it->second);
+      batches_.erase(it);
+      const bool pass = verify_batch(*pk_, tags, batch.proofs, batch.secret);
+      log_.append(id, /*edge_id=*/0, /*batch=*/true, pass);
+      net::Writer w;
+      w.u8(pass ? 1 : 0);
+      return ok_response(std::move(w));
+    }
+    case kTpaUpdateTag: {
+      if (!store_) return error_response("TpaService: no tags stored");
+      const auto index = static_cast<std::size_t>(r.varint());
+      const bn::BigInt tag = r.bigint();
+      r.expect_done();
+      if (index >= store_->n()) {
+        return error_response("TpaService: tag index out of range");
+      }
+      store_->update(index, tag);
+      return ok_empty();
+    }
+    default:
+      return error_response("TpaService: unknown method");
+  }
+}
+
+void TpaClient::set_key(const PublicKey& pk,
+                        const ProtocolParams& params) const {
+  net::Writer w;
+  w.bigint(pk.n);
+  w.bigint(pk.g);
+  w.varint(params.coeff_bits);
+  w.varint(params.challenge_key_bits);
+  const Bytes raw = channel_->call(kTpaSetKey, w.take());
+  unwrap(raw);
+}
+
+void TpaClient::store_tags(const std::vector<bn::BigInt>& tags) const {
+  net::Writer w;
+  write_bigint_list(w, tags);
+  const Bytes raw = channel_->call(kTpaStoreTags, w.take());
+  unwrap(raw);
+}
+
+pir::PirResponse TpaClient::tag_query(const pir::PirQuery& query) const {
+  net::Writer w;
+  write_pir_query(w, query);
+  const Bytes raw = channel_->call(kTpaTagQuery, w.take());
+  net::Reader r = unwrap(raw);
+  return read_pir_response(r);
+}
+
+void TpaClient::start_audit(std::uint32_t edge_id,
+                            std::uint64_t session_id) const {
+  net::Writer w;
+  w.varint(edge_id);
+  w.u64(session_id);
+  const Bytes raw = channel_->call(kTpaStartAudit, w.take());
+  unwrap(raw);
+}
+
+bool TpaClient::submit_repacked(std::uint64_t session_id,
+                                const std::vector<bn::BigInt>& tags) const {
+  net::Writer w;
+  w.u64(session_id);
+  write_bigint_list(w, tags);
+  const Bytes raw = channel_->call(kTpaSubmitRepacked, w.take());
+  net::Reader r = unwrap(raw);
+  return r.u8() == 1;
+}
+
+std::pair<std::uint64_t, bn::BigInt> TpaClient::batch_begin(
+    std::size_t num_edges) const {
+  net::Writer w;
+  w.varint(num_edges);
+  const Bytes raw = channel_->call(kTpaBatchBegin, w.take());
+  net::Reader r = unwrap(raw);
+  const std::uint64_t id = r.u64();
+  return {id, r.bigint()};
+}
+
+void TpaClient::update_tag(std::size_t index, const bn::BigInt& tag) const {
+  net::Writer w;
+  w.varint(index);
+  w.bigint(tag);
+  const Bytes raw = channel_->call(kTpaUpdateTag, w.take());
+  unwrap(raw);
+}
+
+bool TpaClient::batch_finish(std::uint64_t batch_id,
+                             const std::vector<bn::BigInt>& tags) const {
+  net::Writer w;
+  w.u64(batch_id);
+  write_bigint_list(w, tags);
+  const Bytes raw = channel_->call(kTpaBatchFinish, w.take());
+  net::Reader r = unwrap(raw);
+  return r.u8() == 1;
+}
+
+}  // namespace ice::proto

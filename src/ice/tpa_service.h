@@ -1,0 +1,105 @@
+// Third-party auditor actor.
+//
+// Holds the tag replica (TagStore) for private retrieval, runs ICE-basic
+// audit sessions (challenge an edge, hold its proof, verify against the
+// user's repacked tags) and ICE-batch sessions (collect J proofs, one
+// product check). Semi-honest: it follows the protocol; privacy against it
+// is provided by the PIR and the tag repacking, not by this code.
+//
+// Exactly one of the two TPA replicas is the "verifier" (owns audit
+// sessions and edge channels); both answer tag queries.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+
+#include "crypto/csprng.h"
+#include "ice/audit_log.h"
+#include "ice/batch.h"
+#include "ice/keys.h"
+#include "ice/params.h"
+#include "ice/protocol.h"
+#include "ice/tag_store.h"
+#include "net/rpc.h"
+#include "net/serde.h"
+
+namespace ice::proto {
+
+class TpaService final : public net::RpcHandler {
+ public:
+  /// `strategy` selects the PIR evaluation path (benchmarks sweep it).
+  explicit TpaService(
+      pir::EvalStrategy strategy = pir::EvalStrategy::kBitsliced);
+
+  Bytes handle(std::uint16_t method, BytesView request) override;
+
+  /// Registers the channel used to challenge edge `edge_id` (verifier
+  /// replica only). Non-owning; must outlive the service.
+  void register_edge(std::uint32_t edge_id, net::RpcChannel& channel);
+
+  /// Direct state access for tests.
+  [[nodiscard]] bool has_tags() const { return store_.has_value(); }
+
+  /// Tamper-evident record of every verdict this TPA issued.
+  [[nodiscard]] const AuditLog& audit_log() const { return log_; }
+
+ private:
+  Bytes handle_locked(std::uint16_t method, net::Reader& r);
+
+  struct AuditSession {
+    std::uint32_t edge_id = 0;
+    Challenge challenge;
+    ChallengeSecret secret;
+    Proof proof;
+  };
+  struct BatchSession {
+    ChallengeSecret secret;
+    std::size_t expected_proofs = 0;
+    std::vector<Proof> proofs;
+  };
+
+  std::mutex mu_;
+  pir::EvalStrategy strategy_;
+  ProtocolParams params_;        // coeff/key widths from kTpaSetKey
+  std::optional<PublicKey> pk_;
+  std::optional<TagStore> store_;
+  std::map<std::uint32_t, net::RpcChannel*> edges_;
+  std::map<std::uint64_t, AuditSession> sessions_;
+  std::map<std::uint64_t, BatchSession> batches_;
+  std::uint64_t next_id_ = 1;
+  crypto::Csprng rng_;
+  AuditLog log_;
+};
+
+/// Client stub for the user-side TPA calls.
+class TpaClient {
+ public:
+  explicit TpaClient(net::RpcChannel& channel) : channel_(&channel) {}
+
+  void set_key(const PublicKey& pk, const ProtocolParams& params) const;
+  void store_tags(const std::vector<bn::BigInt>& tags) const;
+  [[nodiscard]] pir::PirResponse tag_query(const pir::PirQuery& query) const;
+  /// Starts an ICE-basic audit of `edge_id` under the user-chosen session
+  /// nonce (the edge holds the blinding s~ under the same id). The TPA
+  /// challenges the edge synchronously and parks the proof.
+  void start_audit(std::uint32_t edge_id, std::uint64_t session_id) const;
+  /// Submits the repacked tags; returns the audit verdict.
+  [[nodiscard]] bool submit_repacked(
+      std::uint64_t session_id, const std::vector<bn::BigInt>& tags) const;
+  /// ICE-batch: opens a batch expecting `num_edges` proofs; returns
+  /// (batch_id, g_s).
+  [[nodiscard]] std::pair<std::uint64_t, bn::BigInt> batch_begin(
+      std::size_t num_edges) const;
+  /// ICE-batch: closes the batch with the repacked union tags.
+  [[nodiscard]] bool batch_finish(std::uint64_t batch_id,
+                                  const std::vector<bn::BigInt>& tags) const;
+  /// Data dynamics: replaces the stored tag of one block.
+  void update_tag(std::size_t index, const bn::BigInt& tag) const;
+
+ private:
+  net::RpcChannel* channel_;
+};
+
+}  // namespace ice::proto

@@ -1,0 +1,159 @@
+#include "ice/user_client.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+#include "ice/batch.h"
+
+namespace ice::proto {
+
+UserClient::UserClient(const ProtocolParams& params, KeyPair keys,
+                       net::RpcChannel& tpa0, net::RpcChannel& tpa1)
+    : params_(params),
+      keys_{std::move(keys)},
+      tagger_(keys_.pk.pk),
+      tpa0_(&tpa0),
+      tpa1_(&tpa1) {}
+
+double UserClient::setup_file(const std::vector<Bytes>& blocks) {
+  if (blocks.empty()) throw ParamError("setup_file: no blocks");
+  Stopwatch sw;
+  const std::vector<bn::BigInt> tags = tagger_.tag_all(blocks);
+  const double taggen_seconds = sw.seconds();
+  n_ = blocks.size();
+  embedding_ = std::make_unique<pir::Embedding>(n_);
+  for (net::RpcChannel* ch : {tpa0_, tpa1_}) {
+    const TpaClient tpa(*ch);
+    tpa.set_key(keys_.pk.pk, params_);
+    tpa.store_tags(tags);
+  }
+  updated_blocks_.clear();
+  return taggen_seconds;
+}
+
+std::vector<bn::BigInt> UserClient::retrieve_tags(
+    const std::vector<std::size_t>& indices) {
+  if (embedding_ == nullptr) throw ProtocolError("retrieve_tags: no file");
+  // K is the ACTUAL modulus width: N built from two b/2-bit primes can be
+  // one bit short of the nominal params_.modulus_bits.
+  const pir::PirClient client(*embedding_, keys_.pk.pk.modulus_bits());
+  auto enc = client.encode(indices, rng_);
+  const pir::PirResponse r0 = TpaClient(*tpa0_).tag_query(enc.queries[0]);
+  const pir::PirResponse r1 = TpaClient(*tpa1_).tag_query(enc.queries[1]);
+  return client.decode(enc.secrets, r0, r1);
+}
+
+void UserClient::forget_updated_block(std::size_t index) {
+  std::erase_if(updated_blocks_,
+                [index](const auto& e) { return e.first == index; });
+}
+
+void UserClient::commit_updated_block(std::size_t index, BytesView content) {
+  if (embedding_ == nullptr || index >= n_) {
+    throw ParamError("commit_updated_block: bad index or no file");
+  }
+  const bn::BigInt tag = tagger_.tag(content);
+  TpaClient(*tpa0_).update_tag(index, tag);
+  TpaClient(*tpa1_).update_tag(index, tag);
+  forget_updated_block(index);
+}
+
+void UserClient::note_updated_block(std::size_t index, Bytes new_content) {
+  std::erase_if(updated_blocks_,
+                [index](const auto& e) { return e.first == index; });
+  updated_blocks_.emplace_back(index, std::move(new_content));
+}
+
+bool UserClient::audit_edge(net::RpcChannel& edge_channel,
+                            std::uint32_t edge_id) {
+  if (embedding_ == nullptr) throw ProtocolError("audit_edge: no file");
+  const EdgeClient edge(edge_channel);
+  const TpaClient tpa(*tpa0_);
+
+  // 1. IndexQuery: learn S_j over the fast local link.
+  const std::vector<std::size_t> s_j = edge.index_query();
+  if (s_j.empty()) return true;  // nothing pre-downloaded, nothing to audit
+
+  // 2. The user picks the session nonce and shares the blinding s~ with
+  //    the edge under it; the TPA's challenge quotes the same id so the
+  //    edge can look the blinding up.
+  const std::uint64_t session_id = rng_.next_u64();
+  const bn::BigInt s_tilde = draw_blinding(keys_.pk.pk, rng_);
+  edge.share_blinding(session_id, s_tilde);
+
+  // 3. TPA challenges the edge and parks the proof.
+  tpa.start_audit(edge_id, session_id);
+
+  // 4. Private tag retrieval for S_j.
+  std::vector<bn::BigInt> tags = retrieve_tags(s_j);
+
+  // 5. Repack: T~ = T^s~; updated blocks get fresh g^{m' s~} tags.
+  std::vector<bn::BigInt> repacked =
+      repack_tags(keys_.pk.pk, tags, s_tilde);
+  for (const auto& [index, content] : updated_blocks_) {
+    const auto it = std::find(s_j.begin(), s_j.end(), index);
+    if (it == s_j.end()) continue;
+    repacked[static_cast<std::size_t>(it - s_j.begin())] =
+        tagger_.updated_tag(content, s_tilde);
+  }
+
+  // 6. Submit and receive the verdict.
+  return tpa.submit_repacked(session_id, repacked);
+}
+
+LocalizationResult UserClient::localize_corruption(
+    net::RpcChannel& edge_channel) {
+  if (embedding_ == nullptr) {
+    throw ProtocolError("localize_corruption: no file");
+  }
+  const EdgeClient edge(edge_channel);
+  const std::vector<std::size_t> s_j = edge.index_query();
+  std::vector<bn::BigInt> tags = retrieve_tags(s_j);
+  // Blocks updated this session have fresh expected tags.
+  for (const auto& [index, content] : updated_blocks_) {
+    const auto it = std::find(s_j.begin(), s_j.end(), index);
+    if (it == s_j.end()) continue;
+    tags[static_cast<std::size_t>(it - s_j.begin())] =
+        tagger_.tag(content);
+  }
+  return proto::localize_corruption(keys_.pk.pk, params_, edge, s_j, tags,
+                                    rng_);
+}
+
+bool UserClient::audit_edges_batch(
+    const std::vector<net::RpcChannel*>& edge_channels) {
+  if (embedding_ == nullptr) throw ProtocolError("audit_edges_batch: no file");
+  if (edge_channels.empty()) {
+    throw ParamError("audit_edges_batch: no edges");
+  }
+  const TpaClient tpa(*tpa0_);
+
+  // IndexQuery every edge (fast local links).
+  std::vector<std::vector<std::size_t>> edge_sets;
+  edge_sets.reserve(edge_channels.size());
+  for (net::RpcChannel* ch : edge_channels) {
+    edge_sets.push_back(EdgeClient(*ch).index_query());
+    if (edge_sets.back().empty()) {
+      throw ProtocolError("audit_edges_batch: edge with empty cache");
+    }
+  }
+
+  // TPA opens the batch (draws s); user draws the per-edge keys e_j, which
+  // the TPA never sees.
+  const auto [batch_id, g_s] = tpa.batch_begin(edge_channels.size());
+  const std::vector<bn::BigInt> keys =
+      draw_challenge_keys(params_, edge_channels.size(), rng_);
+  for (std::size_t j = 0; j < edge_channels.size(); ++j) {
+    EdgeClient(*edge_channels[j]).batch_challenge(batch_id, keys[j], g_s);
+  }
+
+  // Union retrieval + aggregated repacking.
+  const std::vector<std::size_t> u = union_of_sets(edge_sets);
+  const std::vector<bn::BigInt> tags = retrieve_tags(u);
+  const std::vector<bn::BigInt> repacked =
+      batch_repack(keys_.pk.pk, params_, u, tags, edge_sets, keys);
+  return tpa.batch_finish(batch_id, repacked);
+}
+
+}  // namespace ice::proto

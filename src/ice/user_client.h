@@ -1,0 +1,99 @@
+// End-device actor: owns the keys, tags its file, and drives full audit
+// rounds against edges through the TPAs.
+//
+// This composes the whole ICE information flow (paper Fig. 1):
+//   setup:   KeyGen -> TagGen -> upload tags to both TPAs
+//   audit:   IndexQuery (edge) -> share s~ (edge) -> start audit (TPA
+//            challenges edge, parks proof) -> private tag retrieval (both
+//            TPAs) -> repack -> submit -> verdict
+//   batch:   IndexQuery x J -> batch begin (TPA) -> challenge keys e_j to
+//            each edge (fast local links) -> union retrieval -> aggregated
+//            repack -> batch finish -> verdict
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/random.h"
+#include "crypto/csprng.h"
+#include "ice/edge_service.h"
+#include "ice/keys.h"
+#include "ice/localize.h"
+#include "ice/params.h"
+#include "ice/tag.h"
+#include "ice/tpa_service.h"
+#include "pir/client.h"
+
+namespace ice::proto {
+
+class UserClient {
+ public:
+  /// `tpa0` is the verifier replica, `tpa1` the second PIR replica.
+  /// Channels are non-owning and must outlive the client.
+  UserClient(const ProtocolParams& params, KeyPair keys,
+             net::RpcChannel& tpa0, net::RpcChannel& tpa1);
+
+  /// Tags all blocks, uploads the tag set to both TPAs, and remembers n.
+  /// Returns the tag-generation time in seconds (paper Tab. III "TagGen").
+  double setup_file(const std::vector<Bytes>& blocks);
+
+  /// Runs one complete ICE-basic audit of the edge behind `edge_channel`
+  /// (registered at the TPA as `edge_id`). Returns the verdict.
+  [[nodiscard]] bool audit_edge(net::RpcChannel& edge_channel,
+                                std::uint32_t edge_id);
+
+  /// Runs one ICE-batch audit across several edges. Returns the verdict.
+  [[nodiscard]] bool audit_edges_batch(
+      const std::vector<net::RpcChannel*>& edge_channels);
+
+  /// Marks a block as updated in the current session: during the next
+  /// audit_edge the corresponding repacked tag is regenerated from the new
+  /// content (VerifyEdge step 2) instead of the stored tag.
+  void note_updated_block(std::size_t index, Bytes new_content);
+
+  /// Drops the update note for a block (the update was flushed, or it was
+  /// lost to corruption and rolled back to the cloud version).
+  void forget_updated_block(std::size_t index);
+
+  /// Data dynamics: once an update has been written back to the CSP, store
+  /// its fresh tag at BOTH TPAs and drop the session note. Afterwards
+  /// ordinary audits cover the new content with no special casing.
+  void commit_updated_block(std::size_t index, BytesView content);
+
+  /// Blocks updated this session and not yet committed.
+  [[nodiscard]] const std::vector<std::pair<std::size_t, Bytes>>&
+  updated_blocks() const {
+    return updated_blocks_;
+  }
+
+  /// Privately retrieves tags for `indices` from the two TPAs.
+  [[nodiscard]] std::vector<bn::BigInt> retrieve_tags(
+      const std::vector<std::size_t>& indices);
+
+  /// After a failed audit: pinpoints which of the edge's cached blocks are
+  /// corrupted by bisection sub-audits over the fast local link (see
+  /// ice/localize.h). Applies this session's noted block updates before
+  /// comparing, so a freshly updated block is not misreported.
+  [[nodiscard]] LocalizationResult localize_corruption(
+      net::RpcChannel& edge_channel);
+
+  [[nodiscard]] const PublicKey& pk() const { return keys_.pk.pk; }
+  [[nodiscard]] std::size_t file_blocks() const { return n_; }
+
+ private:
+  struct Keys {
+    KeyPair pk;  // full pair; only pk leaves the device
+  };
+
+  ProtocolParams params_;
+  Keys keys_;
+  TagGenerator tagger_;
+  net::RpcChannel* tpa0_;
+  net::RpcChannel* tpa1_;
+  std::size_t n_ = 0;
+  std::unique_ptr<pir::Embedding> embedding_;
+  crypto::Csprng rng_;
+  std::vector<std::pair<std::size_t, Bytes>> updated_blocks_;
+};
+
+}  // namespace ice::proto

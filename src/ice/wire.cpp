@@ -1,0 +1,157 @@
+#include "ice/wire.h"
+
+#include "common/error.h"
+
+namespace ice::proto {
+
+Bytes ok_response(net::Writer&& payload) {
+  net::Writer w;
+  w.u8(0);
+  const Bytes body = payload.take();
+  Bytes out = w.take();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Bytes ok_empty() {
+  net::Writer w;
+  w.u8(0);
+  return w.take();
+}
+
+Bytes error_response(const std::string& reason) {
+  net::Writer w;
+  w.u8(1);
+  w.str(reason);
+  return w.take();
+}
+
+net::Reader unwrap(const Bytes& response) {
+  net::Reader r(response);
+  const std::uint8_t status = r.u8();
+  if (status == 0) return r;
+  if (status == 1) {
+    throw ProtocolError("remote error: " + r.str());
+  }
+  throw CodecError("unwrap: unknown status byte");
+}
+
+void write_gf4_vector(net::Writer& w, const gf::GF4Vector& v) {
+  w.varint(v.size());
+  w.bytes(pir::pack_gf4(v));
+}
+
+gf::GF4Vector read_gf4_vector(net::Reader& r) {
+  const std::uint64_t count = r.varint();
+  if (count > (std::uint64_t{1} << 24)) {
+    throw CodecError("read_gf4_vector: implausible length");
+  }
+  const Bytes packed = r.bytes();
+  return pir::unpack_gf4(packed, static_cast<std::size_t>(count));
+}
+
+void write_pir_query(net::Writer& w, const pir::PirQuery& q) {
+  w.varint(q.points.size());
+  for (const auto& p : q.points) write_gf4_vector(w, p);
+}
+
+pir::PirQuery read_pir_query(net::Reader& r) {
+  const std::uint64_t count = r.varint();
+  if (count > (std::uint64_t{1} << 20)) {
+    throw CodecError("read_pir_query: implausible count");
+  }
+  pir::PirQuery q;
+  q.points.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    q.points.push_back(read_gf4_vector(r));
+  }
+  return q;
+}
+
+void write_pir_response(net::Writer& w, const pir::PirResponse& resp) {
+  w.varint(resp.entries.size());
+  for (const auto& e : resp.entries) {
+    write_gf4_vector(w, e.values);
+    // Gradients are K vectors of uniform length gamma; flatten them into
+    // one packed GF(4) string to avoid per-vector length overhead (this is
+    // the dominant share of the TPA->User bytes in Tab. I).
+    const std::size_t gamma =
+        e.gradients.empty() ? 0 : e.gradients.front().size();
+    w.varint(gamma);
+    gf::GF4Vector flat;
+    flat.reserve(e.gradients.size() * gamma);
+    for (const auto& g : e.gradients) {
+      if (g.size() != gamma) {
+        throw CodecError("write_pir_response: ragged gradients");
+      }
+      flat.insert(flat.end(), g.begin(), g.end());
+    }
+    write_gf4_vector(w, flat);
+  }
+}
+
+pir::PirResponse read_pir_response(net::Reader& r) {
+  const std::uint64_t count = r.varint();
+  if (count > (std::uint64_t{1} << 20)) {
+    throw CodecError("read_pir_response: implausible count");
+  }
+  pir::PirResponse resp;
+  resp.entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    pir::PirSingleResponse e;
+    e.values = read_gf4_vector(r);
+    const std::uint64_t gamma = r.varint();
+    if (gamma > (std::uint64_t{1} << 16)) {
+      throw CodecError("read_pir_response: implausible gamma");
+    }
+    const gf::GF4Vector flat = read_gf4_vector(r);
+    if (gamma != 0 && flat.size() % gamma != 0) {
+      throw CodecError("read_pir_response: gradient size mismatch");
+    }
+    const std::size_t rows = gamma == 0 ? 0 : flat.size() / gamma;
+    e.gradients.reserve(rows);
+    for (std::size_t row = 0; row < rows; ++row) {
+      e.gradients.emplace_back(
+          flat.begin() + static_cast<std::ptrdiff_t>(row * gamma),
+          flat.begin() + static_cast<std::ptrdiff_t>((row + 1) * gamma));
+    }
+    resp.entries.push_back(std::move(e));
+  }
+  return resp;
+}
+
+void write_bigint_list(net::Writer& w, const std::vector<bn::BigInt>& v) {
+  w.varint(v.size());
+  for (const auto& x : v) w.bigint(x);
+}
+
+std::vector<bn::BigInt> read_bigint_list(net::Reader& r) {
+  const std::uint64_t count = r.varint();
+  if (count > (std::uint64_t{1} << 24)) {
+    throw CodecError("read_bigint_list: implausible length");
+  }
+  std::vector<bn::BigInt> v;
+  v.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) v.push_back(r.bigint());
+  return v;
+}
+
+void write_index_list(net::Writer& w, const std::vector<std::size_t>& v) {
+  w.varint(v.size());
+  for (std::size_t x : v) w.varint(x);
+}
+
+std::vector<std::size_t> read_index_list(net::Reader& r) {
+  const std::uint64_t count = r.varint();
+  if (count > (std::uint64_t{1} << 24)) {
+    throw CodecError("read_index_list: implausible length");
+  }
+  std::vector<std::size_t> v;
+  v.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    v.push_back(static_cast<std::size_t>(r.varint()));
+  }
+  return v;
+}
+
+}  // namespace ice::proto

@@ -1,0 +1,79 @@
+// RPC method numbering and message codecs for the ICE entities.
+//
+// Responses carry a leading status byte (0 = ok, 1 = error + utf-8 reason)
+// so remote failures surface as ProtocolError at the caller instead of
+// killing the transport.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "common/bytes.h"
+#include "ice/protocol.h"
+#include "net/serde.h"
+#include "pir/messages.h"
+
+namespace ice::proto {
+
+enum Method : std::uint16_t {
+  // CSP service
+  kCspInfo = 100,       // () -> (n, block_size)
+  kCspFetch = 101,      // (index) -> (block)
+  kCspWriteBack = 102,  // ([index, block]...) -> ()
+  kCspSetKey = 103,     // (N, g, coeff_bits, key_bits) -> ()
+  kCspChallenge = 104,  // (e, g_s, [index]...) -> (proof); sampled PDP
+
+  // Edge service
+  kEdgeRead = 200,            // (index) -> (block); fetches from CSP on miss
+  kEdgeWrite = 201,           // (index, block) -> (); dirty write
+  kEdgeIndexQuery = 202,      // () -> sorted S_j   [paper IndexQuery]
+  kEdgeShareBlind = 203,      // (session_id, s~) -> ()
+  kEdgeChallenge = 204,       // (session_id, e, g_s) -> (proof)
+  kEdgeBatchChallenge = 205,  // (batch_id, e_j, g_s) -> (); proof goes to TPA
+  kEdgeFlush = 206,           // () -> (blocks written back)
+  kEdgeSubsetProof = 207,     // (e, g_s, [index]...) -> (proof); owner-driven
+                              // subset challenge used by localization
+
+  // TPA service
+  kTpaSetKey = 300,         // (N, g, coeff_bits, key_bits) -> ()
+  kTpaStoreTags = 301,      // ([tag]...) -> ()
+  kTpaTagQuery = 302,       // (gamma, [point]...) -> PIR response
+  kTpaStartAudit = 303,     // (edge_id) -> (session_id)
+  kTpaSubmitRepacked = 304, // (session_id, [tag]...) -> (verdict)
+  kTpaBatchBegin = 305,     // (num_edges) -> (batch_id, g_s)
+  kTpaSubmitProof = 306,    // (batch_id, proof) -> ()
+  kTpaBatchFinish = 307,    // (batch_id, [tag]...) -> (verdict)
+  kTpaUpdateTag = 308,      // (index, tag) -> (); data dynamics
+};
+
+/// Wraps a successful payload with the ok status byte.
+Bytes ok_response(net::Writer&& payload);
+Bytes ok_empty();
+/// Error response carrying a reason string.
+Bytes error_response(const std::string& reason);
+
+/// Client-side unwrap: returns a reader positioned past the status byte, or
+/// throws ProtocolError carrying the remote reason. The reader views
+/// `response`, so the buffer must stay alive — the rvalue overload is
+/// deleted to make `unwrap(channel.call(...))` a compile error.
+net::Reader unwrap(const Bytes& response);
+net::Reader unwrap(Bytes&& response) = delete;
+
+/// GF(4) vector list codec shared by PIR queries/responses.
+void write_gf4_vector(net::Writer& w, const gf::GF4Vector& v);
+gf::GF4Vector read_gf4_vector(net::Reader& r);
+
+void write_pir_query(net::Writer& w, const pir::PirQuery& q);
+pir::PirQuery read_pir_query(net::Reader& r);
+void write_pir_response(net::Writer& w, const pir::PirResponse& resp);
+pir::PirResponse read_pir_response(net::Reader& r);
+
+void write_bigint_list(net::Writer& w, const std::vector<bn::BigInt>& v);
+std::vector<bn::BigInt> read_bigint_list(net::Reader& r);
+
+void write_index_list(net::Writer& w, const std::vector<std::size_t>& v);
+std::vector<std::size_t> read_index_list(net::Reader& r);
+
+}  // namespace ice::proto

@@ -1,0 +1,51 @@
+#include "mec/block_store.h"
+
+#include "common/error.h"
+#include "crypto/chacha20.h"
+
+namespace ice::mec {
+
+BlockStore::BlockStore(std::size_t block_size) : block_size_(block_size) {
+  if (block_size == 0) throw ParamError("BlockStore: block_size must be > 0");
+}
+
+BlockStore BlockStore::synthetic(std::size_t n, std::size_t block_size,
+                                 std::uint64_t seed) {
+  BlockStore store(block_size);
+  crypto::ChaCha20::Key key{};
+  for (int i = 0; i < 8; ++i) {
+    key[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(seed >> (8 * i));
+  }
+  key[31] = 0xb1;  // domain separation from other ChaCha20 uses
+  crypto::ChaCha20 prg(key, crypto::ChaCha20::Nonce{});
+  for (std::size_t i = 0; i < n; ++i) {
+    store.add_block(prg.next(block_size));
+  }
+  return store;
+}
+
+std::size_t BlockStore::add_block(Bytes block) {
+  if (block.size() != block_size_) {
+    throw ParamError("BlockStore::add_block: wrong block size");
+  }
+  blocks_.push_back(std::move(block));
+  return blocks_.size() - 1;
+}
+
+void BlockStore::update_block(std::size_t index, Bytes block) {
+  if (index >= blocks_.size()) {
+    throw ParamError("BlockStore::update_block: bad index");
+  }
+  if (block.size() != block_size_) {
+    throw ParamError("BlockStore::update_block: wrong block size");
+  }
+  blocks_[index] = std::move(block);
+}
+
+const Bytes& BlockStore::block(std::size_t index) const {
+  if (index >= blocks_.size()) throw ParamError("BlockStore::block: bad index");
+  return blocks_[index];
+}
+
+}  // namespace ice::mec

@@ -1,0 +1,42 @@
+// Cloud-side block storage (the CSP's view of a file).
+//
+// The paper's model: a file F of n equal-size blocks b_1..b_n lives in the
+// back-end cloud; edges pre-download subsets of it. The store also provides
+// deterministic synthetic content generation (we have no production traces;
+// ChaCha20-expanded content preserves the only property the protocol cares
+// about: blocks are incompressible bit strings of a given size).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace ice::mec {
+
+class BlockStore {
+ public:
+  /// Empty store with a fixed block size in bytes.
+  explicit BlockStore(std::size_t block_size);
+
+  /// Deterministic synthetic file: n blocks of pseudorandom content derived
+  /// from `seed`.
+  static BlockStore synthetic(std::size_t n, std::size_t block_size,
+                              std::uint64_t seed);
+
+  /// Appends a block (must be exactly block_size bytes). Returns its index.
+  std::size_t add_block(Bytes block);
+
+  /// Overwrites a block (data dynamics on the cloud copy).
+  void update_block(std::size_t index, Bytes block);
+
+  [[nodiscard]] std::size_t size() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t block_size() const { return block_size_; }
+  [[nodiscard]] const Bytes& block(std::size_t index) const;
+
+ private:
+  std::size_t block_size_;
+  std::vector<Bytes> blocks_;
+};
+
+}  // namespace ice::mec

@@ -1,0 +1,60 @@
+#include "mec/corruption.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ice::mec {
+
+void corrupt_block(Bytes& block, CorruptionKind kind, SplitMix64& rng) {
+  if (block.empty()) throw ParamError("corrupt_block: empty block");
+  switch (kind) {
+    case CorruptionKind::kBitFlip: {
+      const std::size_t bit = rng.below(block.size() * 8);
+      block[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+      return;
+    }
+    case CorruptionKind::kByteStuck: {
+      const std::size_t pos = rng.below(block.size());
+      // Force a change even if the byte already was 0x00.
+      block[pos] = block[pos] == 0 ? 0xff : 0x00;
+      return;
+    }
+    case CorruptionKind::kTruncate: {
+      std::fill(block.begin() + static_cast<std::ptrdiff_t>(block.size() / 2),
+                block.end(), std::uint8_t{0});
+      return;
+    }
+    case CorruptionKind::kZeroFill: {
+      std::fill(block.begin(), block.end(), std::uint8_t{0});
+      return;
+    }
+    case CorruptionKind::kGarbage: {
+      for (auto& b : block) b = static_cast<std::uint8_t>(rng());
+      return;
+    }
+  }
+  throw ParamError("corrupt_block: unknown kind");
+}
+
+std::vector<std::size_t> corrupt_random_blocks(EdgeCache& cache,
+                                               std::size_t count,
+                                               CorruptionKind kind,
+                                               SplitMix64& rng) {
+  auto cached = cache.cached_indices();
+  if (count > cached.size()) {
+    throw ParamError("corrupt_random_blocks: not enough cached blocks");
+  }
+  // Partial Fisher–Yates for a uniform sample without replacement.
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.below(cached.size() - i);
+    std::swap(cached[i], cached[j]);
+  }
+  cached.resize(count);
+  for (std::size_t index : cached) {
+    corrupt_block(cache.raw_block(index), kind, rng);
+  }
+  return cached;
+}
+
+}  // namespace ice::mec

@@ -1,0 +1,37 @@
+// Fault injection: silent data corruption on edge nodes.
+//
+// The paper's threat model (Sec. II-B): edges suffer internal failures and
+// external attacks, so cached blocks get tampered with or removed without
+// the edge noticing. These helpers mutate cached blocks in place so tests
+// and experiments can check that every corruption style is caught by the
+// audit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/rng.h"
+#include "mec/edge_cache.h"
+
+namespace ice::mec {
+
+enum class CorruptionKind {
+  kBitFlip,    // flip one random bit
+  kByteStuck,  // overwrite one byte with 0x00 (stuck cell)
+  kTruncate,   // drop the tail half of the block
+  kZeroFill,   // whole block zeroed (lost sector remap)
+  kGarbage,    // whole block replaced with pseudorandom noise
+};
+
+/// Applies one corruption of the given kind to `block`.
+void corrupt_block(Bytes& block, CorruptionKind kind, SplitMix64& rng);
+
+/// Corrupts `count` distinct cached blocks of `cache`, chosen uniformly;
+/// returns the victim indexes. count must be <= cache.size().
+std::vector<std::size_t> corrupt_random_blocks(EdgeCache& cache,
+                                               std::size_t count,
+                                               CorruptionKind kind,
+                                               SplitMix64& rng);
+
+}  // namespace ice::mec

@@ -1,0 +1,51 @@
+#include "mec/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ice::mec {
+
+UniformWorkload::UniformWorkload(std::size_t n) : n_(n) {
+  if (n == 0) throw ParamError("UniformWorkload: n must be >= 1");
+}
+
+std::size_t UniformWorkload::next(SplitMix64& rng) { return rng.below(n_); }
+
+ZipfWorkload::ZipfWorkload(std::size_t n, double exponent) {
+  if (n == 0) throw ParamError("ZipfWorkload: n must be >= 1");
+  if (exponent < 0) throw ParamError("ZipfWorkload: exponent must be >= 0");
+  cdf_.resize(n);
+  double acc = 0;
+  for (std::size_t k = 0; k < n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k + 1), exponent);
+    cdf_[k] = acc;
+  }
+  for (auto& v : cdf_) v /= acc;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfWorkload::next(SplitMix64& rng) {
+  const double u = rng.uniform01();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+HotspotWorkload::HotspotWorkload(std::size_t n, std::size_t hot_count,
+                                 double hot_fraction)
+    : n_(n), hot_count_(hot_count), hot_fraction_(hot_fraction) {
+  if (n == 0 || hot_count == 0 || hot_count > n) {
+    throw ParamError("HotspotWorkload: need 1 <= hot_count <= n");
+  }
+  if (hot_fraction < 0 || hot_fraction > 1) {
+    throw ParamError("HotspotWorkload: hot_fraction must be in [0, 1]");
+  }
+}
+
+std::size_t HotspotWorkload::next(SplitMix64& rng) {
+  if (rng.uniform01() < hot_fraction_) return rng.below(hot_count_);
+  return rng.below(n_);
+}
+
+}  // namespace ice::mec

@@ -1,0 +1,62 @@
+// Access-pattern generators for edge-storage simulations.
+//
+// The paper motivates edges with QoS-driven data services (video access,
+// location-based retrieval) whose popularity is heavily skewed; Zipf is the
+// standard model. Generators are deterministic given the caller's RNG.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace ice::mec {
+
+/// Draws block indexes in [0, n).
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+  virtual std::size_t next(SplitMix64& rng) = 0;
+  [[nodiscard]] virtual std::size_t universe() const = 0;
+};
+
+/// Uniform over [0, n).
+class UniformWorkload final : public WorkloadGenerator {
+ public:
+  explicit UniformWorkload(std::size_t n);
+  std::size_t next(SplitMix64& rng) override;
+  [[nodiscard]] std::size_t universe() const override { return n_; }
+
+ private:
+  std::size_t n_;
+};
+
+/// Zipf(s) over [0, n): P(rank k) ∝ 1 / k^s. Rank r maps to index r (the
+/// most popular block is index 0). Inverse-CDF sampling over a precomputed
+/// table.
+class ZipfWorkload final : public WorkloadGenerator {
+ public:
+  ZipfWorkload(std::size_t n, double exponent);
+  std::size_t next(SplitMix64& rng) override;
+  [[nodiscard]] std::size_t universe() const override { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Hotspot: a fraction of accesses hits a small hot set, the rest uniform.
+class HotspotWorkload final : public WorkloadGenerator {
+ public:
+  /// `hot_fraction` of draws fall in the first `hot_count` indexes.
+  HotspotWorkload(std::size_t n, std::size_t hot_count, double hot_fraction);
+  std::size_t next(SplitMix64& rng) override;
+  [[nodiscard]] std::size_t universe() const override { return n_; }
+
+ private:
+  std::size_t n_;
+  std::size_t hot_count_;
+  double hot_fraction_;
+};
+
+}  // namespace ice::mec

@@ -1,0 +1,53 @@
+// Minimal request/response RPC used between User, Edge, TPA and CSP.
+//
+// A service implements RpcHandler; a client speaks through RpcChannel. Two
+// channel families exist: in-process (channel.h) for simulations and exact
+// byte accounting, and TCP on loopback (tcp.h) for the distributed
+// end-to-end runs. The wire unit is (method id, payload bytes).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace ice::net {
+
+/// Traffic counters for one endpoint; the communication-cost experiments
+/// (paper Tab. I, Fig. 8) read these.
+struct ChannelStats {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t calls = 0;
+
+  void reset() { *this = ChannelStats{}; }
+};
+
+/// Server side: dispatches one method call to a response payload.
+/// Implementations must be thread-safe if served by a concurrent transport.
+class RpcHandler {
+ public:
+  virtual ~RpcHandler() = default;
+  virtual Bytes handle(std::uint16_t method, BytesView request) = 0;
+};
+
+/// Client side of a connection to one service.
+class RpcChannel {
+ public:
+  virtual ~RpcChannel() = default;
+
+  /// Blocking call; throws TransportError on transport failure and
+  /// rethrows nothing from the remote (errors travel as payloads).
+  virtual Bytes call(std::uint16_t method, BytesView request) = 0;
+
+  [[nodiscard]] virtual const ChannelStats& stats() const = 0;
+  virtual void reset_stats() = 0;
+};
+
+/// Per-call framing overhead in bytes (method id + two length prefixes),
+/// counted identically by both channel families so byte accounting is
+/// transport-independent.
+constexpr std::size_t kRpcHeaderBytes = 2 + 4;
+
+}  // namespace ice::net

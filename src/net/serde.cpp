@@ -1,0 +1,104 @@
+#include "net/serde.h"
+
+namespace ice::net {
+
+void Writer::u16(std::uint16_t v) {
+  u8(static_cast<std::uint8_t>(v));
+  u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  u16(static_cast<std::uint16_t>(v));
+  u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void Writer::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v));
+  u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void Writer::varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  u8(static_cast<std::uint8_t>(v));
+}
+
+void Writer::bytes(BytesView data) {
+  varint(data.size());
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void Writer::str(std::string_view s) {
+  varint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::bigint(const bn::BigInt& v) {
+  u8(static_cast<std::uint8_t>(v.sign() < 0 ? 1 : 0));
+  bytes(v.abs().to_bytes_be());
+}
+
+BytesView Reader::take(std::size_t n) {
+  if (n > remaining()) throw CodecError("Reader: truncated input");
+  BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t Reader::u8() { return take(1)[0]; }
+
+std::uint16_t Reader::u16() {
+  const auto b = take(2);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t Reader::u32() {
+  const auto b = take(4);
+  return std::uint32_t{b[0]} | (std::uint32_t{b[1]} << 8) |
+         (std::uint32_t{b[2]} << 16) | (std::uint32_t{b[3]} << 24);
+}
+
+std::uint64_t Reader::u64() {
+  const std::uint64_t lo = u32();
+  const std::uint64_t hi = u32();
+  return lo | (hi << 32);
+}
+
+std::uint64_t Reader::varint() {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    if (shift >= 64) throw CodecError("Reader: varint overflow");
+    const std::uint8_t b = u8();
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+Bytes Reader::bytes() {
+  const std::uint64_t len = varint();
+  if (len > remaining()) throw CodecError("Reader: byte string truncated");
+  const auto b = take(static_cast<std::size_t>(len));
+  return Bytes(b.begin(), b.end());
+}
+
+std::string Reader::str() {
+  const Bytes raw = bytes();
+  return std::string(raw.begin(), raw.end());
+}
+
+bn::BigInt Reader::bigint() {
+  const std::uint8_t negative = u8();
+  if (negative > 1) throw CodecError("Reader: bad bigint sign byte");
+  bn::BigInt v = bn::BigInt::from_bytes_be(bytes());
+  return negative ? v.negated() : v;
+}
+
+void Reader::expect_done() const {
+  if (!done()) throw CodecError("Reader: trailing bytes");
+}
+
+}  // namespace ice::net

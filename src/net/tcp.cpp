@@ -1,0 +1,214 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace ice::net {
+
+namespace {
+
+constexpr std::uint32_t kMaxFrame = 256u << 20;  // 256 MiB sanity cap
+
+[[noreturn]] void fail(const std::string& what) {
+  throw TransportError(what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+/// Returns false on clean EOF at the first byte; throws on errors/short read.
+bool read_all(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::recv(fd, data + done, len - done, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("recv");
+    }
+    if (n == 0) {
+      if (done == 0) return false;
+      throw TransportError("recv: peer closed mid-frame");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+std::uint32_t decode_u32(const std::uint8_t* b) {
+  return std::uint32_t{b[0]} | (std::uint32_t{b[1]} << 8) |
+         (std::uint32_t{b[2]} << 16) | (std::uint32_t{b[3]} << 24);
+}
+
+void encode_u32(std::uint8_t* b, std::uint32_t v) {
+  b[0] = static_cast<std::uint8_t>(v);
+  b[1] = static_cast<std::uint8_t>(v >> 8);
+  b[2] = static_cast<std::uint8_t>(v >> 16);
+  b[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+TcpServer::TcpServer(RpcHandler& handler, std::uint16_t port)
+    : handler_(&handler) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) fail("socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) <
+      0) {
+    fail("bind");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    fail("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) < 0) fail("listen");
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  if (stopping_.exchange(true)) {
+    return;
+  }
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mu_);
+    workers.swap(workers_);
+    // Unblock workers parked in recv() on idle connections.
+    for (int fd : live_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (auto& w : workers) w.join();
+}
+
+void TcpServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    std::lock_guard lock(workers_mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    live_fds_.push_back(fd);
+    workers_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void TcpServer::serve_connection(int fd) {
+  try {
+    for (;;) {
+      std::uint8_t header[4];
+      if (!read_all(fd, header, 4)) break;  // client hung up
+      const std::uint32_t frame_len = decode_u32(header);
+      if (frame_len < 2 || frame_len > kMaxFrame) {
+        throw TransportError("TcpServer: bad frame length");
+      }
+      Bytes frame(frame_len);
+      if (!read_all(fd, frame.data(), frame.size())) {
+        throw TransportError("TcpServer: truncated frame");
+      }
+      const std::uint16_t method =
+          static_cast<std::uint16_t>(frame[0] | (frame[1] << 8));
+      const Bytes response =
+          handler_->handle(method, BytesView(frame).subspan(2));
+      Bytes out(4 + response.size());
+      encode_u32(out.data(), static_cast<std::uint32_t>(response.size()));
+      std::copy(response.begin(), response.end(), out.begin() + 4);
+      write_all(fd, out.data(), out.size());
+    }
+  } catch (const std::exception&) {
+    // Connection-scoped failure: drop this client, keep serving others.
+  }
+  {
+    std::lock_guard lock(workers_mu_);
+    std::erase(live_fds_, fd);
+  }
+  ::close(fd);
+}
+
+TcpChannel::TcpChannel(const std::string& host, std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw TransportError("TcpChannel: bad host address " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    fail("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+TcpChannel::~TcpChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Bytes TcpChannel::call(std::uint16_t method, BytesView request) {
+  std::lock_guard lock(mu_);
+  Bytes frame(4 + 2 + request.size());
+  encode_u32(frame.data(), static_cast<std::uint32_t>(2 + request.size()));
+  frame[4] = static_cast<std::uint8_t>(method);
+  frame[5] = static_cast<std::uint8_t>(method >> 8);
+  std::copy(request.begin(), request.end(), frame.begin() + 6);
+  write_all(fd_, frame.data(), frame.size());
+  stats_.calls++;
+  stats_.bytes_sent += frame.size();
+
+  std::uint8_t header[4];
+  if (!read_all(fd_, header, 4)) {
+    throw TransportError("TcpChannel: server closed connection");
+  }
+  const std::uint32_t len = decode_u32(header);
+  if (len > kMaxFrame) throw TransportError("TcpChannel: bad frame length");
+  Bytes response(len);
+  if (len > 0 && !read_all(fd_, response.data(), response.size())) {
+    throw TransportError("TcpChannel: truncated response");
+  }
+  stats_.bytes_received += 4 + response.size();
+  return response;
+}
+
+}  // namespace ice::net

@@ -1,0 +1,74 @@
+// TCP transport (loopback or LAN) for the RPC layer.
+//
+// Frames are length-prefixed: a request is [u32 frame_len][u16 method]
+// [payload]; a response is [u32 frame_len][payload]. The server accepts
+// concurrent connections, one dispatcher thread per connection, so a TPA can
+// serve several users at once (the paper's multi-user experiment, Fig. 4).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/rpc.h"
+
+namespace ice::net {
+
+/// RPC server listening on a TCP port. Lifetime: construct (binds and starts
+/// the accept loop) -> serve -> destroy (stops and joins all threads).
+class TcpServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts serving
+  /// `handler` (non-owning; must outlive the server). Throws TransportError.
+  TcpServer(RpcHandler& handler, std::uint16_t port = 0);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// The port actually bound.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes connections, joins threads (idempotent).
+  void stop();
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  RpcHandler* handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex workers_mu_;
+  std::vector<std::thread> workers_;
+  std::vector<int> live_fds_;  // open connection sockets, for stop()
+};
+
+/// RPC client over one TCP connection. Calls are serialized internally, so
+/// one channel may be shared by multiple threads.
+class TcpChannel final : public RpcChannel {
+ public:
+  /// Connects to host:port. Throws TransportError on failure.
+  TcpChannel(const std::string& host, std::uint16_t port);
+  ~TcpChannel() override;
+
+  TcpChannel(const TcpChannel&) = delete;
+  TcpChannel& operator=(const TcpChannel&) = delete;
+
+  Bytes call(std::uint16_t method, BytesView request) override;
+
+  [[nodiscard]] const ChannelStats& stats() const override { return stats_; }
+  void reset_stats() override { stats_.reset(); }
+
+ private:
+  int fd_ = -1;
+  std::mutex mu_;
+  ChannelStats stats_;
+};
+
+}  // namespace ice::net

@@ -1,0 +1,108 @@
+#include "pir/client.h"
+
+#include "common/error.h"
+
+namespace ice::pir {
+
+namespace {
+
+using gf::GF4;
+using gf::GF4Matrix;
+using gf::GF4Vector;
+
+// Interpolation matrix M mapping (c0, c1, c2, c3) to
+// (g(1), g'(1), g(x), g'(x)) over GF(4), characteristic 2:
+//   g(t)  = c0 + c1 t + c2 t^2 + c3 t^3
+//   g'(t) = c1 + c3 t^2            (2 c2 t vanishes, 3 c3 = c3)
+// With x^2 = x + 1 (= 3) and x^3 = 1.
+GF4Matrix decode_matrix() {
+  return GF4Matrix({
+      {1, 1, 1, 1},
+      {0, 1, 0, 1},
+      {1, 2, 3, 1},
+      {0, 1, 0, 3},
+  });
+}
+
+}  // namespace
+
+PirClient::PirClient(const Embedding& embedding, std::size_t tag_bits)
+    : embedding_(&embedding),
+      tag_bits_(tag_bits),
+      decode_matrix_inv_(decode_matrix().inverse()) {
+  if (tag_bits == 0) throw ParamError("PirClient: tag_bits must be >= 1");
+}
+
+PirClient::EncodedQuery PirClient::encode(
+    std::span<const std::size_t> indices, bn::Rng64& rng) const {
+  const std::size_t gamma = embedding_->gamma();
+  EncodedQuery out;
+  out.secrets.indices.assign(indices.begin(), indices.end());
+  out.secrets.z.reserve(indices.size());
+  const GF4 t_tau[kNumServers] = {GF4::one(), GF4::x()};
+  for (std::size_t idx : indices) {
+    const GF4Vector phi = embedding_->point(idx);  // range-checks idx
+    // z_l uniform in F_4^gamma: 2 random bits per coordinate.
+    GF4Vector z(gamma);
+    std::uint64_t pool = 0;
+    std::size_t pool_bits = 0;
+    for (auto& coord : z) {
+      if (pool_bits < 2) {
+        pool = rng.next_u64();
+        pool_bits = 64;
+      }
+      coord = GF4(static_cast<std::uint8_t>(pool & 0x3));
+      pool >>= 2;
+      pool_bits -= 2;
+    }
+    for (std::size_t tau = 0; tau < kNumServers; ++tau) {
+      out.queries[tau].points.push_back(gf::axpy(phi, t_tau[tau], z));
+    }
+    out.secrets.z.push_back(std::move(z));
+  }
+  return out;
+}
+
+std::vector<bn::BigInt> PirClient::decode(const QuerySecrets& secrets,
+                                          const PirResponse& r0,
+                                          const PirResponse& r1) const {
+  const std::size_t count = secrets.indices.size();
+  if (r0.entries.size() != count || r1.entries.size() != count ||
+      secrets.z.size() != count) {
+    throw ProtocolError("PirClient::decode: response count mismatch");
+  }
+  const std::size_t gamma = embedding_->gamma();
+  std::vector<bn::BigInt> tags;
+  tags.reserve(count);
+  std::vector<std::uint64_t> words((tag_bits_ + 63) / 64);
+  for (std::size_t l = 0; l < count; ++l) {
+    const PirSingleResponse& e0 = r0.entries[l];
+    const PirSingleResponse& e1 = r1.entries[l];
+    if (e0.values.size() != tag_bits_ || e1.values.size() != tag_bits_ ||
+        e0.gradients.size() != tag_bits_ ||
+        e1.gradients.size() != tag_bits_) {
+      throw ProtocolError("PirClient::decode: bitplane count mismatch");
+    }
+    const GF4Vector& z = secrets.z[l];
+    std::fill(words.begin(), words.end(), 0);
+    for (std::size_t pi = 0; pi < tag_bits_; ++pi) {
+      if (e0.gradients[pi].size() != gamma ||
+          e1.gradients[pi].size() != gamma) {
+        throw ProtocolError("PirClient::decode: gradient dim mismatch");
+      }
+      const GF4Vector u = {e0.values[pi], gf::dot(e0.gradients[pi], z),
+                           e1.values[pi], gf::dot(e1.gradients[pi], z)};
+      const GF4 bit = decode_matrix_inv_.mul(u)[0];
+      if (bit.value() > 1) {
+        throw ProtocolError("PirClient::decode: non-boolean decoded bit");
+      }
+      if (bit.value() == 1) {
+        words[pi / 64] |= std::uint64_t{1} << (pi % 64);
+      }
+    }
+    tags.push_back(bn::BigInt::from_limbs(words));
+  }
+  return tags;
+}
+
+}  // namespace ice::pir

@@ -1,0 +1,49 @@
+#include "pir/embedding.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace ice::pir {
+
+std::size_t weight3_capacity(std::size_t gamma) {
+  if (gamma < 3) return 0;
+  return gamma * (gamma - 1) * (gamma - 2) / 6;
+}
+
+std::size_t gamma_for(std::size_t n) {
+  if (n == 0) throw ParamError("gamma_for: n must be >= 1");
+  auto gamma = static_cast<std::size_t>(
+      std::ceil(std::cbrt(6.0 * static_cast<double>(n)))) + 2;
+  while (weight3_capacity(gamma) < n) ++gamma;  // defensive; paper bound holds
+  return gamma;
+}
+
+Embedding::Embedding(std::size_t n) : n_(n), gamma_(gamma_for(n)) {
+  triples_.reserve(n);
+  // Lexicographic enumeration of 3-subsets {a < b < c} of [0, gamma).
+  for (std::uint32_t a = 0; a < gamma_ && triples_.size() < n; ++a) {
+    for (std::uint32_t b = a + 1; b < gamma_ && triples_.size() < n; ++b) {
+      for (std::uint32_t c = b + 1; c < gamma_ && triples_.size() < n; ++c) {
+        triples_.push_back({a, b, c});
+      }
+    }
+  }
+  if (triples_.size() < n) {
+    throw ParamError("Embedding: capacity bug — gamma too small");
+  }
+}
+
+Embedding::Triple Embedding::triple(std::size_t i) const {
+  if (i >= n_) throw ParamError("Embedding::triple: index out of range");
+  return triples_[i];
+}
+
+gf::GF4Vector Embedding::point(std::size_t i) const {
+  const Triple t = triple(i);
+  gf::GF4Vector v(gamma_);
+  for (std::uint32_t pos : t) v[pos] = gf::GF4::one();
+  return v;
+}
+
+}  // namespace ice::pir

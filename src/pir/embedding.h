@@ -1,0 +1,49 @@
+// Weight-3 Hamming embedding phi : [n] -> {0,1}^gamma.
+//
+// UserSetup/TPASetup (paper Sec. III-A) fix gamma = ceil((6n)^(1/3)) + 2 and
+// embed block indexes as weight-3 points so that each database entry becomes
+// a degree-3 monomial of the PIR polynomials F_pi (Eq. 1). Both parties must
+// derive the identical embedding from n alone, so the construction is
+// deterministic: index i maps to the i-th 3-element subset of [0, gamma) in
+// lexicographic order.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "gf/gf4.h"
+
+namespace ice::pir {
+
+/// gamma for a database of n entries: the paper's ceil((6n)^(1/3)) + 2,
+/// raised further (never happens for n >= 1 in practice) if C(gamma, 3) < n.
+std::size_t gamma_for(std::size_t n);
+
+/// Number of weight-3 points in {0,1}^gamma, i.e. C(gamma, 3).
+std::size_t weight3_capacity(std::size_t gamma);
+
+class Embedding {
+ public:
+  /// Positions of the three set bits, strictly increasing.
+  using Triple = std::array<std::uint32_t, 3>;
+
+  /// Embedding for n indexes into {0,1}^gamma_for(n).
+  explicit Embedding(std::size_t n);
+
+  [[nodiscard]] std::size_t n() const { return n_; }
+  [[nodiscard]] std::size_t gamma() const { return gamma_; }
+
+  /// phi(i) as bit positions. i must be < n (throws ParamError).
+  [[nodiscard]] Triple triple(std::size_t i) const;
+
+  /// phi(i) as a 0/1 vector over GF(4), length gamma.
+  [[nodiscard]] gf::GF4Vector point(std::size_t i) const;
+
+ private:
+  std::size_t n_;
+  std::size_t gamma_;
+  std::vector<Triple> triples_;  // precomputed lexicographic subsets
+};
+
+}  // namespace ice::pir

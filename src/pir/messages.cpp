@@ -1,0 +1,42 @@
+#include "pir/messages.h"
+
+#include "common/error.h"
+
+namespace ice::pir {
+
+std::size_t wire_bits(const PirQuery& q) {
+  std::size_t bits = 0;
+  for (const auto& p : q.points) bits += 2 * p.size();
+  return bits;
+}
+
+std::size_t wire_bits(const PirResponse& r) {
+  std::size_t bits = 0;
+  for (const auto& e : r.entries) {
+    bits += 2 * e.values.size();
+    for (const auto& g : e.gradients) bits += 2 * g.size();
+  }
+  return bits;
+}
+
+Bytes pack_gf4(const gf::GF4Vector& v) {
+  Bytes out((v.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i / 4] |= static_cast<std::uint8_t>(v[i].value() << (2 * (i % 4)));
+  }
+  return out;
+}
+
+gf::GF4Vector unpack_gf4(BytesView data, std::size_t count) {
+  if (data.size() < (count + 3) / 4) {
+    throw CodecError("unpack_gf4: buffer too short");
+  }
+  gf::GF4Vector out(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out[i] =
+        gf::GF4(static_cast<std::uint8_t>(data[i / 4] >> (2 * (i % 4))));
+  }
+  return out;
+}
+
+}  // namespace ice::pir

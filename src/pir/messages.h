@@ -1,0 +1,52 @@
+// Wire-level message structures for the 2-server private tag retrieval.
+//
+// The ICE layer serializes these through net/serde; the structures also
+// report their exact packed size so the communication-cost experiments
+// (paper Tab. I, Fig. 8) can account bits without a transport in the loop.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.h"
+#include "gf/gf4.h"
+
+namespace ice::pir {
+
+/// Query to one TPA: one perturbed point phi(j_l) + t_tau * z_l per
+/// requested index (paper Alg. 1, "User: tag query").
+struct PirQuery {
+  std::vector<gf::GF4Vector> points;
+
+  [[nodiscard]] std::size_t size() const { return points.size(); }
+};
+
+/// Response entry for one queried point: F_pi(q) for every bitplane pi and
+/// the gradient (partial derivatives) of each F_pi at q.
+struct PirSingleResponse {
+  gf::GF4Vector values;                   // length K
+  std::vector<gf::GF4Vector> gradients;   // K entries, each length gamma
+};
+
+/// Full response from one TPA (paper Alg. 1, "Auditor tau: tag response").
+struct PirResponse {
+  std::vector<PirSingleResponse> entries;  // one per queried point
+};
+
+/// Client-side secrets needed to decode: the random directions z_l and the
+/// queried indexes. Never leaves the user device.
+struct QuerySecrets {
+  std::vector<std::size_t> indices;
+  std::vector<gf::GF4Vector> z;
+};
+
+/// Exact packed wire size in bits (GF(4) elements cost 2 bits each).
+std::size_t wire_bits(const PirQuery& q);
+std::size_t wire_bits(const PirResponse& r);
+
+/// Packs a GF(4) vector, 4 elements per byte.
+Bytes pack_gf4(const gf::GF4Vector& v);
+/// Unpacks `count` GF(4) elements.
+gf::GF4Vector unpack_gf4(BytesView data, std::size_t count);
+
+}  // namespace ice::pir

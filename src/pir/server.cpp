@@ -1,0 +1,169 @@
+#include "pir/server.h"
+
+#include "common/error.h"
+
+namespace ice::pir {
+
+namespace {
+
+using gf::GF4;
+using gf::GF4Vector;
+
+// Per-monomial evaluation data at a fixed query point q: the monomial value
+// q_a q_b q_c and the three partial derivatives (products of the other two
+// coordinates).
+struct MonomialEval {
+  GF4 mono;
+  GF4 deriv[3];  // aligned with the triple positions a < b < c
+};
+
+MonomialEval eval_monomial(const GF4Vector& q, const Embedding::Triple& t) {
+  const GF4 qa = q[t[0]], qb = q[t[1]], qc = q[t[2]];
+  MonomialEval e;
+  e.deriv[0] = qb * qc;
+  e.deriv[1] = qa * qc;
+  e.deriv[2] = qa * qb;
+  e.mono = qa * e.deriv[0];
+  return e;
+}
+
+}  // namespace
+
+PirServer::PirServer(const TagDatabase& db, const Embedding& embedding,
+                     EvalStrategy strategy)
+    : db_(&db), embedding_(&embedding), strategy_(strategy) {
+  if (db.size() > embedding.n()) {
+    throw ParamError("PirServer: database larger than embedding domain");
+  }
+}
+
+PirResponse PirServer::respond(const PirQuery& query) const {
+  PirResponse r;
+  r.entries.reserve(query.points.size());
+  for (const auto& q : query.points) r.entries.push_back(respond_one(q));
+  return r;
+}
+
+PirSingleResponse PirServer::respond_one(const GF4Vector& q) const {
+  if (q.size() != embedding_->gamma()) {
+    throw ParamError("PirServer: query point has wrong dimension");
+  }
+  switch (strategy_) {
+    case EvalStrategy::kNaive:
+      return eval_naive(q);
+    case EvalStrategy::kMatrix:
+      return eval_matrix(q);
+    case EvalStrategy::kBitsliced:
+      return eval_bitsliced(q);
+  }
+  throw ParamError("PirServer: unknown strategy");
+}
+
+PirSingleResponse PirServer::eval_naive(const GF4Vector& q) const {
+  const std::size_t n = db_->size();
+  const std::size_t k = db_->tag_bits();
+  const std::size_t gamma = embedding_->gamma();
+  PirSingleResponse out;
+  out.values.assign(k, GF4::zero());
+  out.gradients.assign(k, GF4Vector(gamma));
+  // One full polynomial evaluation per bitplane: every monomial is
+  // recomputed from q and multiplied by its 0/1 coefficient.
+  for (std::size_t pi = 0; pi < k; ++pi) {
+    GF4 value;
+    GF4Vector grad(gamma);
+    for (std::size_t i = 0; i < n; ++i) {
+      const GF4 coeff(db_->bit(i, pi) ? std::uint8_t{1} : std::uint8_t{0});
+      const Embedding::Triple t = embedding_->triple(i);
+      const MonomialEval e = eval_monomial(q, t);
+      value += coeff * e.mono;
+      for (int d = 0; d < 3; ++d) {
+        grad[t[static_cast<std::size_t>(d)]] +=
+            coeff * e.deriv[static_cast<std::size_t>(d)];
+      }
+    }
+    out.values[pi] = value;
+    out.gradients[pi] = std::move(grad);
+  }
+  return out;
+}
+
+PirSingleResponse PirServer::eval_matrix(const GF4Vector& q) const {
+  const std::size_t n = db_->size();
+  const std::size_t k = db_->tag_bits();
+  const std::size_t gamma = embedding_->gamma();
+  // Monomial values and derivatives once per query (not per bitplane).
+  std::vector<MonomialEval> evals(n);
+  std::vector<Embedding::Triple> triples(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    triples[i] = embedding_->triple(i);
+    evals[i] = eval_monomial(q, triples[i]);
+  }
+  PirSingleResponse out;
+  out.values.assign(k, GF4::zero());
+  out.gradients.assign(k, GF4Vector(gamma));
+  for (std::size_t pi = 0; pi < k; ++pi) {
+    GF4 value;
+    GF4Vector& grad = out.gradients[pi];
+    for (std::uint32_t i : db_->plane(pi)) {  // only nonzero coefficients
+      const MonomialEval& e = evals[i];
+      const Embedding::Triple& t = triples[i];
+      value += e.mono;
+      grad[t[0]] += e.deriv[0];
+      grad[t[1]] += e.deriv[1];
+      grad[t[2]] += e.deriv[2];
+    }
+    out.values[pi] = value;
+  }
+  return out;
+}
+
+PirSingleResponse PirServer::eval_bitsliced(const GF4Vector& q) const {
+  const std::size_t n = db_->size();
+  const std::size_t k = db_->tag_bits();
+  const std::size_t gamma = embedding_->gamma();
+  const std::size_t w = db_->words_per_tag();
+
+  // Two bit planes (GF(4) components over basis {1, x}) for the value and
+  // for each of the gamma gradient coordinates.
+  std::vector<std::uint64_t> v_lo(w, 0), v_hi(w, 0);
+  std::vector<std::uint64_t> g_lo(gamma * w, 0), g_hi(gamma * w, 0);
+
+  auto xor_row = [w](std::uint64_t* dst, const std::uint64_t* src) {
+    for (std::size_t j = 0; j < w; ++j) dst[j] ^= src[j];
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const Embedding::Triple t = embedding_->triple(i);
+    const MonomialEval e = eval_monomial(q, t);
+    const std::uint64_t* row = db_->row(i);
+    if (e.mono.value() & 1) xor_row(v_lo.data(), row);
+    if (e.mono.value() & 2) xor_row(v_hi.data(), row);
+    for (int d = 0; d < 3; ++d) {
+      const GF4 dv = e.deriv[static_cast<std::size_t>(d)];
+      if (dv.is_zero()) continue;
+      const std::size_t pos = t[static_cast<std::size_t>(d)];
+      if (dv.value() & 1) xor_row(g_lo.data() + pos * w, row);
+      if (dv.value() & 2) xor_row(g_hi.data() + pos * w, row);
+    }
+  }
+
+  PirSingleResponse out;
+  out.values.assign(k, GF4::zero());
+  out.gradients.assign(k, GF4Vector(gamma));
+  for (std::size_t pi = 0; pi < k; ++pi) {
+    const std::size_t word = pi / 64;
+    const std::size_t bit = pi % 64;
+    const std::uint8_t lo = (v_lo[word] >> bit) & 1u;
+    const std::uint8_t hi = (v_hi[word] >> bit) & 1u;
+    out.values[pi] = GF4(static_cast<std::uint8_t>(lo | (hi << 1)));
+    GF4Vector& grad = out.gradients[pi];
+    for (std::size_t j = 0; j < gamma; ++j) {
+      const std::uint8_t glo = (g_lo[j * w + word] >> bit) & 1u;
+      const std::uint8_t ghi = (g_hi[j * w + word] >> bit) & 1u;
+      grad[j] = GF4(static_cast<std::uint8_t>(glo | (ghi << 1)));
+    }
+  }
+  return out;
+}
+
+}  // namespace ice::pir

@@ -1,0 +1,56 @@
+// TPA-side PIR evaluation (paper Alg. 1, "Auditor tau: tag response").
+//
+// For each queried point q the server evaluates all K bitplane polynomials
+// F_pi(q) and their gradients. Three interchangeable strategies implement
+// the same math:
+//
+//   kNaive     — term-by-term evaluation multiplying every monomial by its
+//                0/1 coefficient; this is the paper's Fig. 2 "micro
+//                benchmark without the matrix representation".
+//   kMatrix    — the paper's matrix representation M_pi: zero coefficients
+//                are skipped via per-bitplane index lists and the monomial /
+//                derivative values are computed once per query, then reused
+//                across all K bitplanes.
+//   kBitsliced — our ablation: the kMatrix recurrence transposed so that one
+//                tag row (K bits, packed in 64-bit words) is XOR-accumulated
+//                word-parallel into two GF(4) component bitplanes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pir/embedding.h"
+#include "pir/messages.h"
+#include "pir/tag_database.h"
+
+namespace ice::pir {
+
+enum class EvalStrategy { kNaive, kMatrix, kBitsliced };
+
+class PirServer {
+ public:
+  /// Non-owning views of the database and embedding; both must outlive the
+  /// server and agree on n.
+  PirServer(const TagDatabase& db, const Embedding& embedding,
+            EvalStrategy strategy = EvalStrategy::kBitsliced);
+
+  /// Evaluates all bitplanes and gradients at one query point.
+  [[nodiscard]] PirSingleResponse respond_one(const gf::GF4Vector& q) const;
+
+  /// Evaluates a whole query batch.
+  [[nodiscard]] PirResponse respond(const PirQuery& query) const;
+
+  [[nodiscard]] EvalStrategy strategy() const { return strategy_; }
+
+ private:
+  [[nodiscard]] PirSingleResponse eval_naive(const gf::GF4Vector& q) const;
+  [[nodiscard]] PirSingleResponse eval_matrix(const gf::GF4Vector& q) const;
+  [[nodiscard]] PirSingleResponse eval_bitsliced(
+      const gf::GF4Vector& q) const;
+
+  const TagDatabase* db_;
+  const Embedding* embedding_;
+  EvalStrategy strategy_;
+};
+
+}  // namespace ice::pir

@@ -1,0 +1,81 @@
+#include "pir/tag_database.h"
+
+#include "common/error.h"
+#include "common/stopwatch.h"
+
+namespace ice::pir {
+
+TagDatabase::TagDatabase(std::size_t tag_bits)
+    : tag_bits_(tag_bits), words_per_tag_((tag_bits + 63) / 64) {
+  if (tag_bits == 0) throw ParamError("TagDatabase: tag_bits must be >= 1");
+}
+
+std::size_t TagDatabase::add(const bn::BigInt& tag) {
+  if (tag.is_negative() || tag.bit_length() > tag_bits_) {
+    throw ParamError("TagDatabase::add: tag out of range for K bits");
+  }
+  rows_.resize(rows_.size() + words_per_tag_, 0);
+  std::uint64_t* dst = rows_.data() + n_ * words_per_tag_;
+  const auto& limbs = tag.limbs();
+  for (std::size_t w = 0; w < limbs.size(); ++w) dst[w] = limbs[w];
+  planes_valid_ = false;
+  return n_++;
+}
+
+void TagDatabase::update(std::size_t index, const bn::BigInt& tag) {
+  if (index >= n_) throw ParamError("TagDatabase::update: bad index");
+  if (tag.is_negative() || tag.bit_length() > tag_bits_) {
+    throw ParamError("TagDatabase::update: tag out of range for K bits");
+  }
+  std::uint64_t* dst = rows_.data() + index * words_per_tag_;
+  for (std::size_t w = 0; w < words_per_tag_; ++w) dst[w] = 0;
+  const auto& limbs = tag.limbs();
+  for (std::size_t w = 0; w < limbs.size(); ++w) dst[w] = limbs[w];
+  planes_valid_ = false;
+}
+
+bool TagDatabase::bit(std::size_t i, std::size_t pi) const {
+  if (i >= n_ || pi >= tag_bits_) {
+    throw ParamError("TagDatabase::bit: out of range");
+  }
+  return (row(i)[pi / 64] >> (pi % 64)) & 1u;
+}
+
+bn::BigInt TagDatabase::tag(std::size_t i) const {
+  if (i >= n_) throw ParamError("TagDatabase::tag: bad index");
+  const std::uint64_t* r = row(i);
+  return bn::BigInt::from_limbs({r, r + words_per_tag_});
+}
+
+const std::uint64_t* TagDatabase::row(std::size_t i) const {
+  return rows_.data() + i * words_per_tag_;
+}
+
+double TagDatabase::build_planes() const {
+  Stopwatch sw;
+  planes_.assign(tag_bits_, {});
+  for (std::size_t i = 0; i < n_; ++i) {
+    const std::uint64_t* r = row(i);
+    for (std::size_t w = 0; w < words_per_tag_; ++w) {
+      std::uint64_t word = r[w];
+      while (word) {
+        const auto b = static_cast<std::size_t>(__builtin_ctzll(word));
+        const std::size_t pi = w * 64 + b;
+        if (pi < tag_bits_) {
+          planes_[pi].push_back(static_cast<std::uint32_t>(i));
+        }
+        word &= word - 1;
+      }
+    }
+  }
+  planes_valid_ = true;
+  return sw.seconds();
+}
+
+const std::vector<std::uint32_t>& TagDatabase::plane(std::size_t pi) const {
+  if (pi >= tag_bits_) throw ParamError("TagDatabase::plane: out of range");
+  if (!planes_valid_) build_planes();
+  return planes_[pi];
+}
+
+}  // namespace ice::pir

@@ -1,0 +1,61 @@
+// Fixed-width bit database of verification tags held by each TPA.
+//
+// Tag T_i is a K-bit value (K = |N|, the RSA modulus width). TPASetup turns
+// the tag set into K polynomials F_1..F_K over GF(4) — polynomial F_pi has a
+// monomial for every i whose pi-th tag bit is set (paper Eq. 1). This class
+// stores the bits in two forms:
+//   * row-major 64-bit words per tag (for word-parallel/bitsliced eval), and
+//   * per-bitplane index lists (the paper's "matrix representation" M_pi).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "common/bytes.h"
+
+namespace ice::pir {
+
+class TagDatabase {
+ public:
+  /// `tag_bits` is K; every stored tag must fit in K bits.
+  explicit TagDatabase(std::size_t tag_bits);
+
+  /// Appends a tag (interpreted as a K-bit integer). Returns its index.
+  std::size_t add(const bn::BigInt& tag);
+
+  /// Replaces the tag at `index` (dynamic data: block updates re-tag).
+  void update(std::size_t index, const bn::BigInt& tag);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] std::size_t tag_bits() const { return tag_bits_; }
+  [[nodiscard]] std::size_t words_per_tag() const { return words_per_tag_; }
+
+  /// Numeric bit `pi` of tag `i`.
+  [[nodiscard]] bool bit(std::size_t i, std::size_t pi) const;
+
+  /// Tag `i` reconstructed as an integer.
+  [[nodiscard]] bn::BigInt tag(std::size_t i) const;
+
+  /// Row of 64-bit words (little-endian bit order) for tag `i`.
+  [[nodiscard]] const std::uint64_t* row(std::size_t i) const;
+
+  /// The paper's matrix representation: for bitplane `pi`, the list of tag
+  /// indexes whose pi-th bit is 1 (rows of M_pi). Built lazily on first use
+  /// after any mutation ("pre-processing once the tags are generated").
+  [[nodiscard]] const std::vector<std::uint32_t>& plane(std::size_t pi) const;
+
+  /// Forces (re)construction of all bitplane lists; returns build time in
+  /// seconds. Exposed so benchmarks can measure TPASetup preprocessing.
+  double build_planes() const;
+
+ private:
+  std::size_t tag_bits_;
+  std::size_t words_per_tag_;
+  std::size_t n_ = 0;
+  std::vector<std::uint64_t> rows_;  // n_ * words_per_tag_
+  mutable std::vector<std::vector<std::uint32_t>> planes_;  // K lists
+  mutable bool planes_valid_ = false;
+};
+
+}  // namespace ice::pir

@@ -1,0 +1,164 @@
+#include "sim/simulator.h"
+
+#include <memory>
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "ice/csp_service.h"
+#include "ice/edge_service.h"
+#include "ice/localize.h"
+#include "ice/tpa_service.h"
+#include "ice/user_client.h"
+#include "mec/corruption.h"
+#include "mec/workload.h"
+#include "net/channel.h"
+
+namespace ice::sim {
+
+namespace {
+
+using namespace proto;
+
+/// The simulated world: one CSP, one edge, two TPAs, one user.
+struct World {
+  World(const SimConfig& config, const KeyPair& keys, std::uint64_t seed)
+      : params(make_params(config, keys)),
+        csp(mec::BlockStore::synthetic(config.n_blocks, config.block_bytes,
+                                       seed)),
+        edge_csp(csp),
+        user_csp(csp),
+        edge(0, params, keys.pk,
+             mec::EdgeCache(config.cache_capacity, mec::EvictionPolicy::kLru),
+             edge_csp),
+        edge_channel(edge),
+        tpa_edge(edge),
+        user_tpa0(tpa0),
+        user_tpa1(tpa1),
+        user(params, keys, user_tpa0, user_tpa1) {
+    tpa0.register_edge(0, tpa_edge);
+    std::vector<Bytes> blocks;
+    for (std::size_t i = 0; i < csp.store().size(); ++i) {
+      blocks.push_back(csp.store().block(i));
+    }
+    user.setup_file(blocks);
+  }
+
+  static ProtocolParams make_params(const SimConfig& config,
+                                    const KeyPair& keys) {
+    ProtocolParams p;
+    p.modulus_bits = keys.pk.modulus_bits();
+    p.block_bytes = config.block_bytes;
+    return p;
+  }
+
+  ProtocolParams params;
+  CspService csp;
+  TpaService tpa0;
+  TpaService tpa1;
+  net::InMemoryChannel edge_csp;
+  net::InMemoryChannel user_csp;
+  EdgeService edge;
+  net::InMemoryChannel edge_channel;
+  net::InMemoryChannel tpa_edge;
+  net::InMemoryChannel user_tpa0;
+  net::InMemoryChannel user_tpa1;
+  UserClient user;
+};
+
+}  // namespace
+
+SimReport run_simulation(const SimConfig& config, const KeyPair& keys,
+                         std::uint64_t seed) {
+  World world(config, keys, seed);
+  SplitMix64 rng(seed ^ 0x51b0);
+  mec::ZipfWorkload workload(config.n_blocks, config.zipf_exponent);
+  const EdgeClient edge(world.edge_channel);
+  const CspClient cloud(world.user_csp);
+  SimReport report;
+
+  auto audit_and_repair = [&] {
+    ++report.audits;
+    Stopwatch sw;
+    const bool pass = world.user.audit_edge(world.edge_channel, 0);
+    report.audit_seconds_total += sw.seconds();
+    if (pass) return;
+    ++report.failed_audits;
+    const LocalizationResult located =
+        world.user.localize_corruption(world.edge_channel);
+    for (std::size_t index : located.corrupted) {
+      auto& cache = world.edge.cache_for_corruption();
+      if (cache.dirty(index)) {
+        // The only current copy was on the edge: the update is gone. The
+        // best we can do is roll back to the CSP's stale version.
+        ++report.updates_lost;
+        cache.raw_block(index) = cloud.fetch(index);
+        cache.mark_clean(index);
+        world.user.forget_updated_block(index);
+      } else {
+        cache.raw_block(index) = cloud.fetch(index);
+      }
+      ++report.blocks_repaired;
+    }
+  };
+
+  // Write-back: audit first (never flush unverified data), push dirty
+  // blocks to the CSP, then refresh just the affected tags at the TPAs
+  // (incremental data dynamics, kTpaUpdateTag).
+  auto do_flush = [&] {
+    audit_and_repair();
+    ++report.flushes;
+    const auto pending = world.user.updated_blocks();  // copy: commit erases
+    report.blocks_written_back += edge.flush();
+    for (const auto& [index, content] : pending) {
+      world.user.commit_updated_block(index, content);
+    }
+  };
+
+  for (std::size_t tick = 1; tick <= config.ticks; ++tick) {
+    // Traffic.
+    for (std::size_t r = 0; r < config.requests_per_tick; ++r) {
+      const std::size_t block = workload.next(rng);
+      ++report.requests;
+      if (rng.uniform01() < config.write_fraction) {
+        ++report.writes;
+        Bytes content(config.block_bytes);
+        for (auto& b : content) b = static_cast<std::uint8_t>(rng());
+        try {
+          edge.write(block, content);
+        } catch (const ProtocolError&) {
+          // Cache full of dirty blocks: write pressure forces an early
+          // write-back, as a real edge would.
+          do_flush();
+          edge.write(block, content);
+        }
+        world.user.note_updated_block(block, std::move(content));
+      } else {
+        ++report.reads;
+        try {
+          (void)edge.read(block);
+        } catch (const ProtocolError&) {
+          do_flush();
+          (void)edge.read(block);
+        }
+      }
+    }
+    // Silent corruption.
+    if (rng.uniform01() < config.corruption_prob_per_tick &&
+        world.edge.cache_for_corruption().size() > 0) {
+      mec::corrupt_random_blocks(world.edge.cache_for_corruption(), 1,
+                                 mec::CorruptionKind::kBitFlip, rng);
+      ++report.corruptions_injected;
+    }
+    if (tick % config.flush_every == 0) {
+      do_flush();
+    } else if (tick % config.audit_every == 0) {
+      audit_and_repair();
+    }
+  }
+
+  report.cache_hits = world.edge.cache_for_corruption().hits();
+  report.cache_misses = world.edge.cache_for_corruption().misses();
+  return report;
+}
+
+}  // namespace ice::sim

@@ -1,0 +1,94 @@
+// Tests for Miller–Rabin and prime generation.
+#include "bignum/prime.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "support/fixtures.h"
+
+namespace ice::bn {
+namespace {
+
+class PrimeTest : public ::testing::Test {
+ protected:
+  SplitMix64 gen_{0x9121};
+  Rng64Adapter<SplitMix64> rng_{gen_};
+};
+
+TEST_F(PrimeTest, SmallPrimesAccepted) {
+  for (int p : {2, 3, 5, 7, 11, 13, 97, 101, 65537}) {
+    EXPECT_TRUE(is_probable_prime(BigInt(p), rng_)) << p;
+  }
+}
+
+TEST_F(PrimeTest, SmallCompositesRejected) {
+  for (int c : {0, 1, 4, 6, 9, 15, 21, 25, 91, 100, 561, 1105, 6601}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng_)) << c;
+  }
+}
+
+TEST_F(PrimeTest, NegativeRejected) {
+  EXPECT_FALSE(is_probable_prime(BigInt(-7), rng_));
+}
+
+TEST_F(PrimeTest, CarmichaelNumbersRejected) {
+  // Carmichael numbers fool Fermat but not Miller–Rabin.
+  for (std::int64_t c : {561LL, 41041LL, 825265LL, 321197185LL}) {
+    EXPECT_FALSE(is_probable_prime(BigInt(c), rng_)) << c;
+  }
+}
+
+TEST_F(PrimeTest, MersennePrimeAndComposite) {
+  const BigInt m61 = (BigInt(1) << 61) - BigInt(1);  // prime
+  const BigInt m67 = (BigInt(1) << 67) - BigInt(1);  // composite
+  EXPECT_TRUE(is_probable_prime(m61, rng_));
+  EXPECT_FALSE(is_probable_prime(m67, rng_));
+}
+
+TEST_F(PrimeTest, FixturePrimesVerify) {
+  for (auto hex : testing::kSafePrime128) {
+    const BigInt p = BigInt::from_hex(std::string(hex));
+    EXPECT_TRUE(is_probable_prime(p, rng_));
+    EXPECT_TRUE(is_probable_prime((p - BigInt(1)) >> 1, rng_))
+        << "safe prime cofactor";
+  }
+}
+
+TEST_F(PrimeTest, ProductOfFixturePrimesIsComposite) {
+  const BigInt p = BigInt::from_hex(std::string(testing::kSafePrime128[0]));
+  const BigInt q = BigInt::from_hex(std::string(testing::kSafePrime128[1]));
+  EXPECT_FALSE(is_probable_prime(p * q, rng_));
+}
+
+TEST_F(PrimeTest, RandomPrimeHasExactWidthAndIsOdd) {
+  for (std::size_t bits : {16u, 24u, 32u, 48u, 64u, 96u}) {
+    const BigInt p = random_prime(rng_, bits, 20);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(p.is_odd());
+    EXPECT_TRUE(is_probable_prime(p, rng_));
+  }
+}
+
+TEST_F(PrimeTest, RandomPrimeRejectsTinyWidth) {
+  EXPECT_THROW(random_prime(rng_, 0, 5), ParamError);
+  EXPECT_THROW(random_prime(rng_, 1, 5), ParamError);
+}
+
+TEST_F(PrimeTest, RandomSafePrimeStructure) {
+  for (std::size_t bits : {16u, 24u, 32u}) {
+    const BigInt p = random_safe_prime(rng_, bits, 20);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, rng_));
+    EXPECT_TRUE(is_probable_prime((p - BigInt(1)) >> 1, rng_));
+  }
+}
+
+TEST_F(PrimeTest, RandomSafePrime64Bits) {
+  const BigInt p = random_safe_prime(rng_, 64, 20);
+  EXPECT_EQ(p.bit_length(), 64u);
+  EXPECT_TRUE(is_probable_prime((p - BigInt(1)) >> 1, rng_));
+}
+
+}  // namespace
+}  // namespace ice::bn

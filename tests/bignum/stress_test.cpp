@@ -1,0 +1,160 @@
+// Structured stress tests for the Knuth-D division (qhat estimate
+// corrections, add-back branch) and Montgomery reduction boundaries.
+// Random operands almost never hit these paths; exhaustive structured limb
+// patterns do.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "bignum/bigint.h"
+#include "bignum/montgomery.h"
+#include "bignum/random.h"
+#include "common/rng.h"
+#include "support/fixtures.h"
+
+namespace ice::bn {
+namespace {
+
+constexpr std::array<std::uint64_t, 6> kEdgeLimbs = {
+    0ULL,
+    1ULL,
+    0x7fffffffffffffffULL,  // 2^63 - 1
+    0x8000000000000000ULL,  // 2^63
+    0x8000000000000001ULL,  // 2^63 + 1
+    0xffffffffffffffffULL,  // 2^64 - 1
+};
+
+BigInt from_limbs3(std::uint64_t lo, std::uint64_t mid, std::uint64_t hi) {
+  return BigInt::from_limbs({lo, mid, hi});
+}
+
+TEST(DivisionStressTest, ExhaustiveStructuredOperands) {
+  // Every 3-limb dividend and 2-limb divisor built from edge limbs.
+  int checked = 0;
+  for (std::uint64_t n0 : kEdgeLimbs) {
+    for (std::uint64_t n1 : kEdgeLimbs) {
+      for (std::uint64_t n2 : kEdgeLimbs) {
+        const BigInt num = from_limbs3(n0, n1, n2);
+        for (std::uint64_t d0 : kEdgeLimbs) {
+          for (std::uint64_t d1 : kEdgeLimbs) {
+            const BigInt den = BigInt::from_limbs({d0, d1});
+            if (den.is_zero()) continue;
+            BigInt q, r;
+            BigInt::divmod(num, den, q, r);
+            ASSERT_EQ(q * den + r, num)
+                << num.to_hex() << " / " << den.to_hex();
+            ASSERT_LT(r, den);
+            ASSERT_GE(r, BigInt(0));
+            ++checked;
+          }
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 6000);
+}
+
+TEST(DivisionStressTest, KnownAddBackTriggers) {
+  // Classic qhat-overestimate shapes: dividend just below divisor * B.
+  const BigInt b64 = BigInt(1) << 64;
+  for (int k = 1; k <= 4; ++k) {
+    const BigInt den = (BigInt(1) << (64 * k)) - BigInt(1);  // all-ones
+    const BigInt num = den * b64 - BigInt(1);
+    BigInt q, r;
+    BigInt::divmod(num, den, q, r);
+    EXPECT_EQ(q * den + r, num);
+    EXPECT_LT(r, den);
+  }
+  // Hacker's Delight style: v1 = 2^63, forces the estimate loop.
+  const BigInt den = BigInt::from_limbs({1, 0x8000000000000000ULL});
+  const BigInt num = BigInt::from_limbs(
+      {0xffffffffffffffffULL, 0xfffffffffffffffeULL, 0x8000000000000000ULL});
+  BigInt q, r;
+  BigInt::divmod(num, den, q, r);
+  EXPECT_EQ(q * den + r, num);
+  EXPECT_LT(r, den);
+}
+
+TEST(DivisionStressTest, DividendEqualsMultipleOfDivisor) {
+  SplitMix64 gen(0x5717);
+  Rng64Adapter rng(gen);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt den = random_bits(rng, 65 + gen.below(200));
+    const BigInt q_true = random_bits(rng, 1 + gen.below(200));
+    const BigInt num = den * q_true;
+    BigInt q, r;
+    BigInt::divmod(num, den, q, r);
+    EXPECT_EQ(q, q_true);
+    EXPECT_TRUE(r.is_zero());
+    // And num - 1 gives q_true - 1 remainder den - 1.
+    BigInt q2, r2;
+    BigInt::divmod(num - BigInt(1), den, q2, r2);
+    EXPECT_EQ(q2, q_true - BigInt(1));
+    EXPECT_EQ(r2, den - BigInt(1));
+  }
+}
+
+TEST(MontgomeryStressTest, BoundaryResidues) {
+  const BigInt n =
+      BigInt::from_hex(std::string(testing::kSafePrime128[0])) *
+      BigInt::from_hex(std::string(testing::kSafePrime128[1]));
+  const Montgomery mont(n);
+  const BigInt n1 = n - BigInt(1);
+  const std::array<BigInt, 6> cases = {BigInt(0), BigInt(1), BigInt(2),
+                                       n1, n1 - BigInt(1), (n + BigInt(1)) >> 1};
+  for (const auto& a : cases) {
+    for (const auto& b : cases) {
+      EXPECT_EQ(mont.mul(a, b), (a * b).mod(n))
+          << a.to_hex() << " * " << b.to_hex();
+    }
+  }
+  // (n-1)^2 == 1 mod n.
+  EXPECT_EQ(mont.mul(n1, n1), BigInt(1));
+  EXPECT_EQ(mont.pow(n1, BigInt(2)), BigInt(1));
+}
+
+TEST(MontgomeryStressTest, SingleLimbModulus) {
+  const Montgomery mont(BigInt(std::uint64_t{0xfffffffffffffff1}));  // odd, 1 limb
+  SplitMix64 gen(0x1111);
+  Rng64Adapter rng(gen);
+  for (int i = 0; i < 100; ++i) {
+    const BigInt a = random_bits(rng, 64);
+    const BigInt b = random_bits(rng, 64);
+    EXPECT_EQ(mont.mul(a, b),
+              (a * b).mod(BigInt(std::uint64_t{0xfffffffffffffff1})));
+  }
+}
+
+TEST(MontgomeryStressTest, PowExponentBoundaries) {
+  const BigInt p = BigInt::from_hex(std::string(testing::kSafePrime128[2]));
+  const Montgomery mont(p);
+  const BigInt g(3);
+  // Exponents around limb boundaries: 2^63, 2^64 - 1, 2^64, 2^64 + 1.
+  const BigInt e63 = BigInt(1) << 63;
+  const BigInt e64 = BigInt(1) << 64;
+  EXPECT_EQ(mont.mul(mont.pow(g, e63), mont.pow(g, e63)), mont.pow(g, e64));
+  EXPECT_EQ(mont.mul(mont.pow(g, e64 - BigInt(1)), g), mont.pow(g, e64));
+  EXPECT_EQ(mont.mul(mont.pow(g, e64), g), mont.pow(g, e64 + BigInt(1)));
+}
+
+TEST(MontgomeryStressTest, AllWindowDigitsExercised) {
+  // An exponent whose 4-bit windows enumerate 0..15 exercises the whole
+  // precomputed table.
+  const BigInt p = BigInt::from_hex(std::string(testing::kSafePrime128[3]));
+  const Montgomery mont(p);
+  BigInt exp(0);
+  for (int d = 15; d >= 0; --d) {
+    exp = (exp << 4) + BigInt(d);
+  }
+  const BigInt g(7);
+  // Reference: naive square-and-multiply.
+  BigInt want(1);
+  for (std::size_t i = exp.bit_length(); i-- > 0;) {
+    want = (want * want).mod(p);
+    if (exp.bit(i)) want = (want * BigInt(7)).mod(p);
+  }
+  EXPECT_EQ(mont.pow(g, exp), want);
+}
+
+}  // namespace
+}  // namespace ice::bn

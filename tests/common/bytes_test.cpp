@@ -1,0 +1,51 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ice {
+namespace {
+
+TEST(BytesTest, HexRoundTripEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(BytesTest, HexEncodesLowercase) {
+  const Bytes data = {0x00, 0x1f, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "001fabff");
+}
+
+TEST(BytesTest, HexDecodesMixedCase) {
+  EXPECT_EQ(from_hex("DeadBeef"), (Bytes{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(BytesTest, HexRejectsOddLength) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+}
+
+TEST(BytesTest, HexRejectsNonHexDigit) {
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(BytesTest, RoundTripAllByteValues) {
+  Bytes all(256);
+  for (int i = 0; i < 256; ++i) all[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(i);
+  EXPECT_EQ(from_hex(to_hex(all)), all);
+}
+
+TEST(BytesTest, CtEqualBasics) {
+  EXPECT_TRUE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 3}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2, 3}, Bytes{1, 2, 4}));
+  EXPECT_FALSE(ct_equal(Bytes{1, 2}, Bytes{1, 2, 3}));
+  EXPECT_TRUE(ct_equal({}, {}));
+}
+
+TEST(BytesTest, ToBytesFromString) {
+  EXPECT_EQ(to_bytes("ab"), (Bytes{'a', 'b'}));
+  EXPECT_TRUE(to_bytes("").empty());
+}
+
+}  // namespace
+}  // namespace ice

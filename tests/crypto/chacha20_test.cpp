@@ -1,0 +1,98 @@
+// ChaCha20 known-answer tests (RFC 8439) and stream behaviour.
+#include "crypto/chacha20.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace ice::crypto {
+namespace {
+
+ChaCha20::Key sequential_key() {
+  ChaCha20::Key key{};
+  std::iota(key.begin(), key.end(), std::uint8_t{0});
+  return key;
+}
+
+TEST(ChaCha20Test, Rfc8439BlockFunction) {
+  // RFC 8439 Sec. 2.3.2 test vector (counter = 1).
+  ChaCha20::Nonce nonce = {0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  ChaCha20 c(sequential_key(), nonce, 1);
+  EXPECT_EQ(to_hex(c.next(64)),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20Test, Rfc8439Encryption) {
+  // RFC 8439 Sec. 2.4.2 test vector.
+  ChaCha20::Nonce nonce = {0, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  ChaCha20 c(sequential_key(), nonce, 1);
+  Bytes msg = to_bytes(
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.");
+  c.xor_inplace(msg);
+  EXPECT_EQ(to_hex(msg),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20Test, AllZeroKeyBlockZero) {
+  ChaCha20 c(ChaCha20::Key{}, ChaCha20::Nonce{}, 0);
+  EXPECT_EQ(to_hex(c.next(64)),
+            "76b8e0ada0f13d90405d6ae55386bd28bdd219b8a08ded1aa836efcc8b770dc7"
+            "da41597c5157488d7724e03fb8d84a376a43b8f41518a11cc387b669b2ee6586");
+}
+
+TEST(ChaCha20Test, EncryptDecryptRoundTrip) {
+  ChaCha20::Nonce nonce{};
+  nonce[0] = 7;
+  const Bytes original = to_bytes("attack at dawn, bring tags");
+  Bytes buf = original;
+  ChaCha20(sequential_key(), nonce).xor_inplace(buf);
+  EXPECT_NE(buf, original);
+  ChaCha20(sequential_key(), nonce).xor_inplace(buf);
+  EXPECT_EQ(buf, original);
+}
+
+TEST(ChaCha20Test, StreamIsContiguousAcrossCalls) {
+  ChaCha20 a(sequential_key(), ChaCha20::Nonce{});
+  ChaCha20 b(sequential_key(), ChaCha20::Nonce{});
+  Bytes whole = a.next(150);
+  Bytes parts = b.next(1);
+  for (std::size_t n : {2u, 64u, 63u, 20u}) {
+    const Bytes chunk = b.next(n);
+    parts.insert(parts.end(), chunk.begin(), chunk.end());
+  }
+  EXPECT_EQ(parts, whole);
+}
+
+TEST(ChaCha20Test, CounterOffsetsStream) {
+  ChaCha20 from0(sequential_key(), ChaCha20::Nonce{}, 0);
+  ChaCha20 from1(sequential_key(), ChaCha20::Nonce{}, 1);
+  (void)from0.next(64);  // skip block 0
+  EXPECT_EQ(from0.next(64), from1.next(64));
+}
+
+TEST(ChaCha20Test, NextU64IsLittleEndianOfStream) {
+  ChaCha20 a(sequential_key(), ChaCha20::Nonce{});
+  ChaCha20 b(sequential_key(), ChaCha20::Nonce{});
+  const Bytes raw = a.next(8);
+  std::uint64_t want = 0;
+  for (int i = 7; i >= 0; --i) {
+    want = (want << 8) | raw[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(b.next_u64(), want);
+}
+
+TEST(ChaCha20Test, DifferentNoncesDiverge) {
+  ChaCha20::Nonce n1{}, n2{};
+  n2[11] = 1;
+  ChaCha20 a(sequential_key(), n1);
+  ChaCha20 b(sequential_key(), n2);
+  EXPECT_NE(a.next(32), b.next(32));
+}
+
+}  // namespace
+}  // namespace ice::crypto

@@ -1,0 +1,97 @@
+// Tests for the CSPRNG and the challenge-coefficient PRF.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bignum/prime.h"
+#include "common/error.h"
+#include "crypto/csprng.h"
+#include "crypto/prf.h"
+
+namespace ice::crypto {
+namespace {
+
+TEST(CsprngTest, DeterministicModeReproducible) {
+  Csprng a = Csprng::deterministic(42);
+  Csprng b = Csprng::deterministic(42);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(CsprngTest, DifferentSeedsDiffer) {
+  Csprng a = Csprng::deterministic(1);
+  Csprng b = Csprng::deterministic(2);
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(CsprngTest, OsSeededInstancesDiffer) {
+  Csprng a;
+  Csprng b;
+  EXPECT_NE(a.bytes(32), b.bytes(32));
+}
+
+TEST(CsprngTest, FillWritesEveryByteEventually) {
+  Csprng rng = Csprng::deterministic(3);
+  Bytes buf(4096, 0);
+  rng.fill(buf);
+  std::set<std::uint8_t> seen(buf.begin(), buf.end());
+  EXPECT_GT(seen.size(), 200u);  // keystream should cover most byte values
+}
+
+TEST(CsprngTest, DrivesPrimeGeneration) {
+  Csprng rng = Csprng::deterministic(4);
+  const bn::BigInt p = bn::random_prime(rng, 48, 20);
+  EXPECT_EQ(p.bit_length(), 48u);
+  EXPECT_TRUE(bn::is_probable_prime(p, rng));
+}
+
+TEST(CoefficientPrfTest, DeterministicForSameKey) {
+  const bn::BigInt e = bn::BigInt::from_hex("deadbeef12345678");
+  const auto a = CoefficientPrf::expand(e, 64, 20);
+  const auto b = CoefficientPrf::expand(e, 64, 20);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CoefficientPrfTest, DifferentKeysDiverge) {
+  const auto a = CoefficientPrf::expand(bn::BigInt(1), 64, 10);
+  const auto b = CoefficientPrf::expand(bn::BigInt(2), 64, 10);
+  EXPECT_NE(a, b);
+}
+
+TEST(CoefficientPrfTest, CoefficientsRespectWidthAndNonzero) {
+  for (std::size_t d : {1u, 8u, 13u, 64u, 80u, 256u}) {
+    const auto coeffs = CoefficientPrf::expand(bn::BigInt(77), d, 50);
+    for (const auto& c : coeffs) {
+      EXPECT_FALSE(c.is_zero());
+      EXPECT_LE(c.bit_length(), d);
+    }
+  }
+}
+
+TEST(CoefficientPrfTest, OneBitCoefficientsAreAllOne) {
+  // With d = 1 the only nonzero value is 1; the resample loop must converge.
+  const auto coeffs = CoefficientPrf::expand(bn::BigInt(5), 1, 20);
+  for (const auto& c : coeffs) EXPECT_EQ(c, bn::BigInt(1));
+}
+
+TEST(CoefficientPrfTest, StreamingMatchesExpand) {
+  const bn::BigInt e(123456);
+  CoefficientPrf prf(e, 32);
+  const auto batch = CoefficientPrf::expand(e, 32, 15);
+  for (const auto& want : batch) EXPECT_EQ(prf.next(), want);
+}
+
+TEST(CoefficientPrfTest, RejectsBadWidth) {
+  EXPECT_THROW(CoefficientPrf(bn::BigInt(1), 0), ParamError);
+  EXPECT_THROW(CoefficientPrf(bn::BigInt(1), 257), ParamError);
+}
+
+TEST(CoefficientPrfTest, WidthIsAttained) {
+  // Over many draws at d = 64, at least one coefficient uses the top bit.
+  const auto coeffs = CoefficientPrf::expand(bn::BigInt(9), 64, 64);
+  bool top_bit_seen = false;
+  for (const auto& c : coeffs) top_bit_seen |= c.bit_length() == 64;
+  EXPECT_TRUE(top_bit_seen);
+}
+
+}  // namespace
+}  // namespace ice::crypto

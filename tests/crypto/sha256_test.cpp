@@ -1,0 +1,82 @@
+// SHA-256 known-answer tests (FIPS 180-4 / NIST vectors) plus incremental
+// API behaviour.
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace ice::crypto {
+namespace {
+
+std::string hex_of(BytesView data) { return to_hex(data); }
+
+TEST(Sha256Test, EmptyInput) {
+  EXPECT_EQ(hex_of(sha256({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(hex_of(sha256(to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(hex_of(sha256(to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, OneMillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  const auto d = h.finalize();
+  EXPECT_EQ(hex_of(Bytes(d.begin(), d.end())),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+// Padding boundary cases: 55 bytes (fits with length), 56 (forces extra
+// block), 64 (exactly one block).
+TEST(Sha256Test, PaddingBoundary55) {
+  EXPECT_EQ(hex_of(sha256(Bytes(55, 'x'))),
+            "d5e285683cd4efc02d021a5c62014694958901005d6f71e89e0989fac77e4072");
+}
+
+TEST(Sha256Test, PaddingBoundary56) {
+  EXPECT_EQ(hex_of(sha256(Bytes(56, 'x'))),
+            "04c26261370ee7541549d16dee320c723e3fd14671e66a099afe0a377c16888e");
+}
+
+TEST(Sha256Test, PaddingBoundary64) {
+  EXPECT_EQ(hex_of(sha256(Bytes(64, 'x'))),
+            "7ce100971f64e7001e8fe5a51973ecdfe1ced42befe7ee8d5fd6219506b5393c");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  const Bytes msg = to_bytes("the quick brown fox jumps over the lazy dog");
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.update(BytesView(msg).subspan(0, split));
+    h.update(BytesView(msg).subspan(split));
+    const auto inc = h.finalize();
+    EXPECT_EQ(Bytes(inc.begin(), inc.end()), sha256(msg)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, UpdateAfterFinalizeThrows) {
+  Sha256 h;
+  h.update(to_bytes("a"));
+  (void)h.finalize();
+  EXPECT_THROW(h.update(to_bytes("b")), std::logic_error);
+  EXPECT_THROW(h.finalize(), std::logic_error);
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(sha256(to_bytes("a")), sha256(to_bytes("b")));
+  EXPECT_NE(sha256(to_bytes("abc")), sha256(to_bytes("abd")));
+}
+
+}  // namespace
+}  // namespace ice::crypto

@@ -1,0 +1,92 @@
+// Tests for dense GF(4) matrices, including the PIR decoding matrix.
+#include "gf/gf4_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ice::gf {
+namespace {
+
+TEST(GF4MatrixTest, IdentityActsTrivially) {
+  const GF4Matrix id = GF4Matrix::identity(3);
+  const GF4Vector v = {GF4(1), GF4(2), GF4(3)};
+  EXPECT_EQ(id.mul(v), v);
+  EXPECT_EQ(id.mul(id), id);
+}
+
+TEST(GF4MatrixTest, InitializerListShapeChecked) {
+  EXPECT_THROW(GF4Matrix({{1, 2}, {1}}), ParamError);
+  const GF4Matrix m({{1, 2, 3}, {0, 1, 0}});
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.at(0, 2), GF4(3));
+}
+
+TEST(GF4MatrixTest, MatVecKnownValue) {
+  const GF4Matrix m({{1, 2}, {3, 0}});
+  const GF4Vector v = {GF4(2), GF4(3)};
+  // Row 0: 1*2 + 2*3 = 2 + 1 = 3. Row 1: 3*2 + 0 = 1.
+  EXPECT_EQ(m.mul(v), (GF4Vector{GF4(3), GF4(1)}));
+}
+
+TEST(GF4MatrixTest, MulShapeMismatchThrows) {
+  const GF4Matrix m(2, 3);
+  EXPECT_THROW(m.mul(GF4Vector(2)), ParamError);
+  EXPECT_THROW(m.mul(GF4Matrix(2, 2)), ParamError);
+}
+
+TEST(GF4MatrixTest, InverseOfIdentityIsIdentity) {
+  const GF4Matrix id = GF4Matrix::identity(4);
+  EXPECT_EQ(id.inverse(), id);
+}
+
+TEST(GF4MatrixTest, SingularMatrixThrows) {
+  EXPECT_THROW(GF4Matrix({{1, 1}, {1, 1}}).inverse(), ParamError);
+  EXPECT_THROW(GF4Matrix({{0, 0}, {0, 0}}).inverse(), ParamError);
+}
+
+TEST(GF4MatrixTest, NonSquareInverseThrows) {
+  EXPECT_THROW(GF4Matrix(2, 3).inverse(), ParamError);
+}
+
+TEST(GF4MatrixTest, RandomMatricesInvertCorrectly) {
+  SplitMix64 rng(404);
+  int inverted = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + rng.below(6);
+    GF4Matrix m(n, n);
+    for (std::size_t r = 0; r < n; ++r) {
+      for (std::size_t c = 0; c < n; ++c) {
+        m.set(r, c, GF4(static_cast<std::uint8_t>(rng.below(4))));
+      }
+    }
+    try {
+      const GF4Matrix inv = m.inverse();
+      EXPECT_EQ(m.mul(inv), GF4Matrix::identity(n));
+      EXPECT_EQ(inv.mul(m), GF4Matrix::identity(n));
+      ++inverted;
+    } catch (const ParamError&) {
+      // singular draw — acceptable
+    }
+  }
+  EXPECT_GT(inverted, 50);  // most random square GF(4) matrices are regular
+}
+
+TEST(GF4MatrixTest, PaperDecodingMatrixIsInvertible) {
+  // M from Lemma 2 with t0 = 1, t1 = x over GF(4) (char 2):
+  // rows (g(1); g'(1); g(x); g'(x)) in the monomial basis (c0, c1, c2, c3).
+  // g(t)  = c0 + c1 t + c2 t^2 + c3 t^3, g'(t) = c1 + c3 t^2.
+  const GF4Matrix m({
+      {1, 1, 1, 1},  // g(1)
+      {0, 1, 0, 1},  // g'(1)
+      {1, 2, 3, 1},  // g(x): x^2 = x+1 = 3, x^3 = 1
+      {0, 1, 0, 3},  // g'(x): x^2 = 3
+  });
+  const GF4Matrix inv = m.inverse();
+  EXPECT_EQ(m.mul(inv), GF4Matrix::identity(4));
+}
+
+}  // namespace
+}  // namespace ice::gf

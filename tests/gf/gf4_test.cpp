@@ -1,0 +1,100 @@
+// Field-axiom and known-table tests for GF(4), plus vector helpers.
+#include "gf/gf4.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ice::gf {
+namespace {
+
+std::array<GF4, 4> all_elements() {
+  return {GF4(0), GF4(1), GF4(2), GF4(3)};
+}
+
+TEST(GF4Test, AdditionIsXor) {
+  EXPECT_EQ(GF4(2) + GF4(3), GF4(1));
+  EXPECT_EQ(GF4(1) + GF4(1), GF4(0));
+  EXPECT_EQ(GF4(0) + GF4(3), GF4(3));
+}
+
+TEST(GF4Test, MultiplicationTable) {
+  // x * x = x + 1; x * (x+1) = 1; (x+1)^2 = x.
+  EXPECT_EQ(GF4::x() * GF4::x(), GF4(3));
+  EXPECT_EQ(GF4(2) * GF4(3), GF4(1));
+  EXPECT_EQ(GF4(3) * GF4(3), GF4(2));
+  EXPECT_EQ(GF4(1) * GF4(3), GF4(3));
+}
+
+TEST(GF4Test, AdditiveGroupAxioms) {
+  for (GF4 a : all_elements()) {
+    EXPECT_EQ(a + GF4::zero(), a);
+    EXPECT_EQ(a + a, GF4::zero());  // characteristic 2: self-inverse
+    for (GF4 b : all_elements()) {
+      EXPECT_EQ(a + b, b + a);
+      for (GF4 c : all_elements()) {
+        EXPECT_EQ((a + b) + c, a + (b + c));
+      }
+    }
+  }
+}
+
+TEST(GF4Test, MultiplicativeGroupAxioms) {
+  for (GF4 a : all_elements()) {
+    EXPECT_EQ(a * GF4::one(), a);
+    EXPECT_EQ(a * GF4::zero(), GF4::zero());
+    if (!a.is_zero()) {
+      EXPECT_EQ(a * a.inverse(), GF4::one());
+    }
+    for (GF4 b : all_elements()) {
+      EXPECT_EQ(a * b, b * a);
+      for (GF4 c : all_elements()) {
+        EXPECT_EQ((a * b) * c, a * (b * c));
+        EXPECT_EQ(a * (b + c), a * b + a * c);  // distributivity
+      }
+    }
+  }
+}
+
+TEST(GF4Test, SubtractionEqualsAddition) {
+  for (GF4 a : all_elements()) {
+    for (GF4 b : all_elements()) {
+      EXPECT_EQ(a - b, a + b);
+    }
+  }
+}
+
+TEST(GF4Test, GeneratorHasOrderThree) {
+  const GF4 x = GF4::x();
+  EXPECT_NE(x, GF4::one());
+  EXPECT_NE(x * x, GF4::one());
+  EXPECT_EQ(x * x * x, GF4::one());
+}
+
+TEST(GF4Test, ConstructorMasksHighBits) {
+  EXPECT_EQ(GF4(7), GF4(3));
+  EXPECT_EQ(GF4(4), GF4(0));
+}
+
+TEST(GF4Test, DotProduct) {
+  const GF4Vector a = {GF4(1), GF4(2), GF4(3)};
+  const GF4Vector b = {GF4(3), GF4(3), GF4(1)};
+  // 1*3 + 2*3 + 3*1 = 3 + 1 + 3 = 1
+  EXPECT_EQ(dot(a, b), GF4(1));
+  EXPECT_EQ(dot(a, a), GF4(1) + GF4(3) + GF4(2));
+}
+
+TEST(GF4Test, DotSizeMismatchThrows) {
+  EXPECT_THROW(dot({GF4(1)}, {GF4(1), GF4(2)}), ParamError);
+}
+
+TEST(GF4Test, Axpy) {
+  const GF4Vector a = {GF4(1), GF4(0)};
+  const GF4Vector b = {GF4(2), GF4(3)};
+  const GF4Vector want = {GF4(1) + GF4(2) * GF4(2), GF4(2) * GF4(3)};
+  EXPECT_EQ(axpy(a, GF4(2), b), want);
+  EXPECT_THROW(axpy(a, GF4(1), {GF4(0)}), ParamError);
+}
+
+}  // namespace
+}  // namespace ice::gf

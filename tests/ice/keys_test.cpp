@@ -1,0 +1,107 @@
+// Tests for ICE KeyGen: structure of (N, g) and input validation.
+#include "ice/keys.h"
+
+#include <gtest/gtest.h>
+
+#include "bignum/montgomery.h"
+#include "bignum/prime.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "support/fixtures.h"
+#include "support/ice_fixtures.h"
+
+namespace ice::proto {
+namespace {
+
+class KeysTest : public ::testing::Test {
+ protected:
+  SplitMix64 gen_{0x1e45};
+  bn::Rng64Adapter<SplitMix64> rng_{gen_};
+};
+
+TEST_F(KeysTest, FromPrimesProducesValidModulus) {
+  const KeyPair kp = ice::testing::test_keypair_256();
+  EXPECT_EQ(kp.pk.n, kp.sk.p * kp.sk.q);
+  EXPECT_EQ(kp.pk.n.bit_length(), 256u);
+  EXPECT_TRUE(plausible_public_key(kp.pk));
+}
+
+TEST_F(KeysTest, GeneratorIsQuadraticResidueOfCorrectOrder) {
+  const KeyPair kp = ice::testing::test_keypair_256();
+  // ord(QR_N) = p'q' with p = 2p'+1, q = 2q'+1, so g^{p'q'} == 1.
+  const bn::BigInt pp = (kp.sk.p - bn::BigInt(1)) >> 1;
+  const bn::BigInt qq = (kp.sk.q - bn::BigInt(1)) >> 1;
+  const bn::Montgomery mont(kp.pk.n);
+  EXPECT_EQ(mont.pow(kp.pk.g, pp * qq), bn::BigInt(1));
+  // But g is not of tiny order.
+  EXPECT_NE(mont.pow(kp.pk.g, bn::BigInt(2)), bn::BigInt(1));
+  EXPECT_NE(kp.pk.g, bn::BigInt(1));
+}
+
+TEST_F(KeysTest, FullKeygenSmallModulus) {
+  ProtocolParams params;
+  params.modulus_bits = 64;  // two 32-bit safe primes: fast to find
+  const KeyPair kp = keygen(params, rng_);
+  EXPECT_EQ(kp.pk.n, kp.sk.p * kp.sk.q);
+  EXPECT_EQ(kp.sk.p.bit_length(), 32u);
+  EXPECT_TRUE(bn::is_probable_prime(kp.sk.p, rng_));
+  EXPECT_TRUE(bn::is_probable_prime((kp.sk.p - bn::BigInt(1)) >> 1, rng_));
+  EXPECT_TRUE(plausible_public_key(kp.pk));
+}
+
+TEST_F(KeysTest, KeygenRejectsBadWidths) {
+  ProtocolParams params;
+  params.modulus_bits = 15;
+  EXPECT_THROW(keygen(params, rng_), ParamError);
+  params.modulus_bits = 33;
+  EXPECT_THROW(keygen(params, rng_), ParamError);
+}
+
+TEST_F(KeysTest, FromPrimesValidatesInputs) {
+  const bn::BigInt p =
+      bn::BigInt::from_hex(std::string(ice::testing::kSafePrime128[0]));
+  const bn::BigInt q =
+      bn::BigInt::from_hex(std::string(ice::testing::kSafePrime128[1]));
+  EXPECT_THROW(keygen_from_primes(p, p, rng_), ParamError);
+  // Composite input rejected when validation is on.
+  EXPECT_THROW(keygen_from_primes(p, q * bn::BigInt(1) + bn::BigInt(4), rng_),
+               ParamError);
+  // Non-safe primes rejected: 65537 and 65539 are prime but (p-1)/2 is not.
+  EXPECT_THROW(keygen_from_primes(bn::BigInt(65537), bn::BigInt(65539), rng_),
+               ParamError);
+}
+
+TEST_F(KeysTest, FromPrimesMismatchedWidthRejected) {
+  const bn::BigInt p =
+      bn::BigInt::from_hex(std::string(ice::testing::kSafePrime128[0]));
+  const bn::BigInt q =
+      bn::BigInt::from_hex(std::string(ice::testing::kSafePrime256[0]));
+  EXPECT_THROW(keygen_from_primes(p, q, rng_), ParamError);
+}
+
+TEST_F(KeysTest, PlausibleKeyRejectsJunk) {
+  PublicKey pk;
+  pk.n = bn::BigInt(15);
+  pk.g = bn::BigInt(4);
+  EXPECT_FALSE(plausible_public_key(pk));  // too small
+  pk.n = bn::BigInt::from_hex("10000000000000000");  // even
+  EXPECT_FALSE(plausible_public_key(pk));
+  const KeyPair kp = ice::testing::test_keypair_256();
+  pk = kp.pk;
+  pk.g = bn::BigInt(1);
+  EXPECT_FALSE(plausible_public_key(pk));
+  pk.g = kp.pk.n;
+  EXPECT_FALSE(plausible_public_key(pk));
+  pk.g = kp.sk.p;  // shares a factor with N
+  EXPECT_FALSE(plausible_public_key(pk));
+}
+
+TEST_F(KeysTest, DistinctSeedsGiveDistinctGenerators) {
+  const KeyPair a = ice::testing::test_keypair_256(1);
+  const KeyPair b = ice::testing::test_keypair_256(2);
+  EXPECT_EQ(a.pk.n, b.pk.n);  // same fixture primes
+  EXPECT_NE(a.pk.g, b.pk.g);  // fresh generator draw
+}
+
+}  // namespace
+}  // namespace ice::proto

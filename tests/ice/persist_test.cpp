@@ -1,0 +1,117 @@
+// Tests for durable key/tag storage: round trips and corruption handling.
+#include "ice/persist.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/error.h"
+#include "ice/tag.h"
+#include "support/ice_fixtures.h"
+
+namespace ice::proto {
+namespace {
+
+namespace fs = std::filesystem;
+
+class PersistTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("ice_persist_test_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] fs::path file(const char* name) const { return dir_ / name; }
+
+  static void flip_byte(const fs::path& path, std::size_t offset) {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(static_cast<std::streamoff>(offset));
+    char c = 0;
+    f.read(&c, 1);
+    c = static_cast<char>(c ^ 0x01);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&c, 1);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(PersistTest, KeyPairRoundTrip) {
+  const KeyPair keys = ice::testing::test_keypair_256();
+  save_keypair(file("keys.bin"), keys);
+  const KeyPair loaded = load_keypair(file("keys.bin"));
+  EXPECT_EQ(loaded.pk.n, keys.pk.n);
+  EXPECT_EQ(loaded.pk.g, keys.pk.g);
+  EXPECT_EQ(loaded.sk.p, keys.sk.p);
+  EXPECT_EQ(loaded.sk.q, keys.sk.q);
+}
+
+TEST_F(PersistTest, TagsRoundTrip) {
+  const KeyPair keys = ice::testing::test_keypair_256();
+  const TagGenerator tagger(keys.pk);
+  const auto tags = tagger.tag_all(ice::testing::make_blocks(12, 64, 1));
+  save_tags(file("tags.bin"), tags, 256);
+  const StoredTags loaded = load_tags(file("tags.bin"));
+  EXPECT_EQ(loaded.tag_bits, 256u);
+  EXPECT_EQ(loaded.tags, tags);
+}
+
+TEST_F(PersistTest, EmptyTagListRoundTrips) {
+  save_tags(file("tags.bin"), {}, 128);
+  EXPECT_TRUE(load_tags(file("tags.bin")).tags.empty());
+}
+
+TEST_F(PersistTest, MissingFileThrows) {
+  EXPECT_THROW(load_keypair(file("nope.bin")), TransportError);
+}
+
+TEST_F(PersistTest, BitRotDetected) {
+  const KeyPair keys = ice::testing::test_keypair_256();
+  save_keypair(file("keys.bin"), keys);
+  // Flip one byte in the middle of the payload.
+  const auto size = fs::file_size(file("keys.bin"));
+  flip_byte(file("keys.bin"), size / 2);
+  EXPECT_THROW(load_keypair(file("keys.bin")), CodecError);
+}
+
+TEST_F(PersistTest, ChecksumTrailerRotDetected) {
+  const KeyPair keys = ice::testing::test_keypair_256();
+  save_keypair(file("keys.bin"), keys);
+  const auto size = fs::file_size(file("keys.bin"));
+  flip_byte(file("keys.bin"), size - 1);  // inside the digest
+  EXPECT_THROW(load_keypair(file("keys.bin")), CodecError);
+}
+
+TEST_F(PersistTest, TruncationDetected) {
+  const KeyPair keys = ice::testing::test_keypair_256();
+  save_keypair(file("keys.bin"), keys);
+  fs::resize_file(file("keys.bin"), fs::file_size(file("keys.bin")) - 5);
+  EXPECT_THROW(load_keypair(file("keys.bin")), CodecError);
+}
+
+TEST_F(PersistTest, WrongFileTypeRejected) {
+  save_tags(file("tags.bin"), {bn::BigInt(1)}, 64);
+  EXPECT_THROW(load_keypair(file("tags.bin")), CodecError);
+}
+
+TEST_F(PersistTest, LoadedKeysWorkInProtocol) {
+  const KeyPair keys = ice::testing::test_keypair_256();
+  save_keypair(file("keys.bin"), keys);
+  const KeyPair loaded = load_keypair(file("keys.bin"));
+  const TagGenerator tagger(loaded.pk);
+  const auto blocks = ice::testing::make_blocks(2, 64, 3);
+  EXPECT_EQ(tagger.tag(blocks[0]), TagGenerator(keys.pk).tag(blocks[0]));
+}
+
+TEST_F(PersistTest, OversizedTagWidthRejected) {
+  // Write a tag file whose declared width is smaller than a stored tag.
+  save_tags(file("tags.bin"), {bn::BigInt::from_hex("ffffffff")}, 8);
+  EXPECT_THROW(load_tags(file("tags.bin")), CodecError);
+}
+
+}  // namespace
+}  // namespace ice::proto

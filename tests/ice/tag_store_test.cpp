@@ -1,0 +1,103 @@
+// Tests for the TPA tag store and the direct 2-replica private retrieval.
+#include "ice/tag_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "ice/tag.h"
+#include "support/ice_fixtures.h"
+
+namespace ice::proto {
+namespace {
+
+class TagStoreTest : public ::testing::Test {
+ protected:
+  TagStoreTest()
+      : params_(ice::testing::test_params()),
+        keys_(ice::testing::test_keypair_256()),
+        tagger_(keys_.pk) {}
+
+  ProtocolParams params_;
+  KeyPair keys_;
+  TagGenerator tagger_;
+  SplitMix64 gen_{0x7a9};
+  bn::Rng64Adapter<SplitMix64> rng_{gen_};
+};
+
+TEST_F(TagStoreTest, RejectsEmptyTagSet) {
+  EXPECT_THROW(TagStore(params_, {}), ParamError);
+}
+
+TEST_F(TagStoreTest, StoresAndReadsBack) {
+  const auto blocks = ice::testing::make_blocks(12, 64, 1);
+  const auto tags = tagger_.tag_all(blocks);
+  TagStore store(params_, tags);
+  EXPECT_EQ(store.n(), 12u);
+  EXPECT_EQ(store.tag_bits(), params_.tag_bits());
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(store.tag(i), tags[i]);
+}
+
+TEST_F(TagStoreTest, UpdateReplacesTag) {
+  const auto blocks = ice::testing::make_blocks(4, 64, 2);
+  TagStore store(params_, tagger_.tag_all(blocks));
+  const bn::BigInt fresh = tagger_.tag(ice::testing::make_blocks(1, 64, 3)[0]);
+  store.update(2, fresh);
+  EXPECT_EQ(store.tag(2), fresh);
+}
+
+TEST_F(TagStoreTest, PreprocessReportsTime) {
+  const auto blocks = ice::testing::make_blocks(8, 64, 4);
+  TagStore store(params_, tagger_.tag_all(blocks));
+  EXPECT_GE(store.preprocess(), 0.0);
+}
+
+TEST_F(TagStoreTest, DirectRetrievalRecoversExactTags) {
+  const auto blocks = ice::testing::make_blocks(30, 64, 5);
+  const auto tags = tagger_.tag_all(blocks);
+  TagStore tpa0(params_, tags);
+  TagStore tpa1(params_, tags);
+  const std::vector<std::size_t> wanted = {0, 7, 7, 29, 15};
+  const auto got = retrieve_tags_direct(tpa0, tpa1, wanted, rng_);
+  ASSERT_EQ(got.size(), wanted.size());
+  for (std::size_t l = 0; l < wanted.size(); ++l) {
+    EXPECT_EQ(got[l], tags[wanted[l]]);
+  }
+}
+
+TEST_F(TagStoreTest, RetrievalAfterUpdateSeesNewTag) {
+  const auto blocks = ice::testing::make_blocks(10, 64, 6);
+  const auto tags = tagger_.tag_all(blocks);
+  TagStore tpa0(params_, tags);
+  TagStore tpa1(params_, tags);
+  const bn::BigInt fresh = tagger_.tag(ice::testing::make_blocks(1, 64, 7)[0]);
+  tpa0.update(3, fresh);
+  tpa1.update(3, fresh);
+  const auto got = retrieve_tags_direct(tpa0, tpa1, {{3}}, rng_);
+  EXPECT_EQ(got[0], fresh);
+}
+
+TEST_F(TagStoreTest, MismatchedReplicasRejected) {
+  const auto blocks = ice::testing::make_blocks(4, 64, 8);
+  const auto tags = tagger_.tag_all(blocks);
+  TagStore tpa0(params_, tags);
+  TagStore tpa1(params_,
+                std::vector<bn::BigInt>(tags.begin(), tags.begin() + 3));
+  EXPECT_THROW(retrieve_tags_direct(tpa0, tpa1, {{0}}, rng_), ParamError);
+}
+
+TEST_F(TagStoreTest, AllStrategiesServeRetrieval) {
+  const auto blocks = ice::testing::make_blocks(15, 64, 9);
+  const auto tags = tagger_.tag_all(blocks);
+  for (auto strategy : {pir::EvalStrategy::kNaive, pir::EvalStrategy::kMatrix,
+                        pir::EvalStrategy::kBitsliced}) {
+    TagStore tpa0(params_, tags, strategy);
+    TagStore tpa1(params_, tags, strategy);
+    const auto got = retrieve_tags_direct(tpa0, tpa1, {{4, 11}}, rng_);
+    EXPECT_EQ(got[0], tags[4]);
+    EXPECT_EQ(got[1], tags[11]);
+  }
+}
+
+}  // namespace
+}  // namespace ice::proto

@@ -1,0 +1,154 @@
+// Direct tests for the ICE wire codecs and response envelopes.
+#include "ice/wire.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ice::proto {
+namespace {
+
+gf::GF4Vector random_vec(SplitMix64& rng, std::size_t len) {
+  gf::GF4Vector v(len);
+  for (auto& e : v) e = gf::GF4(static_cast<std::uint8_t>(rng.below(4)));
+  return v;
+}
+
+TEST(WireTest, OkEnvelopeRoundTrip) {
+  net::Writer payload;
+  payload.varint(42);
+  const Bytes resp = ok_response(std::move(payload));
+  net::Reader r = unwrap(resp);
+  EXPECT_EQ(r.varint(), 42u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, OkEmptyHasNoPayload) {
+  const Bytes resp = ok_empty();
+  net::Reader r = unwrap(resp);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, ErrorEnvelopeThrowsWithReason) {
+  const Bytes resp = error_response("edge exploded");
+  try {
+    (void)unwrap(resp);
+    FAIL() << "expected ProtocolError";
+  } catch (const ProtocolError& e) {
+    EXPECT_NE(std::string(e.what()).find("edge exploded"),
+              std::string::npos);
+  }
+}
+
+TEST(WireTest, UnknownStatusByteRejected) {
+  const Bytes bogus = {7, 1, 2};
+  EXPECT_THROW((void)unwrap(bogus), CodecError);
+}
+
+TEST(WireTest, GF4VectorRoundTrip) {
+  SplitMix64 rng(21);
+  for (std::size_t len : {0u, 1u, 4u, 13u, 257u}) {
+    net::Writer w;
+    write_gf4_vector(w, random_vec(rng, len));
+    const Bytes buf = w.take();
+    net::Reader r(buf);
+    net::Writer w2;
+    write_gf4_vector(w2, read_gf4_vector(r));
+    EXPECT_EQ(w2.take(), buf) << "len=" << len;
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(WireTest, PirQueryRoundTrip) {
+  SplitMix64 rng(22);
+  pir::PirQuery q;
+  for (int i = 0; i < 5; ++i) q.points.push_back(random_vec(rng, 11));
+  net::Writer w;
+  write_pir_query(w, q);
+  const Bytes buf = w.take();
+  net::Reader r(buf);
+  const pir::PirQuery back = read_pir_query(r);
+  EXPECT_EQ(back.points, q.points);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, PirResponseRoundTrip) {
+  SplitMix64 rng(23);
+  pir::PirResponse resp;
+  for (int e = 0; e < 3; ++e) {
+    pir::PirSingleResponse entry;
+    entry.values = random_vec(rng, 64);
+    for (int g = 0; g < 64; ++g) {
+      entry.gradients.push_back(random_vec(rng, 9));
+    }
+    resp.entries.push_back(std::move(entry));
+  }
+  net::Writer w;
+  write_pir_response(w, resp);
+  const Bytes buf = w.take();
+  net::Reader r(buf);
+  const pir::PirResponse back = read_pir_response(r);
+  ASSERT_EQ(back.entries.size(), 3u);
+  for (std::size_t e = 0; e < 3; ++e) {
+    EXPECT_EQ(back.entries[e].values, resp.entries[e].values);
+    EXPECT_EQ(back.entries[e].gradients, resp.entries[e].gradients);
+  }
+}
+
+TEST(WireTest, PirResponseRaggedGradientsRejectedOnWrite) {
+  pir::PirResponse resp;
+  pir::PirSingleResponse entry;
+  entry.values.assign(2, gf::GF4());
+  entry.gradients.push_back(gf::GF4Vector(3));
+  entry.gradients.push_back(gf::GF4Vector(4));  // ragged
+  resp.entries.push_back(std::move(entry));
+  net::Writer w;
+  EXPECT_THROW(write_pir_response(w, resp), CodecError);
+}
+
+TEST(WireTest, BigintListRoundTrip) {
+  const std::vector<bn::BigInt> list = {
+      bn::BigInt(0), bn::BigInt(-17),
+      bn::BigInt::from_hex("deadbeefcafebabe0123456789abcdef")};
+  net::Writer w;
+  write_bigint_list(w, list);
+  const Bytes buf = w.take();
+  net::Reader r(buf);
+  EXPECT_EQ(read_bigint_list(r), list);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, IndexListRoundTrip) {
+  const std::vector<std::size_t> list = {0, 1, 1000000, 42};
+  net::Writer w;
+  write_index_list(w, list);
+  const Bytes buf = w.take();
+  net::Reader r(buf);
+  EXPECT_EQ(read_index_list(r), list);
+}
+
+TEST(WireTest, ImplausibleLengthsRejected) {
+  // A claimed count of 2^40 entries must be rejected before allocation.
+  net::Writer w;
+  w.varint(std::uint64_t{1} << 40);
+  const Bytes buf = w.take();
+  {
+    net::Reader r(buf);
+    EXPECT_THROW((void)read_bigint_list(r), CodecError);
+  }
+  {
+    net::Reader r(buf);
+    EXPECT_THROW((void)read_index_list(r), CodecError);
+  }
+  {
+    net::Reader r(buf);
+    EXPECT_THROW((void)read_pir_query(r), CodecError);
+  }
+  {
+    net::Reader r(buf);
+    EXPECT_THROW((void)read_gf4_vector(r), CodecError);
+  }
+}
+
+}  // namespace
+}  // namespace ice::proto

@@ -1,0 +1,63 @@
+// Tests for the CSP block store.
+#include "mec/block_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ice::mec {
+namespace {
+
+TEST(BlockStoreTest, RejectsZeroBlockSize) {
+  EXPECT_THROW(BlockStore(0), ParamError);
+}
+
+TEST(BlockStoreTest, AddAndRead) {
+  BlockStore store(4);
+  EXPECT_EQ(store.add_block({1, 2, 3, 4}), 0u);
+  EXPECT_EQ(store.add_block({5, 6, 7, 8}), 1u);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.block(1), (Bytes{5, 6, 7, 8}));
+}
+
+TEST(BlockStoreTest, RejectsWrongSizeBlock) {
+  BlockStore store(4);
+  EXPECT_THROW(store.add_block({1, 2, 3}), ParamError);
+  EXPECT_THROW(store.add_block({1, 2, 3, 4, 5}), ParamError);
+}
+
+TEST(BlockStoreTest, UpdateBlock) {
+  BlockStore store(2);
+  store.add_block({1, 2});
+  store.update_block(0, {9, 9});
+  EXPECT_EQ(store.block(0), (Bytes{9, 9}));
+  EXPECT_THROW(store.update_block(1, {1, 2}), ParamError);
+  EXPECT_THROW(store.update_block(0, {1}), ParamError);
+}
+
+TEST(BlockStoreTest, OutOfRangeReadThrows) {
+  BlockStore store(2);
+  EXPECT_THROW((void)store.block(0), ParamError);
+}
+
+TEST(BlockStoreTest, SyntheticIsDeterministic) {
+  const BlockStore a = BlockStore::synthetic(10, 64, 7);
+  const BlockStore b = BlockStore::synthetic(10, 64, 7);
+  ASSERT_EQ(a.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) EXPECT_EQ(a.block(i), b.block(i));
+}
+
+TEST(BlockStoreTest, SyntheticSeedsDiffer) {
+  const BlockStore a = BlockStore::synthetic(2, 64, 1);
+  const BlockStore b = BlockStore::synthetic(2, 64, 2);
+  EXPECT_NE(a.block(0), b.block(0));
+}
+
+TEST(BlockStoreTest, SyntheticBlocksDiffer) {
+  const BlockStore a = BlockStore::synthetic(3, 128, 5);
+  EXPECT_NE(a.block(0), a.block(1));
+  EXPECT_NE(a.block(1), a.block(2));
+}
+
+}  // namespace
+}  // namespace ice::mec

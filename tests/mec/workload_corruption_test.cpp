@@ -1,0 +1,138 @@
+// Tests for workload generators and corruption injection.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "mec/corruption.h"
+#include "mec/workload.h"
+
+namespace ice::mec {
+namespace {
+
+TEST(WorkloadTest, UniformCoversRange) {
+  UniformWorkload w(10);
+  SplitMix64 rng(1);
+  std::map<std::size_t, int> hist;
+  for (int i = 0; i < 5000; ++i) ++hist[w.next(rng)];
+  EXPECT_EQ(hist.size(), 10u);
+  for (const auto& [idx, count] : hist) {
+    EXPECT_LT(idx, 10u);
+    EXPECT_NEAR(count, 500, 150);
+  }
+}
+
+TEST(WorkloadTest, ZipfIsSkewed) {
+  ZipfWorkload w(100, 1.0);
+  SplitMix64 rng(2);
+  std::map<std::size_t, int> hist;
+  for (int i = 0; i < 20000; ++i) ++hist[w.next(rng)];
+  // Rank 0 should dominate rank 50 by roughly 51x under s = 1.
+  EXPECT_GT(hist[0], hist[50] * 10);
+  // All draws are in range.
+  for (const auto& [idx, _] : hist) EXPECT_LT(idx, 100u);
+}
+
+TEST(WorkloadTest, ZipfZeroExponentIsUniform) {
+  ZipfWorkload w(10, 0.0);
+  SplitMix64 rng(3);
+  std::map<std::size_t, int> hist;
+  for (int i = 0; i < 5000; ++i) ++hist[w.next(rng)];
+  for (const auto& [_, count] : hist) EXPECT_NEAR(count, 500, 150);
+}
+
+TEST(WorkloadTest, HotspotConcentrates) {
+  HotspotWorkload w(1000, 10, 0.9);
+  SplitMix64 rng(4);
+  int hot = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (w.next(rng) < 10) ++hot;
+  }
+  // 90% targeted + ~1% of the uniform remainder also lands in the hot set.
+  EXPECT_NEAR(hot, kTrials * 0.901, kTrials * 0.03);
+}
+
+TEST(WorkloadTest, ParamValidation) {
+  EXPECT_THROW(UniformWorkload(0), ParamError);
+  EXPECT_THROW(ZipfWorkload(0, 1.0), ParamError);
+  EXPECT_THROW(ZipfWorkload(10, -1.0), ParamError);
+  EXPECT_THROW(HotspotWorkload(10, 0, 0.5), ParamError);
+  EXPECT_THROW(HotspotWorkload(10, 11, 0.5), ParamError);
+  EXPECT_THROW(HotspotWorkload(10, 5, 1.5), ParamError);
+}
+
+class CorruptionKindTest : public ::testing::TestWithParam<CorruptionKind> {};
+
+TEST_P(CorruptionKindTest, ChangesRandomContent) {
+  SplitMix64 rng(5);
+  Bytes block(256);
+  for (auto& b : block) b = static_cast<std::uint8_t>(rng());
+  const Bytes original = block;
+  corrupt_block(block, GetParam(), rng);
+  EXPECT_NE(block, original);
+  EXPECT_EQ(block.size(), original.size());  // size-preserving corruption
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, CorruptionKindTest,
+    ::testing::Values(CorruptionKind::kBitFlip, CorruptionKind::kByteStuck,
+                      CorruptionKind::kTruncate, CorruptionKind::kZeroFill,
+                      CorruptionKind::kGarbage),
+    [](const auto& info) {
+      switch (info.param) {
+        case CorruptionKind::kBitFlip: return "BitFlip";
+        case CorruptionKind::kByteStuck: return "ByteStuck";
+        case CorruptionKind::kTruncate: return "Truncate";
+        case CorruptionKind::kZeroFill: return "ZeroFill";
+        case CorruptionKind::kGarbage: return "Garbage";
+      }
+      return "Unknown";
+    });
+
+TEST(CorruptionTest, EmptyBlockThrows) {
+  SplitMix64 rng(6);
+  Bytes empty;
+  EXPECT_THROW(corrupt_block(empty, CorruptionKind::kBitFlip, rng),
+               ParamError);
+}
+
+TEST(CorruptionTest, BitFlipChangesExactlyOneBit) {
+  SplitMix64 rng(7);
+  Bytes block(64, 0x55);
+  const Bytes original = block;
+  corrupt_block(block, CorruptionKind::kBitFlip, rng);
+  int changed_bits = 0;
+  for (std::size_t i = 0; i < block.size(); ++i) {
+    changed_bits += __builtin_popcount(block[i] ^ original[i]);
+  }
+  EXPECT_EQ(changed_bits, 1);
+}
+
+TEST(CorruptionTest, RandomBlocksPicksDistinctVictims) {
+  SplitMix64 rng(8);
+  EdgeCache cache(10, EvictionPolicy::kLru);
+  for (std::size_t i = 0; i < 10; ++i) {
+    Bytes data(32);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    cache.admit(i, std::move(data));
+  }
+  const auto victims =
+      corrupt_random_blocks(cache, 4, CorruptionKind::kGarbage, rng);
+  EXPECT_EQ(victims.size(), 4u);
+  std::set<std::size_t> unique(victims.begin(), victims.end());
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(CorruptionTest, TooManyVictimsThrows) {
+  SplitMix64 rng(9);
+  EdgeCache cache(2, EvictionPolicy::kLru);
+  cache.admit(0, {1});
+  EXPECT_THROW(
+      corrupt_random_blocks(cache, 2, CorruptionKind::kBitFlip, rng),
+      ParamError);
+}
+
+}  // namespace
+}  // namespace ice::mec

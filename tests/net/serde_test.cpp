@@ -1,0 +1,145 @@
+// Tests for the binary serializer: round trips, encodings, and hostile
+// input handling.
+#include "net/serde.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace ice::net {
+namespace {
+
+TEST(SerdeTest, FixedWidthRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  const Bytes buf = w.take();
+  EXPECT_EQ(buf.size(), 1u + 2 + 4 + 8);
+  Reader r(buf);
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SerdeTest, LittleEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  EXPECT_EQ(w.take(), (Bytes{0x04, 0x03, 0x02, 0x01}));
+}
+
+TEST(SerdeTest, VarintBoundaries) {
+  for (std::uint64_t v :
+       {0ull, 1ull, 127ull, 128ull, 16383ull, 16384ull,
+        0xffffffffull, ~0ull}) {
+    Writer w;
+    w.varint(v);
+    const Bytes buf = w.take();
+    Reader r(buf);
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(SerdeTest, VarintCompactness) {
+  Writer w;
+  w.varint(127);
+  EXPECT_EQ(w.take().size(), 1u);
+  Writer w2;
+  w2.varint(128);
+  EXPECT_EQ(w2.take().size(), 2u);
+}
+
+TEST(SerdeTest, BytesAndStringRoundTrip) {
+  Writer w;
+  w.bytes(Bytes{1, 2, 3});
+  w.str("hello");
+  w.bytes({});
+  const Bytes buf = w.take();
+  Reader r(buf);
+  EXPECT_EQ(r.bytes(), (Bytes{1, 2, 3}));
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_TRUE(r.bytes().empty());
+  EXPECT_TRUE(r.done());
+}
+
+TEST(SerdeTest, BigIntRoundTrip) {
+  for (const char* hex : {"0", "1", "-1", "deadbeef", "-deadbeefcafebabe12",
+                          "ffffffffffffffffffffffffffffffff"}) {
+    Writer w;
+    w.bigint(bn::BigInt::from_hex(hex));
+    const Bytes buf = w.take();
+    Reader r(buf);
+    EXPECT_EQ(r.bigint(), bn::BigInt::from_hex(hex)) << hex;
+  }
+}
+
+TEST(SerdeTest, TruncatedInputThrows) {
+  Writer w;
+  w.u64(42);
+  Bytes buf = w.take();
+  buf.pop_back();
+  Reader r(buf);
+  EXPECT_THROW(r.u64(), CodecError);
+}
+
+TEST(SerdeTest, TruncatedByteStringThrows) {
+  Writer w;
+  w.varint(100);  // claims 100 bytes follow
+  const Bytes buf = w.take();
+  Reader r(buf);
+  EXPECT_THROW(r.bytes(), CodecError);
+}
+
+TEST(SerdeTest, OverlongVarintThrows) {
+  const Bytes evil(11, 0xff);  // continuation bit forever
+  Reader r(evil);
+  EXPECT_THROW(r.varint(), CodecError);
+}
+
+TEST(SerdeTest, BadBigIntSignThrows) {
+  Writer w;
+  w.u8(7);
+  w.bytes(Bytes{1});
+  const Bytes buf = w.take();
+  Reader r(buf);
+  EXPECT_THROW(r.bigint(), CodecError);
+}
+
+TEST(SerdeTest, ExpectDoneDetectsTrailingBytes) {
+  Writer w;
+  w.u8(1);
+  w.u8(2);
+  const Bytes buf = w.take();
+  Reader r(buf);
+  r.u8();
+  EXPECT_THROW(r.expect_done(), CodecError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(SerdeTest, RandomizedMixedRoundTrip) {
+  SplitMix64 gen(808);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t a = gen();
+    const std::uint64_t b = gen();
+    Bytes blob(gen.below(64));
+    for (auto& x : blob) x = static_cast<std::uint8_t>(gen());
+    Writer w;
+    w.varint(a);
+    w.bytes(blob);
+    w.u64(b);
+    const Bytes buf = w.take();
+    Reader r(buf);
+    EXPECT_EQ(r.varint(), a);
+    EXPECT_EQ(r.bytes(), blob);
+    EXPECT_EQ(r.u64(), b);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+}  // namespace
+}  // namespace ice::net

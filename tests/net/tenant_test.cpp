@@ -1,0 +1,126 @@
+// Tests for multi-tenant RPC composition.
+#include "net/tenant.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+
+#include "common/error.h"
+#include "net/channel.h"
+#include "net/tcp.h"
+
+namespace ice::net {
+namespace {
+
+/// Per-tenant counter handler: method 1 increments, method 2 reads.
+class CounterHandler : public RpcHandler {
+ public:
+  explicit CounterHandler(std::uint64_t id) : id_(id) {}
+  Bytes handle(std::uint16_t method, BytesView) override {
+    if (method == 1) ++count_;
+    Bytes out(9);
+    out[0] = static_cast<std::uint8_t>(count_);
+    for (int i = 0; i < 8; ++i) {
+      out[static_cast<std::size_t>(1 + i)] =
+          static_cast<std::uint8_t>(id_ >> (8 * i));
+    }
+    return out;
+  }
+
+ private:
+  std::uint64_t id_;
+  int count_ = 0;
+};
+
+MultiTenantHandler::Factory counter_factory() {
+  return [](std::uint64_t id) { return std::make_unique<CounterHandler>(id); };
+}
+
+TEST(TenantTest, NullFactoryRejected) {
+  EXPECT_THROW(MultiTenantHandler(nullptr), ParamError);
+}
+
+TEST(TenantTest, TenantsAreIsolated) {
+  MultiTenantHandler mux(counter_factory());
+  InMemoryChannel raw(mux);
+  TenantChannel alice(raw, 1);
+  TenantChannel bob(raw, 2);
+  (void)alice.call(1, {});
+  (void)alice.call(1, {});
+  const Bytes a = alice.call(2, {});
+  const Bytes b = bob.call(2, {});
+  EXPECT_EQ(a[0], 2);  // alice incremented twice
+  EXPECT_EQ(b[0], 0);  // bob untouched
+  EXPECT_EQ(mux.tenant_count(), 2u);
+}
+
+TEST(TenantTest, TenantIdReachesFactory) {
+  MultiTenantHandler mux(counter_factory());
+  InMemoryChannel raw(mux);
+  TenantChannel ch(raw, 0xdeadbeefcafeULL);
+  const Bytes r = ch.call(2, {});
+  std::uint64_t echoed = 0;
+  for (int i = 7; i >= 0; --i) {
+    echoed = (echoed << 8) | r[static_cast<std::size_t>(1 + i)];
+  }
+  EXPECT_EQ(echoed, 0xdeadbeefcafeULL);
+}
+
+TEST(TenantTest, MissingPrefixRejected) {
+  MultiTenantHandler mux(counter_factory());
+  EXPECT_THROW(mux.handle(1, Bytes{1, 2, 3}), CodecError);
+}
+
+TEST(TenantTest, DirectTenantAccessSeesSameInstance) {
+  MultiTenantHandler mux(counter_factory());
+  InMemoryChannel raw(mux);
+  TenantChannel ch(raw, 7);
+  (void)ch.call(1, {});
+  // Direct access observes the increment made through the channel.
+  const Bytes direct = mux.tenant(7).handle(2, {});
+  EXPECT_EQ(direct[0], 1);
+  EXPECT_EQ(mux.tenant_count(), 1u);
+}
+
+TEST(TenantTest, InnerRequestPassedThrough) {
+  class EchoHandler : public RpcHandler {
+   public:
+    Bytes handle(std::uint16_t, BytesView request) override {
+      return Bytes(request.begin(), request.end());
+    }
+  };
+  MultiTenantHandler mux(
+      [](std::uint64_t) { return std::make_unique<EchoHandler>(); });
+  InMemoryChannel raw(mux);
+  TenantChannel ch(raw, 3);
+  EXPECT_EQ(ch.call(1, Bytes{9, 8, 7}), (Bytes{9, 8, 7}));
+}
+
+TEST(TenantTest, StatsCountPrefixedBytes) {
+  MultiTenantHandler mux(counter_factory());
+  InMemoryChannel raw(mux);
+  TenantChannel ch(raw, 1);
+  (void)ch.call(1, Bytes(10, 0));
+  EXPECT_EQ(ch.stats().calls, 1u);
+  EXPECT_EQ(ch.stats().bytes_sent, 10u + 8 + kRpcHeaderBytes);
+}
+
+TEST(TenantTest, ConcurrentTenantsOverTcp) {
+  MultiTenantHandler mux(counter_factory());
+  TcpServer server(mux);
+  std::vector<std::future<bool>> futs;
+  for (std::uint64_t t = 1; t <= 6; ++t) {
+    futs.push_back(std::async(std::launch::async, [&server, t] {
+      TcpChannel raw("127.0.0.1", server.port());
+      TenantChannel ch(raw, t);
+      for (int i = 0; i < 10; ++i) (void)ch.call(1, {});
+      return ch.call(2, {})[0] == 10;
+    }));
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get());
+  EXPECT_EQ(mux.tenant_count(), 6u);
+}
+
+}  // namespace
+}  // namespace ice::net

@@ -1,0 +1,187 @@
+// Tests for the in-memory channel (byte accounting, link model) and the TCP
+// transport (framing, concurrency, failure handling).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+
+#include "common/error.h"
+#include "net/channel.h"
+#include "net/tcp.h"
+
+namespace ice::net {
+namespace {
+
+/// Echo-with-prefix handler used across transport tests.
+class EchoHandler : public RpcHandler {
+ public:
+  Bytes handle(std::uint16_t method, BytesView request) override {
+    ++calls;
+    Bytes out;
+    out.push_back(static_cast<std::uint8_t>(method));
+    out.insert(out.end(), request.begin(), request.end());
+    return out;
+  }
+  std::atomic<int> calls{0};
+};
+
+TEST(InMemoryChannelTest, RoundTripAndCounting) {
+  EchoHandler handler;
+  InMemoryChannel ch(handler);
+  const Bytes req = {1, 2, 3};
+  const Bytes resp = ch.call(7, req);
+  EXPECT_EQ(resp, (Bytes{7, 1, 2, 3}));
+  EXPECT_EQ(ch.stats().calls, 1u);
+  EXPECT_EQ(ch.stats().bytes_sent, req.size() + kRpcHeaderBytes);
+  EXPECT_EQ(ch.stats().bytes_received, resp.size() + kRpcHeaderBytes);
+  ch.reset_stats();
+  EXPECT_EQ(ch.stats().calls, 0u);
+}
+
+TEST(InMemoryChannelTest, LinkModelAccumulates) {
+  EchoHandler handler;
+  // 10 ms latency, 1 Mbit/s.
+  InMemoryChannel ch(handler, LinkModel{0.010, 1e6});
+  ch.call(1, Bytes(119, 0));  // request 119 + 6 header = 125 B
+  // Echo response is 120 B payload + 6 header = 126 B; latency both ways.
+  const double expect = 0.020 + 125 * 8 / 1e6 + 126 * 8 / 1e6;
+  EXPECT_NEAR(ch.modeled_seconds(), expect, 1e-9);
+}
+
+TEST(LinkModelTest, InfiniteBandwidthIsLatencyOnly) {
+  const LinkModel m{0.005, 0};
+  EXPECT_DOUBLE_EQ(m.transfer_seconds(1 << 20), 0.005);
+}
+
+TEST(TcpTransportTest, RoundTrip) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  TcpChannel ch("127.0.0.1", server.port());
+  const Bytes resp = ch.call(42, Bytes{9, 8, 7});
+  EXPECT_EQ(resp, (Bytes{42, 9, 8, 7}));
+  EXPECT_EQ(handler.calls.load(), 1);
+}
+
+TEST(TcpTransportTest, EmptyRequestAndResponse) {
+  class NullHandler : public RpcHandler {
+   public:
+    Bytes handle(std::uint16_t, BytesView) override { return {}; }
+  } handler;
+  TcpServer server(handler);
+  TcpChannel ch("127.0.0.1", server.port());
+  EXPECT_TRUE(ch.call(0, {}).empty());
+}
+
+TEST(TcpTransportTest, LargePayload) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  TcpChannel ch("127.0.0.1", server.port());
+  Bytes big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 31);
+  }
+  const Bytes resp = ch.call(5, big);
+  ASSERT_EQ(resp.size(), big.size() + 1);
+  EXPECT_TRUE(std::equal(big.begin(), big.end(), resp.begin() + 1));
+}
+
+TEST(TcpTransportTest, SequentialCallsOnOneConnection) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  TcpChannel ch("127.0.0.1", server.port());
+  for (std::uint16_t m = 0; m < 50; ++m) {
+    const Bytes resp = ch.call(m, Bytes{static_cast<std::uint8_t>(m)});
+    EXPECT_EQ(resp[0], static_cast<std::uint8_t>(m));
+  }
+  EXPECT_EQ(ch.stats().calls, 50u);
+}
+
+TEST(TcpTransportTest, ConcurrentClients) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  std::vector<std::future<bool>> futs;
+  for (int c = 0; c < 8; ++c) {
+    futs.push_back(std::async(std::launch::async, [&server, c] {
+      TcpChannel ch("127.0.0.1", server.port());
+      for (int i = 0; i < 20; ++i) {
+        const auto m = static_cast<std::uint16_t>(c * 100 + i);
+        const Bytes resp = ch.call(m, Bytes{1});
+        if (resp != Bytes{static_cast<std::uint8_t>(m), 1}) return false;
+      }
+      return true;
+    }));
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get());
+  EXPECT_EQ(handler.calls.load(), 160);
+}
+
+TEST(TcpTransportTest, ByteAccountingMatchesFraming) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  TcpChannel ch("127.0.0.1", server.port());
+  ch.call(1, Bytes(10, 0));
+  // Request frame: 4 (len) + 2 (method) + 10; response: 4 (len) + 11.
+  EXPECT_EQ(ch.stats().bytes_sent, 16u);
+  EXPECT_EQ(ch.stats().bytes_received, 15u);
+}
+
+TEST(TcpTransportTest, ConnectToClosedPortThrows) {
+  std::uint16_t dead_port;
+  {
+    EchoHandler handler;
+    TcpServer server(handler);
+    dead_port = server.port();
+  }  // server gone
+  EXPECT_THROW(TcpChannel("127.0.0.1", dead_port), TransportError);
+}
+
+TEST(TcpTransportTest, BadAddressThrows) {
+  EXPECT_THROW(TcpChannel("not-an-ip", 1), TransportError);
+}
+
+TEST(TcpTransportTest, CallAfterServerStopThrows) {
+  EchoHandler handler;
+  auto server = std::make_unique<TcpServer>(handler);
+  TcpChannel ch("127.0.0.1", server->port());
+  EXPECT_EQ(ch.call(1, Bytes{1}).size(), 2u);
+  server.reset();  // stops and joins
+  EXPECT_THROW(
+      {
+        ch.call(1, Bytes{1});
+        ch.call(1, Bytes{1});  // at most one buffered write can "succeed"
+      },
+      TransportError);
+}
+
+TEST(TcpTransportTest, StopIsIdempotent) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  server.stop();
+  server.stop();
+}
+
+TEST(TcpTransportTest, HandlerExceptionDropsConnectionOnly) {
+  class ThrowingHandler : public RpcHandler {
+   public:
+    Bytes handle(std::uint16_t method, BytesView) override {
+      if (method == 13) throw std::runtime_error("boom");
+      return Bytes{1};
+    }
+  } handler;
+  TcpServer server(handler);
+  {
+    TcpChannel bad("127.0.0.1", server.port());
+    EXPECT_THROW(
+        {
+          bad.call(13, {});
+          bad.call(13, {});
+        },
+        TransportError);
+  }
+  // Server still serves new connections.
+  TcpChannel good("127.0.0.1", server.port());
+  EXPECT_EQ(good.call(1, {}), Bytes{1});
+}
+
+}  // namespace
+}  // namespace ice::net

@@ -1,0 +1,89 @@
+// Tests for the weight-3 embedding and the gamma parameter rule.
+#include "pir/embedding.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+
+namespace ice::pir {
+namespace {
+
+TEST(EmbeddingTest, GammaMatchesPaperFormula) {
+  for (std::size_t n : {1u, 10u, 40u, 100u, 200u, 1000u, 5000u}) {
+    const auto expect = static_cast<std::size_t>(std::ceil(
+                            std::cbrt(6.0 * static_cast<double>(n)))) + 2;
+    EXPECT_EQ(gamma_for(n), expect) << "n=" << n;
+  }
+}
+
+TEST(EmbeddingTest, GammaRejectsZero) {
+  EXPECT_THROW(gamma_for(0), ParamError);
+}
+
+TEST(EmbeddingTest, CapacityFormula) {
+  EXPECT_EQ(weight3_capacity(2), 0u);
+  EXPECT_EQ(weight3_capacity(3), 1u);
+  EXPECT_EQ(weight3_capacity(5), 10u);
+  EXPECT_EQ(weight3_capacity(10), 120u);
+}
+
+TEST(EmbeddingTest, CapacityAlwaysSufficient) {
+  for (std::size_t n = 1; n <= 3000; n = n * 3 / 2 + 1) {
+    EXPECT_GE(weight3_capacity(gamma_for(n)), n) << "n=" << n;
+  }
+}
+
+TEST(EmbeddingTest, PointsHaveWeightExactlyThree) {
+  const Embedding emb(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const auto p = emb.point(i);
+    std::size_t weight = 0;
+    for (auto v : p) {
+      if (!v.is_zero()) {
+        EXPECT_EQ(v, gf::GF4::one());
+        ++weight;
+      }
+    }
+    EXPECT_EQ(weight, 3u);
+  }
+}
+
+TEST(EmbeddingTest, PointsAreDistinct) {
+  const Embedding emb(500);
+  std::set<std::array<std::uint32_t, 3>> seen;
+  for (std::size_t i = 0; i < 500; ++i) {
+    EXPECT_TRUE(seen.insert(emb.triple(i)).second) << "duplicate at " << i;
+  }
+}
+
+TEST(EmbeddingTest, TriplesStrictlyIncreasing) {
+  const Embedding emb(100);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const auto t = emb.triple(i);
+    EXPECT_LT(t[0], t[1]);
+    EXPECT_LT(t[1], t[2]);
+    EXPECT_LT(t[2], emb.gamma());
+  }
+}
+
+TEST(EmbeddingTest, DeterministicAcrossInstances) {
+  const Embedding a(64), b(64);
+  for (std::size_t i = 0; i < 64; ++i) EXPECT_EQ(a.triple(i), b.triple(i));
+}
+
+TEST(EmbeddingTest, OutOfRangeThrows) {
+  const Embedding emb(10);
+  EXPECT_THROW((void)emb.triple(10), ParamError);
+  EXPECT_THROW((void)emb.point(11), ParamError);
+}
+
+TEST(EmbeddingTest, SingleIndexWorks) {
+  const Embedding emb(1);
+  EXPECT_EQ(emb.triple(0), (Embedding::Triple{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace ice::pir

@@ -1,0 +1,59 @@
+// Tests for PIR message packing and wire-size accounting.
+#include "pir/messages.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ice::pir {
+namespace {
+
+TEST(PirMessagesTest, PackUnpackRoundTrip) {
+  SplitMix64 gen(3);
+  for (std::size_t len : {0u, 1u, 3u, 4u, 5u, 17u, 100u}) {
+    gf::GF4Vector v(len);
+    for (auto& e : v) e = gf::GF4(static_cast<std::uint8_t>(gen.below(4)));
+    const Bytes packed = pack_gf4(v);
+    EXPECT_EQ(packed.size(), (len + 3) / 4);
+    EXPECT_EQ(unpack_gf4(packed, len), v);
+  }
+}
+
+TEST(PirMessagesTest, UnpackShortBufferThrows) {
+  EXPECT_THROW(unpack_gf4(Bytes{0x00}, 5), CodecError);
+  EXPECT_NO_THROW(unpack_gf4(Bytes{0x00}, 4));
+}
+
+TEST(PirMessagesTest, PackingIsDense) {
+  // 4 elements -> 1 byte; values laid out little-endian 2-bit fields.
+  const gf::GF4Vector v = {gf::GF4(1), gf::GF4(2), gf::GF4(3), gf::GF4(0)};
+  const Bytes packed = pack_gf4(v);
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0], 0b00111001);
+}
+
+TEST(PirMessagesTest, QueryWireBits) {
+  PirQuery q;
+  q.points.push_back(gf::GF4Vector(10));
+  q.points.push_back(gf::GF4Vector(10));
+  EXPECT_EQ(wire_bits(q), 2u * 2 * 10);
+}
+
+TEST(PirMessagesTest, ResponseWireBits) {
+  PirSingleResponse e;
+  e.values.assign(64, gf::GF4());
+  e.gradients.assign(64, gf::GF4Vector(9));
+  PirResponse r;
+  r.entries = {e, e, e};
+  // Per entry: 2*64 value bits + 2*64*9 gradient bits.
+  EXPECT_EQ(wire_bits(r), 3u * (2 * 64 + 2 * 64 * 9));
+}
+
+TEST(PirMessagesTest, EmptyMessagesZeroBits) {
+  EXPECT_EQ(wire_bits(PirQuery{}), 0u);
+  EXPECT_EQ(wire_bits(PirResponse{}), 0u);
+}
+
+}  // namespace
+}  // namespace ice::pir

@@ -1,0 +1,106 @@
+// Tests for the TPA tag database and its bitplane (matrix) representation.
+#include "pir/tag_database.h"
+
+#include <gtest/gtest.h>
+
+#include "bignum/random.h"
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace ice::pir {
+namespace {
+
+TEST(TagDatabaseTest, RejectsZeroWidth) {
+  EXPECT_THROW(TagDatabase(0), ParamError);
+}
+
+TEST(TagDatabaseTest, AddAndReadBack) {
+  TagDatabase db(64);
+  EXPECT_EQ(db.add(bn::BigInt(0x1234)), 0u);
+  EXPECT_EQ(db.add(bn::BigInt(0)), 1u);
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.tag(0), bn::BigInt(0x1234));
+  EXPECT_EQ(db.tag(1), bn::BigInt(0));
+}
+
+TEST(TagDatabaseTest, RejectsOversizedTag) {
+  TagDatabase db(8);
+  EXPECT_THROW(db.add(bn::BigInt(256)), ParamError);
+  EXPECT_NO_THROW(db.add(bn::BigInt(255)));
+  EXPECT_THROW(db.add(bn::BigInt(-1)), ParamError);
+}
+
+TEST(TagDatabaseTest, BitsMatchInteger) {
+  TagDatabase db(80);
+  const bn::BigInt tag = bn::BigInt::from_hex("a5a5deadbeef12345678");
+  db.add(tag);
+  for (std::size_t pi = 0; pi < 80; ++pi) {
+    EXPECT_EQ(db.bit(0, pi), tag.bit(pi)) << "bit " << pi;
+  }
+}
+
+TEST(TagDatabaseTest, OutOfRangeAccessThrows) {
+  TagDatabase db(16);
+  db.add(bn::BigInt(1));
+  EXPECT_THROW((void)db.bit(1, 0), ParamError);
+  EXPECT_THROW((void)db.bit(0, 16), ParamError);
+  EXPECT_THROW((void)db.tag(2), ParamError);
+  EXPECT_THROW((void)db.plane(16), ParamError);
+  EXPECT_THROW(db.update(1, bn::BigInt(2)), ParamError);
+}
+
+TEST(TagDatabaseTest, PlanesListSetBits) {
+  TagDatabase db(8);
+  db.add(bn::BigInt(0b00000001));  // index 0: bit 0
+  db.add(bn::BigInt(0b00000011));  // index 1: bits 0,1
+  db.add(bn::BigInt(0b10000000));  // index 2: bit 7
+  EXPECT_EQ(db.plane(0), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(db.plane(1), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(db.plane(7), (std::vector<std::uint32_t>{2}));
+  EXPECT_TRUE(db.plane(5).empty());
+}
+
+TEST(TagDatabaseTest, PlanesRebuiltAfterUpdate) {
+  TagDatabase db(8);
+  db.add(bn::BigInt(0b1));
+  EXPECT_EQ(db.plane(0).size(), 1u);
+  db.update(0, bn::BigInt(0b10));
+  EXPECT_TRUE(db.plane(0).empty());
+  EXPECT_EQ(db.plane(1), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(db.tag(0), bn::BigInt(0b10));
+}
+
+TEST(TagDatabaseTest, PlanesConsistentWithBitsRandomized) {
+  SplitMix64 gen(2024);
+  bn::Rng64Adapter rng(gen);
+  TagDatabase db(192);
+  const std::size_t n = 50;
+  for (std::size_t i = 0; i < n; ++i) {
+    db.add(bn::random_bits(rng, 1 + gen.below(192)));
+  }
+  for (std::size_t pi = 0; pi < 192; ++pi) {
+    std::vector<std::uint32_t> expect;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (db.bit(i, pi)) expect.push_back(static_cast<std::uint32_t>(i));
+    }
+    EXPECT_EQ(db.plane(pi), expect) << "plane " << pi;
+  }
+}
+
+TEST(TagDatabaseTest, RowWordsMatchLimbs) {
+  TagDatabase db(128);
+  const bn::BigInt tag = bn::BigInt::from_hex("0123456789abcdefdeadbeefcafebabe");
+  db.add(tag);
+  const std::uint64_t* r = db.row(0);
+  EXPECT_EQ(r[0], tag.limbs()[0]);
+  EXPECT_EQ(r[1], tag.limbs()[1]);
+}
+
+TEST(TagDatabaseTest, BuildPlanesReturnsTime) {
+  TagDatabase db(64);
+  for (int i = 0; i < 20; ++i) db.add(bn::BigInt(i));
+  EXPECT_GE(db.build_planes(), 0.0);
+}
+
+}  // namespace
+}  // namespace ice::pir

@@ -1,0 +1,106 @@
+// Tests for the scenario simulator.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "support/ice_fixtures.h"
+
+namespace ice::sim {
+namespace {
+
+SimConfig small_config() {
+  SimConfig c;
+  c.n_blocks = 40;
+  c.block_bytes = 128;
+  c.cache_capacity = 8;
+  c.ticks = 120;
+  c.requests_per_tick = 2;
+  c.audit_every = 20;
+  c.flush_every = 60;
+  c.corruption_prob_per_tick = 0.05;
+  return c;
+}
+
+TEST(SimulatorTest, DeterministicForFixedSeed) {
+  const auto keys = ice::testing::test_keypair_256();
+  const SimReport a = run_simulation(small_config(), keys, 7);
+  const SimReport b = run_simulation(small_config(), keys, 7);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.corruptions_injected, b.corruptions_injected);
+  EXPECT_EQ(a.failed_audits, b.failed_audits);
+  EXPECT_EQ(a.blocks_repaired, b.blocks_repaired);
+  EXPECT_EQ(a.updates_lost, b.updates_lost);
+  EXPECT_EQ(a.cache_hits, b.cache_hits);
+}
+
+TEST(SimulatorTest, ReportInternallyConsistent) {
+  const auto keys = ice::testing::test_keypair_256();
+  const SimReport r = run_simulation(small_config(), keys, 8);
+  EXPECT_EQ(r.requests, r.reads + r.writes);
+  EXPECT_EQ(r.requests, 120u * 2);
+  EXPECT_GE(r.audits, 120u / 20);
+  EXPECT_GE(r.failed_audits, 1u);  // 5%/tick for 120 ticks: corruption certain
+  EXPECT_LE(r.failed_audits, r.audits);
+  EXPECT_GE(r.blocks_repaired, r.failed_audits);
+  EXPECT_GT(r.hit_rate(), 0.1);
+  EXPECT_LT(r.hit_rate(), 1.0);
+}
+
+TEST(SimulatorTest, NoCorruptionMeansNoFailures) {
+  SimConfig c = small_config();
+  c.corruption_prob_per_tick = 0.0;
+  const auto keys = ice::testing::test_keypair_256();
+  const SimReport r = run_simulation(c, keys, 9);
+  EXPECT_EQ(r.corruptions_injected, 0u);
+  EXPECT_EQ(r.failed_audits, 0u);
+  EXPECT_EQ(r.blocks_repaired, 0u);
+  EXPECT_EQ(r.updates_lost, 0u);
+}
+
+TEST(SimulatorTest, WritesFlowBackToCloud) {
+  SimConfig c = small_config();
+  c.write_fraction = 0.3;
+  c.corruption_prob_per_tick = 0.0;
+  const auto keys = ice::testing::test_keypair_256();
+  const SimReport r = run_simulation(c, keys, 10);
+  EXPECT_GT(r.writes, 0u);
+  EXPECT_GT(r.flushes, 0u);
+  EXPECT_GT(r.blocks_written_back, 0u);
+}
+
+TEST(SimulatorTest, HeavyWritesUnderCorruptionLoseSomeUpdates) {
+  // The paper's motivating disaster: dirty blocks corrupted before
+  // write-back are unrecoverable. Under aggressive writes + corruption the
+  // simulator must observe (and survive) at least one such loss.
+  SimConfig c = small_config();
+  c.ticks = 300;
+  c.write_fraction = 0.5;
+  c.corruption_prob_per_tick = 0.25;
+  c.audit_every = 10;
+  c.flush_every = 100;
+  const auto keys = ice::testing::test_keypair_256();
+  const SimReport r = run_simulation(c, keys, 11);
+  EXPECT_GT(r.corruptions_injected, 10u);
+  EXPECT_GT(r.updates_lost, 0u);
+  EXPECT_GE(r.blocks_repaired, r.updates_lost);
+}
+
+TEST(SimulatorTest, ZeroWriteFractionNeverLosesUpdates) {
+  SimConfig c = small_config();
+  c.write_fraction = 0.0;
+  c.corruption_prob_per_tick = 0.2;
+  const auto keys = ice::testing::test_keypair_256();
+  const SimReport r = run_simulation(c, keys, 12);
+  EXPECT_EQ(r.writes, 0u);
+  EXPECT_EQ(r.updates_lost, 0u);
+  EXPECT_GT(r.blocks_repaired, 0u);  // clean blocks still get repaired
+}
+
+TEST(SimulatorTest, AuditTimeAccumulates) {
+  const auto keys = ice::testing::test_keypair_256();
+  const SimReport r = run_simulation(small_config(), keys, 13);
+  EXPECT_GT(r.audit_seconds_total, 0.0);
+}
+
+}  // namespace
+}  // namespace ice::sim

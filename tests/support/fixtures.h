@@ -1,0 +1,39 @@
+// Shared test fixtures: pre-generated safe primes so that tests exercising
+// realistic key sizes do not pay minutes of safe-prime search.
+//
+// Generated once (seeded) with 40-round Miller–Rabin; prime_test.cpp
+// re-verifies primality of the 128-bit ones with this library's own tester.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace ice::testing {
+
+// Safe primes p = 2p' + 1 (p' also prime), hex, exact bit lengths.
+inline constexpr std::string_view kSafePrime128[] = {
+    "9c0fed7e75ff0872b00f5aa289a45043",
+    "e9627eb0afce6d6c10c3df253db3e5ab",
+    "ff50d164bf57cd4f6da6af4ba7b015a3",
+    "812f10a2bfbca083544b37ea25919ae7",
+};
+
+inline constexpr std::string_view kSafePrime256[] = {
+    "e44beb1515866fba68468af8631da0cce5d6f12264aa763d5cc233bbd08840bb",
+    "84d17fc49fdd91edb379dbf82494d568134da67b9c153dafece0826fe68e3447",
+    "8700f2e26b3c55c1ebabc00a279d3196faf500d624215cd7d123ed37717b66b7",
+    "fad5f8cedd10519e8641ecd277e37d68d8841c6871cb7ae332539c7e422bad6b",
+};
+
+inline constexpr std::string_view kSafePrime512[] = {
+    "d910e3b27182e2137ffbfd0e6f56239142fafeb64c4f170e9dece7710ec4f42c"
+    "dc229f9f270e7c22cdf6d8ed9670743597c151bfbbed1f34984f1e922bf94c83",
+    "8f3958def5298492ece4f64345f6c1343a288a0d73a2b5176227dc0d1139f094"
+    "18ac4922c01812b1f16d330fe318395756c486893d865d430a2ed110c6bafe3f",
+    "f62ba8fbff1e6d9fd0ff2df9fd4cda599f5bf879c1bae7d249c5aecdb7b359cc"
+    "fd73be49d290992c580025384920fbd4cfa9e60f062f0f3f8ae1c10ad2bbe96b",
+    "9f2b4894644c67b19b607243d68ae27b1f46e541be4588c038f5f8338a79472f"
+    "f03f8d065b58800e5eb151cbc164cc627b31ac600ff8a6df82d6870d794d46bf",
+};
+
+}  // namespace ice::testing

@@ -1,0 +1,67 @@
+// Shared ICE test scaffolding: cached keypairs from the safe-prime fixtures
+// and deterministic block generation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "ice/keys.h"
+#include "ice/params.h"
+#include "support/fixtures.h"
+
+namespace ice::testing {
+
+/// 256-bit-modulus keypair built from cached 128-bit safe primes (index
+/// selects the prime pair so tests can get distinct keys).
+inline proto::KeyPair test_keypair_256(std::uint64_t seed = 0,
+                                       std::size_t pair = 0) {
+  SplitMix64 gen(0x9e1 + seed);
+  bn::Rng64Adapter rng(gen);
+  const bn::BigInt p =
+      bn::BigInt::from_hex(std::string(kSafePrime128[(2 * pair) % 4]));
+  const bn::BigInt q =
+      bn::BigInt::from_hex(std::string(kSafePrime128[(2 * pair + 1) % 4]));
+  return proto::keygen_from_primes(p, q, rng, /*validate_primality=*/false);
+}
+
+/// 512-bit-modulus keypair from cached 256-bit safe primes.
+inline proto::KeyPair test_keypair_512(std::uint64_t seed = 0) {
+  SplitMix64 gen(0x9e2 + seed);
+  bn::Rng64Adapter rng(gen);
+  return proto::keygen_from_primes(
+      bn::BigInt::from_hex(std::string(kSafePrime256[0])),
+      bn::BigInt::from_hex(std::string(kSafePrime256[1])), rng,
+      /*validate_primality=*/false);
+}
+
+/// 1024-bit-modulus keypair from cached 512-bit safe primes (paper size).
+inline proto::KeyPair test_keypair_1024(std::uint64_t seed = 0) {
+  SplitMix64 gen(0x9e3 + seed);
+  bn::Rng64Adapter rng(gen);
+  return proto::keygen_from_primes(
+      bn::BigInt::from_hex(std::string(kSafePrime512[0])),
+      bn::BigInt::from_hex(std::string(kSafePrime512[1])), rng,
+      /*validate_primality=*/false);
+}
+
+/// Protocol parameters matching test_keypair_256 with small blocks.
+inline proto::ProtocolParams test_params(std::size_t block_bytes = 128) {
+  proto::ProtocolParams p = proto::ProtocolParams::test();
+  p.block_bytes = block_bytes;
+  return p;
+}
+
+/// Deterministic pseudo-random blocks.
+inline std::vector<Bytes> make_blocks(std::size_t n, std::size_t bytes,
+                                      std::uint64_t seed) {
+  SplitMix64 rng(seed);
+  std::vector<Bytes> blocks(n);
+  for (auto& b : blocks) {
+    b.resize(bytes);
+    for (auto& byte : b) byte = static_cast<std::uint8_t>(rng());
+  }
+  return blocks;
+}
+
+}  // namespace ice::testing
