@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pir.dir/bench_ablation_pir.cpp.o"
+  "CMakeFiles/bench_ablation_pir.dir/bench_ablation_pir.cpp.o.d"
+  "bench_ablation_pir"
+  "bench_ablation_pir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_edge_proof.dir/bench_fig6_edge_proof.cpp.o"
+  "CMakeFiles/bench_fig6_edge_proof.dir/bench_fig6_edge_proof.cpp.o.d"
+  "bench_fig6_edge_proof"
+  "bench_fig6_edge_proof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_edge_proof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

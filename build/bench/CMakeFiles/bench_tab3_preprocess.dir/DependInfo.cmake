@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tab3_preprocess.cpp" "bench/CMakeFiles/bench_tab3_preprocess.dir/bench_tab3_preprocess.cpp.o" "gcc" "bench/CMakeFiles/bench_tab3_preprocess.dir/bench_tab3_preprocess.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ice/CMakeFiles/ice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/ice_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/pir/CMakeFiles/ice_pir.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ice_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ice_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/ice_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ice_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ice_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/audit_and_repair.dir/audit_and_repair.cpp.o"
+  "CMakeFiles/audit_and_repair.dir/audit_and_repair.cpp.o.d"
+  "audit_and_repair"
+  "audit_and_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/audit_and_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

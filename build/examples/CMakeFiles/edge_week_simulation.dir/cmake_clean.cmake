@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_week_simulation.dir/edge_week_simulation.cpp.o"
+  "CMakeFiles/edge_week_simulation.dir/edge_week_simulation.cpp.o.d"
+  "edge_week_simulation"
+  "edge_week_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_week_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_cli.dir/ice_cli.cpp.o"
+  "CMakeFiles/ice_cli.dir/ice_cli.cpp.o.d"
+  "ice_cli"
+  "ice_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

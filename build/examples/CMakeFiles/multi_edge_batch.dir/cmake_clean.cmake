@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_edge_batch.dir/multi_edge_batch.cpp.o"
+  "CMakeFiles/multi_edge_batch.dir/multi_edge_batch.cpp.o.d"
+  "multi_edge_batch"
+  "multi_edge_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_edge_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_edge_audit.dir/video_edge_audit.cpp.o"
+  "CMakeFiles/video_edge_audit.dir/video_edge_audit.cpp.o.d"
+  "video_edge_audit"
+  "video_edge_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_edge_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

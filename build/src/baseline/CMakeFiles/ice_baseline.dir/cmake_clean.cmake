@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_baseline.dir/trivial_retrieval.cpp.o"
+  "CMakeFiles/ice_baseline.dir/trivial_retrieval.cpp.o.d"
+  "libice_baseline.a"
+  "libice_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

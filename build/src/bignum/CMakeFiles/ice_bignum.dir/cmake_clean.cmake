@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_bignum.dir/bigint.cpp.o"
+  "CMakeFiles/ice_bignum.dir/bigint.cpp.o.d"
+  "CMakeFiles/ice_bignum.dir/montgomery.cpp.o"
+  "CMakeFiles/ice_bignum.dir/montgomery.cpp.o.d"
+  "CMakeFiles/ice_bignum.dir/prime.cpp.o"
+  "CMakeFiles/ice_bignum.dir/prime.cpp.o.d"
+  "CMakeFiles/ice_bignum.dir/random.cpp.o"
+  "CMakeFiles/ice_bignum.dir/random.cpp.o.d"
+  "libice_bignum.a"
+  "libice_bignum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_bignum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_common.dir/bytes.cpp.o"
+  "CMakeFiles/ice_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/ice_common.dir/stats.cpp.o"
+  "CMakeFiles/ice_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ice_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/ice_common.dir/thread_pool.cpp.o.d"
+  "libice_common.a"
+  "libice_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

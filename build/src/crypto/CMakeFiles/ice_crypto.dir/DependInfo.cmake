@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/ice_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/ice_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/csprng.cpp" "src/crypto/CMakeFiles/ice_crypto.dir/csprng.cpp.o" "gcc" "src/crypto/CMakeFiles/ice_crypto.dir/csprng.cpp.o.d"
+  "/root/repo/src/crypto/prf.cpp" "src/crypto/CMakeFiles/ice_crypto.dir/prf.cpp.o" "gcc" "src/crypto/CMakeFiles/ice_crypto.dir/prf.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/ice_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/ice_crypto.dir/sha256.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ice_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ice_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

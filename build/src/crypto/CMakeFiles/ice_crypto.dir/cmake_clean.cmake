@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/ice_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/ice_crypto.dir/csprng.cpp.o"
+  "CMakeFiles/ice_crypto.dir/csprng.cpp.o.d"
+  "CMakeFiles/ice_crypto.dir/prf.cpp.o"
+  "CMakeFiles/ice_crypto.dir/prf.cpp.o.d"
+  "CMakeFiles/ice_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/ice_crypto.dir/sha256.cpp.o.d"
+  "libice_crypto.a"
+  "libice_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

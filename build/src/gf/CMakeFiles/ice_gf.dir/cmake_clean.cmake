@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_gf.dir/gf4.cpp.o"
+  "CMakeFiles/ice_gf.dir/gf4.cpp.o.d"
+  "CMakeFiles/ice_gf.dir/gf4_matrix.cpp.o"
+  "CMakeFiles/ice_gf.dir/gf4_matrix.cpp.o.d"
+  "libice_gf.a"
+  "libice_gf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_gf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ice/audit_log.cpp" "src/ice/CMakeFiles/ice_core.dir/audit_log.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/audit_log.cpp.o.d"
+  "/root/repo/src/ice/batch.cpp" "src/ice/CMakeFiles/ice_core.dir/batch.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/batch.cpp.o.d"
+  "/root/repo/src/ice/cloud_audit.cpp" "src/ice/CMakeFiles/ice_core.dir/cloud_audit.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/cloud_audit.cpp.o.d"
+  "/root/repo/src/ice/csp_service.cpp" "src/ice/CMakeFiles/ice_core.dir/csp_service.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/csp_service.cpp.o.d"
+  "/root/repo/src/ice/edge_service.cpp" "src/ice/CMakeFiles/ice_core.dir/edge_service.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/edge_service.cpp.o.d"
+  "/root/repo/src/ice/keys.cpp" "src/ice/CMakeFiles/ice_core.dir/keys.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/keys.cpp.o.d"
+  "/root/repo/src/ice/localize.cpp" "src/ice/CMakeFiles/ice_core.dir/localize.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/localize.cpp.o.d"
+  "/root/repo/src/ice/persist.cpp" "src/ice/CMakeFiles/ice_core.dir/persist.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/persist.cpp.o.d"
+  "/root/repo/src/ice/protocol.cpp" "src/ice/CMakeFiles/ice_core.dir/protocol.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/protocol.cpp.o.d"
+  "/root/repo/src/ice/tag.cpp" "src/ice/CMakeFiles/ice_core.dir/tag.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/tag.cpp.o.d"
+  "/root/repo/src/ice/tag_store.cpp" "src/ice/CMakeFiles/ice_core.dir/tag_store.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/tag_store.cpp.o.d"
+  "/root/repo/src/ice/tpa_service.cpp" "src/ice/CMakeFiles/ice_core.dir/tpa_service.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/tpa_service.cpp.o.d"
+  "/root/repo/src/ice/user_client.cpp" "src/ice/CMakeFiles/ice_core.dir/user_client.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/user_client.cpp.o.d"
+  "/root/repo/src/ice/wire.cpp" "src/ice/CMakeFiles/ice_core.dir/wire.cpp.o" "gcc" "src/ice/CMakeFiles/ice_core.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ice_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ice_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ice_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ice_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/pir/CMakeFiles/ice_pir.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ice_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/ice_mec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

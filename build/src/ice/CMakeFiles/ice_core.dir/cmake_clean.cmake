@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_core.dir/audit_log.cpp.o"
+  "CMakeFiles/ice_core.dir/audit_log.cpp.o.d"
+  "CMakeFiles/ice_core.dir/batch.cpp.o"
+  "CMakeFiles/ice_core.dir/batch.cpp.o.d"
+  "CMakeFiles/ice_core.dir/cloud_audit.cpp.o"
+  "CMakeFiles/ice_core.dir/cloud_audit.cpp.o.d"
+  "CMakeFiles/ice_core.dir/csp_service.cpp.o"
+  "CMakeFiles/ice_core.dir/csp_service.cpp.o.d"
+  "CMakeFiles/ice_core.dir/edge_service.cpp.o"
+  "CMakeFiles/ice_core.dir/edge_service.cpp.o.d"
+  "CMakeFiles/ice_core.dir/keys.cpp.o"
+  "CMakeFiles/ice_core.dir/keys.cpp.o.d"
+  "CMakeFiles/ice_core.dir/localize.cpp.o"
+  "CMakeFiles/ice_core.dir/localize.cpp.o.d"
+  "CMakeFiles/ice_core.dir/persist.cpp.o"
+  "CMakeFiles/ice_core.dir/persist.cpp.o.d"
+  "CMakeFiles/ice_core.dir/protocol.cpp.o"
+  "CMakeFiles/ice_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/ice_core.dir/tag.cpp.o"
+  "CMakeFiles/ice_core.dir/tag.cpp.o.d"
+  "CMakeFiles/ice_core.dir/tag_store.cpp.o"
+  "CMakeFiles/ice_core.dir/tag_store.cpp.o.d"
+  "CMakeFiles/ice_core.dir/tpa_service.cpp.o"
+  "CMakeFiles/ice_core.dir/tpa_service.cpp.o.d"
+  "CMakeFiles/ice_core.dir/user_client.cpp.o"
+  "CMakeFiles/ice_core.dir/user_client.cpp.o.d"
+  "CMakeFiles/ice_core.dir/wire.cpp.o"
+  "CMakeFiles/ice_core.dir/wire.cpp.o.d"
+  "libice_core.a"
+  "libice_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

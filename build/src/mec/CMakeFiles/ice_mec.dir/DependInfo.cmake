@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mec/block_store.cpp" "src/mec/CMakeFiles/ice_mec.dir/block_store.cpp.o" "gcc" "src/mec/CMakeFiles/ice_mec.dir/block_store.cpp.o.d"
+  "/root/repo/src/mec/corruption.cpp" "src/mec/CMakeFiles/ice_mec.dir/corruption.cpp.o" "gcc" "src/mec/CMakeFiles/ice_mec.dir/corruption.cpp.o.d"
+  "/root/repo/src/mec/edge_cache.cpp" "src/mec/CMakeFiles/ice_mec.dir/edge_cache.cpp.o" "gcc" "src/mec/CMakeFiles/ice_mec.dir/edge_cache.cpp.o.d"
+  "/root/repo/src/mec/workload.cpp" "src/mec/CMakeFiles/ice_mec.dir/workload.cpp.o" "gcc" "src/mec/CMakeFiles/ice_mec.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ice_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ice_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ice_bignum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

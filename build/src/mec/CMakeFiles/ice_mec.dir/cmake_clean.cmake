@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_mec.dir/block_store.cpp.o"
+  "CMakeFiles/ice_mec.dir/block_store.cpp.o.d"
+  "CMakeFiles/ice_mec.dir/corruption.cpp.o"
+  "CMakeFiles/ice_mec.dir/corruption.cpp.o.d"
+  "CMakeFiles/ice_mec.dir/edge_cache.cpp.o"
+  "CMakeFiles/ice_mec.dir/edge_cache.cpp.o.d"
+  "CMakeFiles/ice_mec.dir/workload.cpp.o"
+  "CMakeFiles/ice_mec.dir/workload.cpp.o.d"
+  "libice_mec.a"
+  "libice_mec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_mec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

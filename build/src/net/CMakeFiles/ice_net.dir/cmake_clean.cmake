@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_net.dir/serde.cpp.o"
+  "CMakeFiles/ice_net.dir/serde.cpp.o.d"
+  "CMakeFiles/ice_net.dir/tcp.cpp.o"
+  "CMakeFiles/ice_net.dir/tcp.cpp.o.d"
+  "CMakeFiles/ice_net.dir/tenant.cpp.o"
+  "CMakeFiles/ice_net.dir/tenant.cpp.o.d"
+  "libice_net.a"
+  "libice_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pir/client.cpp" "src/pir/CMakeFiles/ice_pir.dir/client.cpp.o" "gcc" "src/pir/CMakeFiles/ice_pir.dir/client.cpp.o.d"
+  "/root/repo/src/pir/embedding.cpp" "src/pir/CMakeFiles/ice_pir.dir/embedding.cpp.o" "gcc" "src/pir/CMakeFiles/ice_pir.dir/embedding.cpp.o.d"
+  "/root/repo/src/pir/messages.cpp" "src/pir/CMakeFiles/ice_pir.dir/messages.cpp.o" "gcc" "src/pir/CMakeFiles/ice_pir.dir/messages.cpp.o.d"
+  "/root/repo/src/pir/server.cpp" "src/pir/CMakeFiles/ice_pir.dir/server.cpp.o" "gcc" "src/pir/CMakeFiles/ice_pir.dir/server.cpp.o.d"
+  "/root/repo/src/pir/tag_database.cpp" "src/pir/CMakeFiles/ice_pir.dir/tag_database.cpp.o" "gcc" "src/pir/CMakeFiles/ice_pir.dir/tag_database.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ice_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ice_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ice_gf.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_pir.dir/client.cpp.o"
+  "CMakeFiles/ice_pir.dir/client.cpp.o.d"
+  "CMakeFiles/ice_pir.dir/embedding.cpp.o"
+  "CMakeFiles/ice_pir.dir/embedding.cpp.o.d"
+  "CMakeFiles/ice_pir.dir/messages.cpp.o"
+  "CMakeFiles/ice_pir.dir/messages.cpp.o.d"
+  "CMakeFiles/ice_pir.dir/server.cpp.o"
+  "CMakeFiles/ice_pir.dir/server.cpp.o.d"
+  "CMakeFiles/ice_pir.dir/tag_database.cpp.o"
+  "CMakeFiles/ice_pir.dir/tag_database.cpp.o.d"
+  "libice_pir.a"
+  "libice_pir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_pir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

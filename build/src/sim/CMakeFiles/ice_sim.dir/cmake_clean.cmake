@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_sim.dir/simulator.cpp.o"
+  "CMakeFiles/ice_sim.dir/simulator.cpp.o.d"
+  "libice_sim.a"
+  "libice_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bignum/bigint_property_test.cpp" "tests/CMakeFiles/bignum_test.dir/bignum/bigint_property_test.cpp.o" "gcc" "tests/CMakeFiles/bignum_test.dir/bignum/bigint_property_test.cpp.o.d"
+  "/root/repo/tests/bignum/bigint_test.cpp" "tests/CMakeFiles/bignum_test.dir/bignum/bigint_test.cpp.o" "gcc" "tests/CMakeFiles/bignum_test.dir/bignum/bigint_test.cpp.o.d"
+  "/root/repo/tests/bignum/montgomery_test.cpp" "tests/CMakeFiles/bignum_test.dir/bignum/montgomery_test.cpp.o" "gcc" "tests/CMakeFiles/bignum_test.dir/bignum/montgomery_test.cpp.o.d"
+  "/root/repo/tests/bignum/prime_test.cpp" "tests/CMakeFiles/bignum_test.dir/bignum/prime_test.cpp.o" "gcc" "tests/CMakeFiles/bignum_test.dir/bignum/prime_test.cpp.o.d"
+  "/root/repo/tests/bignum/stress_test.cpp" "tests/CMakeFiles/bignum_test.dir/bignum/stress_test.cpp.o" "gcc" "tests/CMakeFiles/bignum_test.dir/bignum/stress_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bignum/CMakeFiles/ice_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

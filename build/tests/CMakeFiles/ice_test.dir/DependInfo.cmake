@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ice/audit_log_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/audit_log_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/audit_log_test.cpp.o.d"
+  "/root/repo/tests/ice/batch_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/batch_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/batch_test.cpp.o.d"
+  "/root/repo/tests/ice/cloud_audit_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/cloud_audit_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/cloud_audit_test.cpp.o.d"
+  "/root/repo/tests/ice/dynamics_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/dynamics_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/dynamics_test.cpp.o.d"
+  "/root/repo/tests/ice/e2e_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/e2e_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/e2e_test.cpp.o.d"
+  "/root/repo/tests/ice/fuzz_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/fuzz_test.cpp.o.d"
+  "/root/repo/tests/ice/keys_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/keys_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/keys_test.cpp.o.d"
+  "/root/repo/tests/ice/localize_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/localize_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/localize_test.cpp.o.d"
+  "/root/repo/tests/ice/persist_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/persist_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/persist_test.cpp.o.d"
+  "/root/repo/tests/ice/protocol_sweep_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/protocol_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/protocol_sweep_test.cpp.o.d"
+  "/root/repo/tests/ice/protocol_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/protocol_test.cpp.o.d"
+  "/root/repo/tests/ice/tag_store_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/tag_store_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/tag_store_test.cpp.o.d"
+  "/root/repo/tests/ice/tcp_e2e_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/tcp_e2e_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/tcp_e2e_test.cpp.o.d"
+  "/root/repo/tests/ice/wire_test.cpp" "tests/CMakeFiles/ice_test.dir/ice/wire_test.cpp.o" "gcc" "tests/CMakeFiles/ice_test.dir/ice/wire_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ice/CMakeFiles/ice_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/pir/CMakeFiles/ice_pir.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ice_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/ice_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mec/CMakeFiles/ice_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ice_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ice_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ice_test.dir/ice/audit_log_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/audit_log_test.cpp.o.d"
+  "CMakeFiles/ice_test.dir/ice/batch_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/batch_test.cpp.o.d"
+  "CMakeFiles/ice_test.dir/ice/cloud_audit_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/cloud_audit_test.cpp.o.d"
+  "CMakeFiles/ice_test.dir/ice/dynamics_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/dynamics_test.cpp.o.d"
+  "CMakeFiles/ice_test.dir/ice/e2e_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/e2e_test.cpp.o.d"
+  "CMakeFiles/ice_test.dir/ice/fuzz_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/fuzz_test.cpp.o.d"
+  "CMakeFiles/ice_test.dir/ice/keys_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/keys_test.cpp.o.d"
+  "CMakeFiles/ice_test.dir/ice/localize_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/localize_test.cpp.o.d"
+  "CMakeFiles/ice_test.dir/ice/persist_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/persist_test.cpp.o.d"
+  "CMakeFiles/ice_test.dir/ice/protocol_sweep_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/protocol_sweep_test.cpp.o.d"
+  "CMakeFiles/ice_test.dir/ice/protocol_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/protocol_test.cpp.o.d"
+  "CMakeFiles/ice_test.dir/ice/tag_store_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/tag_store_test.cpp.o.d"
+  "CMakeFiles/ice_test.dir/ice/tcp_e2e_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/tcp_e2e_test.cpp.o.d"
+  "CMakeFiles/ice_test.dir/ice/wire_test.cpp.o"
+  "CMakeFiles/ice_test.dir/ice/wire_test.cpp.o.d"
+  "ice_test"
+  "ice_test.pdb"
+  "ice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

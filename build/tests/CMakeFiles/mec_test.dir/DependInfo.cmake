@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mec/block_store_test.cpp" "tests/CMakeFiles/mec_test.dir/mec/block_store_test.cpp.o" "gcc" "tests/CMakeFiles/mec_test.dir/mec/block_store_test.cpp.o.d"
+  "/root/repo/tests/mec/edge_cache_test.cpp" "tests/CMakeFiles/mec_test.dir/mec/edge_cache_test.cpp.o" "gcc" "tests/CMakeFiles/mec_test.dir/mec/edge_cache_test.cpp.o.d"
+  "/root/repo/tests/mec/workload_corruption_test.cpp" "tests/CMakeFiles/mec_test.dir/mec/workload_corruption_test.cpp.o" "gcc" "tests/CMakeFiles/mec_test.dir/mec/workload_corruption_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mec/CMakeFiles/ice_mec.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ice_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ice_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

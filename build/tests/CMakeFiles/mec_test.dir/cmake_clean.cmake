@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mec_test.dir/mec/block_store_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/block_store_test.cpp.o.d"
+  "CMakeFiles/mec_test.dir/mec/edge_cache_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/edge_cache_test.cpp.o.d"
+  "CMakeFiles/mec_test.dir/mec/workload_corruption_test.cpp.o"
+  "CMakeFiles/mec_test.dir/mec/workload_corruption_test.cpp.o.d"
+  "mec_test"
+  "mec_test.pdb"
+  "mec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

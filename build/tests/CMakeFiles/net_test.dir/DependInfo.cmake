@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/serde_test.cpp" "tests/CMakeFiles/net_test.dir/net/serde_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/serde_test.cpp.o.d"
+  "/root/repo/tests/net/tenant_test.cpp" "tests/CMakeFiles/net_test.dir/net/tenant_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/tenant_test.cpp.o.d"
+  "/root/repo/tests/net/transport_test.cpp" "tests/CMakeFiles/net_test.dir/net/transport_test.cpp.o" "gcc" "tests/CMakeFiles/net_test.dir/net/transport_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/ice_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ice_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

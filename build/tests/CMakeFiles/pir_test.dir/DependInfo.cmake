@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pir/embedding_test.cpp" "tests/CMakeFiles/pir_test.dir/pir/embedding_test.cpp.o" "gcc" "tests/CMakeFiles/pir_test.dir/pir/embedding_test.cpp.o.d"
+  "/root/repo/tests/pir/messages_test.cpp" "tests/CMakeFiles/pir_test.dir/pir/messages_test.cpp.o" "gcc" "tests/CMakeFiles/pir_test.dir/pir/messages_test.cpp.o.d"
+  "/root/repo/tests/pir/pir_roundtrip_test.cpp" "tests/CMakeFiles/pir_test.dir/pir/pir_roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/pir_test.dir/pir/pir_roundtrip_test.cpp.o.d"
+  "/root/repo/tests/pir/tag_database_test.cpp" "tests/CMakeFiles/pir_test.dir/pir/tag_database_test.cpp.o" "gcc" "tests/CMakeFiles/pir_test.dir/pir/tag_database_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pir/CMakeFiles/ice_pir.dir/DependInfo.cmake"
+  "/root/repo/build/src/bignum/CMakeFiles/ice_bignum.dir/DependInfo.cmake"
+  "/root/repo/build/src/gf/CMakeFiles/ice_gf.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ice_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
