@@ -7,6 +7,8 @@
 // micro benchmark; time grows with both |S_j| and n.
 #include "support.h"
 
+#include <thread>
+
 #include "ice/tag_store.h"
 #include "pir/client.h"
 
@@ -60,6 +62,55 @@ void run_sweep(const char* label, std::size_t n,
   }
 }
 
+// Thread sweep: one tag response (n = 150, |S_j| = 5) per strategy at
+// parallelism 1/2/4/hw. All K bitplane polynomials shard across the pool
+// (bitplane slices for naive/matrix, tag-row shards for bitsliced), so
+// every strategy scales with cores — and returns bit-identical responses
+// (tests/ice/parallel_diff_test.cpp).
+void run_thread_sweep() {
+  using namespace ice;
+  using namespace ice::bench;
+  const std::size_t hw =
+      std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  std::vector<std::size_t> threads{1, 2, 4};
+  if (hw != 1 && hw != 2 && hw != 4) threads.push_back(hw);
+
+  constexpr std::size_t kN = 150;
+  constexpr std::size_t kSj = 5;
+  const auto tags = synthetic_tags(kN, kTagBits, 77);
+  const pir::Embedding emb(kN);
+
+  std::printf("\nThread sweep (n = %zu, |S_j| = %zu, hardware threads: "
+              "%zu)\n", kN, kSj, hw);
+  std::printf("%-8s %14s %14s %14s\n", "threads", "naive (ms)",
+              "matrix (ms)", "bitsliced(ms)");
+  std::vector<double> naive_s, matrix_s, bits_s;
+  for (std::size_t t : threads) {
+    proto::ProtocolParams params;
+    params.modulus_bits = kTagBits;
+    params.parallelism = t;
+    proto::TagStore naive(params, tags, pir::EvalStrategy::kNaive);
+    proto::TagStore matrix(params, tags, pir::EvalStrategy::kMatrix);
+    proto::TagStore bits(params, tags, pir::EvalStrategy::kBitsliced);
+    naive_s.push_back(tag_response_seconds(naive, emb, kSj, 31, 1));
+    matrix_s.push_back(tag_response_seconds(matrix, emb, kSj, 31, 3));
+    bits_s.push_back(tag_response_seconds(bits, emb, kSj, 31, 3));
+    std::printf("%-8zu %14.2f %14.2f %14.3f\n", t, naive_s.back() * 1e3,
+                matrix_s.back() * 1e3, bits_s.back() * 1e3);
+  }
+
+  std::string body;
+  body += "{\"hardware_concurrency\": " + std::to_string(hw);
+  body += ", \"n\": " + std::to_string(kN);
+  body += ", \"s_j\": " + std::to_string(kSj);
+  body += ", \"threads\": " + json_array(threads);
+  body += ", \"naive_seconds\": " + json_array(naive_s);
+  body += ", \"matrix_seconds\": " + json_array(matrix_s);
+  body += ", \"bitsliced_seconds\": " + json_array(bits_s);
+  body += "}";
+  emit_parallel_json("fig2_tag_response", body);
+}
+
 }  // namespace
 
 int main() {
@@ -80,5 +131,7 @@ int main() {
 
   std::printf("\nShape check vs paper: matrix << naive; both grow with "
               "|S_j| and n.\n");
+
+  run_thread_sweep();
   return 0;
 }

@@ -8,7 +8,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -173,6 +176,59 @@ inline constexpr double kRasPiSlowdown = 15.0;
 
 inline void print_header(const char* title) {
   std::printf("\n=== %s ===\n", title);
+}
+
+/// Formats a JSON array of numbers ("[1, 2, 4]" / "[0.125, ...]").
+inline std::string json_array(const std::vector<double>& v) {
+  std::ostringstream out;
+  out << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i != 0) out << ", ";
+    out << v[i];
+  }
+  out << ']';
+  return out.str();
+}
+
+inline std::string json_array(const std::vector<std::size_t>& v) {
+  return json_array(std::vector<double>(v.begin(), v.end()));
+}
+
+/// Merges one section into BENCH_parallel.json in the working directory.
+/// The file is an object with one single-line entry per bench
+/// (`  "section": {...}`); benches rewrite only their own entry, so running
+/// bench_fig6_edge_proof and bench_fig2_tag_response in either order
+/// accumulates both thread sweeps in one file. `body` must be a one-line
+/// JSON object.
+inline void emit_parallel_json(const std::string& section,
+                               const std::string& body,
+                               const char* path = "BENCH_parallel.json") {
+  std::map<std::string, std::string> entries;
+  if (std::ifstream in{path}) {
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto key_begin = line.find('"');
+      if (key_begin == std::string::npos) continue;  // '{' / '}' framing
+      const auto key_end = line.find('"', key_begin + 1);
+      const auto value_begin = line.find('{', key_end);
+      if (key_end == std::string::npos || value_begin == std::string::npos) {
+        continue;
+      }
+      std::string value = line.substr(value_begin);
+      if (!value.empty() && value.back() == ',') value.pop_back();
+      entries[line.substr(key_begin + 1, key_end - key_begin - 1)] = value;
+    }
+  }
+  entries[section] = body;
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n";
+  std::size_t i = 0;
+  for (const auto& [key, value] : entries) {
+    out << "  \"" << key << "\": " << value
+        << (++i == entries.size() ? "\n" : ",\n");
+  }
+  out << "}\n";
+  std::printf("[wrote %s section %s]\n", path, section.c_str());
 }
 
 }  // namespace ice::bench

@@ -1,0 +1,36 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace ice {
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool(
+      std::max<std::size_t>(1, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+std::size_t resolve_parallelism(std::size_t requested) {
+  if (requested != 0) return requested;
+  return std::max<std::size_t>(1, std::thread::hardware_concurrency());
+}
+
+std::vector<ChunkRange> partition_range(std::size_t n,
+                                        std::size_t max_chunks) {
+  std::vector<ChunkRange> chunks;
+  if (n == 0) return chunks;
+  const std::size_t count = std::min(std::max<std::size_t>(1, max_chunks), n);
+  chunks.reserve(count);
+  const std::size_t base = n / count;
+  const std::size_t extra = n % count;
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < count; ++c) {
+    const std::size_t len = base + (c < extra ? 1 : 0);
+    chunks.push_back({begin, begin + len});
+    begin += len;
+  }
+  return chunks;
+}
+
+}  // namespace ice

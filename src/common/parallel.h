@@ -1,0 +1,90 @@
+// Chunked fan-out over a process-wide shared ThreadPool.
+//
+// Every parallel audit hot path (edge proof aggregation, PIR bitplane
+// evaluation, TPA multi-exponentiation) is expressed as: partition an index
+// range into at most `threads` contiguous chunks, compute a per-chunk
+// partial on pool workers, then reduce the partials in chunk order on the
+// caller. All reductions used are exact (integer addition, modular
+// multiplication, XOR, or writes to disjoint output slots), so the result
+// is bit-identical for every thread count — the differential tests in
+// tests/ice/parallel_diff_test.cpp pin parallel == serial.
+//
+// `threads` follows the ProtocolParams::parallelism convention:
+//   0  — one chunk per hardware thread (the default);
+//   1  — exact single-threaded legacy path (no pool involvement);
+//   t  — at most t chunks.
+#pragma once
+
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <utility>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace ice {
+
+/// The process-wide pool shared by all parallel audit paths. Created on
+/// first use with one worker per hardware thread; never torn down before
+/// static destruction.
+ThreadPool& shared_pool();
+
+/// Maps a ProtocolParams::parallelism value to a concrete chunk budget
+/// (0 -> hardware concurrency, never less than 1).
+[[nodiscard]] std::size_t resolve_parallelism(std::size_t requested);
+
+/// Half-open index range [begin, end).
+struct ChunkRange {
+  std::size_t begin;
+  std::size_t end;
+};
+
+/// Balanced partition of [0, n) into min(max_chunks, n) non-empty
+/// contiguous ranges (front chunks take the remainder). Empty for n == 0.
+[[nodiscard]] std::vector<ChunkRange> partition_range(std::size_t n,
+                                                      std::size_t max_chunks);
+
+/// Invokes fn(chunk_index, begin, end) for every chunk of [0, n), with the
+/// chunk budget resolved from `threads` as described above. Runs inline
+/// (sequential, in chunk order) when only one chunk results or when the
+/// caller is itself a pool worker; otherwise chunk 0 runs on the caller
+/// while the rest run on the shared pool. Blocks until every chunk is done;
+/// rethrows the first chunk exception after all chunks have finished.
+template <typename Fn>
+void parallel_chunks(std::size_t n, std::size_t threads, Fn&& fn) {
+  const std::vector<ChunkRange> chunks =
+      partition_range(n, resolve_parallelism(threads));
+  if (chunks.size() <= 1 || ThreadPool::on_pool_thread()) {
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      fn(c, chunks[c].begin, chunks[c].end);
+    }
+    return;
+  }
+  ThreadPool& pool = shared_pool();
+  std::vector<std::future<void>> pending;
+  pending.reserve(chunks.size() - 1);
+  for (std::size_t c = 1; c < chunks.size(); ++c) {
+    pending.push_back(pool.submit(
+        [&fn, c, range = chunks[c]] { fn(c, range.begin, range.end); }));
+  }
+  // The caller is one of the workers; even if its chunk throws, every
+  // submitted chunk must be joined before unwinding (tasks capture fn and
+  // caller-owned state by reference).
+  std::exception_ptr first_error;
+  try {
+    fn(0, chunks[0].begin, chunks[0].end);
+  } catch (...) {
+    first_error = std::current_exception();
+  }
+  for (auto& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace ice

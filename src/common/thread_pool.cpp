@@ -4,6 +4,12 @@
 
 namespace ice {
 
+namespace {
+thread_local bool t_on_pool_thread = false;
+}  // namespace
+
+bool ThreadPool::on_pool_thread() { return t_on_pool_thread; }
+
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
     throw std::invalid_argument("ThreadPool: need at least one thread");
@@ -24,6 +30,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  t_on_pool_thread = true;
   for (;;) {
     std::function<void()> task;
     {

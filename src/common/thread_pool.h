@@ -47,6 +47,12 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  /// True when the calling thread is a worker of ANY ThreadPool. The
+  /// chunked fan-out helpers (common/parallel.h) use this to run nested
+  /// parallel regions inline: a worker that blocked on sub-tasks of a
+  /// saturated pool would deadlock it.
+  [[nodiscard]] static bool on_pool_thread();
+
  private:
   void worker_loop();
 

@@ -5,6 +5,7 @@
 
 #include "bignum/montgomery.h"
 #include "common/error.h"
+#include "common/parallel.h"
 #include "crypto/prf.h"
 
 namespace ice::proto {
@@ -39,14 +40,48 @@ Proof make_batch_proof(const PublicKey& pk, const ProtocolParams& params,
                        const std::vector<Bytes>& blocks, const bn::BigInt& e_j,
                        const bn::BigInt& g_s) {
   if (blocks.empty()) throw ParamError("make_batch_proof: no blocks");
-  crypto::CoefficientPrf prf(e_j, params.coeff_bits);
+  // Same chunked-aggregation scheme as make_proof: expand the sequential
+  // coefficient stream once, sum a_k * m_k per chunk, add partials in chunk
+  // order (exact integer addition — bit-identical at every thread count),
+  // then one modexp.
+  const std::vector<bn::BigInt> coeffs =
+      crypto::CoefficientPrf::expand(e_j, params.coeff_bits, blocks.size());
+  std::vector<bn::BigInt> partials(
+      partition_range(blocks.size(), resolve_parallelism(params.parallelism))
+          .size());
+  parallel_chunks(blocks.size(), params.parallelism,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                    bn::BigInt sum(0);
+                    for (std::size_t k = begin; k < end; ++k) {
+                      sum += coeffs[k] * bn::BigInt::from_bytes_be(blocks[k]);
+                    }
+                    partials[chunk] = std::move(sum);
+                  });
   bn::BigInt aggregate(0);
-  for (const auto& block : blocks) {
-    aggregate += prf.next() * bn::BigInt::from_bytes_be(block);
-  }
+  for (const auto& partial : partials) aggregate += partial;
   Proof proof;
   proof.p = bn::Montgomery(pk.n).pow(g_s, aggregate);
   return proof;
+}
+
+std::vector<Proof> make_batch_proofs(
+    const PublicKey& pk, const ProtocolParams& params,
+    const std::vector<std::vector<Bytes>>& edge_blocks,
+    const std::vector<bn::BigInt>& challenge_keys, const bn::BigInt& g_s) {
+  if (edge_blocks.size() != challenge_keys.size()) {
+    throw ParamError("make_batch_proofs: blocks/keys size mismatch");
+  }
+  std::vector<Proof> proofs(edge_blocks.size());
+  // One task per edge (chunks of the edge range); the nested per-proof
+  // parallel_chunks calls detect they are on pool workers and run inline.
+  parallel_chunks(edge_blocks.size(), params.parallelism,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t j = begin; j < end; ++j) {
+                      proofs[j] = make_batch_proof(pk, params, edge_blocks[j],
+                                                   challenge_keys[j], g_s);
+                    }
+                  });
+  return proofs;
 }
 
 std::vector<std::size_t> union_of_sets(
@@ -82,31 +117,54 @@ std::vector<bn::BigInt> batch_repack(
     }
   }
   const bn::Montgomery mont(pk.n);
-  std::vector<bn::BigInt> repacked;
-  repacked.reserve(union_indices.size());
+  // Resolve each union index's aggregated exponent up front (and validate),
+  // then fan the independent modexps out into disjoint output slots.
+  std::vector<const bn::BigInt*> exponents(union_indices.size());
   for (std::size_t i = 0; i < union_indices.size(); ++i) {
     const auto it = aggregate.find(union_indices[i]);
     if (it == aggregate.end()) {
       throw ParamError("batch_repack: union index not covered by any edge");
     }
-    repacked.push_back(mont.pow(union_tags[i], it->second));
+    exponents[i] = &it->second;
   }
   if (aggregate.size() != union_indices.size()) {
     throw ParamError("batch_repack: edge sets mention non-union indices");
   }
+  std::vector<bn::BigInt> repacked(union_indices.size());
+  parallel_chunks(union_indices.size(), params.parallelism,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      repacked[i] = mont.pow(union_tags[i], *exponents[i]);
+                    }
+                  });
   return repacked;
 }
 
 bool verify_batch(const PublicKey& pk,
                   const std::vector<bn::BigInt>& repacked_tags,
                   const std::vector<Proof>& proofs,
-                  const ChallengeSecret& secret) {
+                  const ChallengeSecret& secret,
+                  std::size_t parallelism) {
   if (repacked_tags.empty() || proofs.empty()) {
     throw ParamError("verify_batch: empty batch");
   }
   const bn::Montgomery mont(pk.n);
+  // R = prod T~ chunked into partial products; modular multiplication is
+  // exact and commutative, so the chunk-ordered combine matches the serial
+  // product bit for bit.
+  std::vector<bn::BigInt> partials(
+      partition_range(repacked_tags.size(), resolve_parallelism(parallelism))
+          .size());
+  parallel_chunks(repacked_tags.size(), parallelism,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                    bn::BigInt prod(1);
+                    for (std::size_t k = begin; k < end; ++k) {
+                      prod = mont.mul(prod, repacked_tags[k]);
+                    }
+                    partials[chunk] = std::move(prod);
+                  });
   bn::BigInt r(1);
-  for (const auto& t : repacked_tags) r = mont.mul(r, t);
+  for (const auto& partial : partials) r = mont.mul(r, partial);
   const bn::BigInt expected = mont.pow(r, secret.s);
   bn::BigInt combined(1);
   for (const auto& proof : proofs) combined = mont.mul(combined, proof.p);

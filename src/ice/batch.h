@@ -38,6 +38,17 @@ Proof make_batch_proof(const PublicKey& pk, const ProtocolParams& params,
                        const std::vector<Bytes>& blocks, const bn::BigInt& e_j,
                        const bn::BigInt& g_s);
 
+/// Whole-batch fan-out: P_j for every edge in one call, the per-edge proofs
+/// spread across the shared pool (params.parallelism chunks). Each proof is
+/// a sequential squaring chain internally, so cross-edge fan-out — not
+/// intra-modexp splitting — is what scales with cores; this is the shape
+/// the ICE-batch round (paper Sec. V) runs J edges through.
+/// `edge_blocks[j]` pairs with `challenge_keys[j]`.
+std::vector<Proof> make_batch_proofs(
+    const PublicKey& pk, const ProtocolParams& params,
+    const std::vector<std::vector<Bytes>>& edge_blocks,
+    const std::vector<bn::BigInt>& challenge_keys, const bn::BigInt& g_s);
+
 /// User side: the union U of the edges' pre-download sets, sorted.
 std::vector<std::size_t> union_of_sets(
     const std::vector<std::vector<std::size_t>>& edge_sets);
@@ -54,9 +65,12 @@ std::vector<bn::BigInt> batch_repack(
     const std::vector<bn::BigInt>& challenge_keys);
 
 /// TPA side: R = prod T~, P~ = R^s, P = prod P_j; accept iff equal.
+/// `parallelism` follows the ProtocolParams::parallelism convention
+/// (0 = hardware concurrency, 1 = single-threaded legacy path).
 bool verify_batch(const PublicKey& pk,
                   const std::vector<bn::BigInt>& repacked_tags,
                   const std::vector<Proof>& proofs,
-                  const ChallengeSecret& secret);
+                  const ChallengeSecret& secret,
+                  std::size_t parallelism = 0);
 
 }  // namespace ice::proto

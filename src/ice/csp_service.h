@@ -17,7 +17,12 @@ namespace ice::proto {
 
 class CspService final : public net::RpcHandler {
  public:
-  explicit CspService(mec::BlockStore store) : store_(std::move(store)) {}
+  /// `parallelism` is the worker-task budget for PDP challenge proofs
+  /// (ProtocolParams::parallelism convention; local knob, not wire state).
+  explicit CspService(mec::BlockStore store, std::size_t parallelism = 0)
+      : store_(std::move(store)) {
+    params_.parallelism = parallelism;
+  }
 
   Bytes handle(std::uint16_t method, BytesView request) override;
 

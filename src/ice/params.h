@@ -19,6 +19,13 @@ struct ProtocolParams {
   std::size_t challenge_key_bits = 128;
   /// Data block size in bytes (the paper sweeps 256KB..1024KB).
   std::size_t block_bytes = 256 * 1024;
+  /// Worker-task budget for the parallel audit hot paths (proof
+  /// aggregation, PIR bitplane evaluation, TPA multi-exponentiation):
+  /// 0 = one task per hardware thread, 1 = the exact single-threaded legacy
+  /// path, t = at most t chunks on the shared pool (common/parallel.h).
+  /// A local deployment knob: it is never serialized onto the wire and
+  /// never changes a protocol result bit (see tests/ice/parallel_diff_*).
+  std::size_t parallelism = 0;
 
   /// Parameters matching the paper's experimental setup.
   static constexpr ProtocolParams paper() { return ProtocolParams{}; }

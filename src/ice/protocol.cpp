@@ -2,6 +2,7 @@
 
 #include "bignum/montgomery.h"
 #include "common/error.h"
+#include "common/parallel.h"
 #include "crypto/prf.h"
 
 namespace ice::proto {
@@ -24,14 +25,33 @@ Proof make_proof(const PublicKey& pk, const ProtocolParams& params,
                  const bn::BigInt& s_tilde) {
   if (blocks.empty()) throw ParamError("make_proof: no blocks to prove");
   if (s_tilde.is_zero()) throw ParamError("make_proof: zero blinding");
-  crypto::CoefficientPrf prf(challenge.e, params.coeff_bits);
   // Aggregate over the integers: sum_k a_k * m_k, then one modexp. The cost
   // profile the paper reports in Fig. 6 (flat in |S_j|, linear in block
   // size) comes exactly from this shape.
+  //
+  // The coefficient stream is sequential, so it is expanded up front; the
+  // a_k * m_k products are then chunked across the shared pool and the
+  // partial sums added in chunk order. Integer addition is exact, so the
+  // aggregate is bit-identical at every thread count. The final modexp
+  // stays single: its cost is a sequential squaring chain as long as the
+  // aggregate (splitting the exponent cannot shorten that chain), so
+  // cross-proof fan-out — not intra-modexp splitting — is where edge-side
+  // wall-clock scaling comes from (see make_batch_proofs).
+  const std::vector<bn::BigInt> coeffs = crypto::CoefficientPrf::expand(
+      challenge.e, params.coeff_bits, blocks.size());
+  std::vector<bn::BigInt> partials(
+      partition_range(blocks.size(), resolve_parallelism(params.parallelism))
+          .size());
+  parallel_chunks(blocks.size(), params.parallelism,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                    bn::BigInt sum(0);
+                    for (std::size_t k = begin; k < end; ++k) {
+                      sum += coeffs[k] * bn::BigInt::from_bytes_be(blocks[k]);
+                    }
+                    partials[chunk] = std::move(sum);
+                  });
   bn::BigInt aggregate(0);
-  for (const auto& block : blocks) {
-    aggregate += prf.next() * bn::BigInt::from_bytes_be(block);
-  }
+  for (const auto& partial : partials) aggregate += partial;
   Proof proof;
   proof.p = bn::Montgomery(pk.n).pow(challenge.g_s, aggregate * s_tilde);
   return proof;
@@ -39,11 +59,18 @@ Proof make_proof(const PublicKey& pk, const ProtocolParams& params,
 
 std::vector<bn::BigInt> repack_tags(const PublicKey& pk,
                                     const std::vector<bn::BigInt>& tags,
-                                    const bn::BigInt& s_tilde) {
+                                    const bn::BigInt& s_tilde,
+                                    std::size_t parallelism) {
   const bn::Montgomery mont(pk.n);
-  std::vector<bn::BigInt> out;
-  out.reserve(tags.size());
-  for (const auto& t : tags) out.push_back(mont.pow(t, s_tilde));
+  std::vector<bn::BigInt> out(tags.size());
+  // Independent modexps into disjoint slots; the Montgomery context (and
+  // its precomputed R^2, -N^{-1}) is shared read-only across chunks.
+  parallel_chunks(tags.size(), parallelism,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t k = begin; k < end; ++k) {
+                      out[k] = mont.pow(tags[k], s_tilde);
+                    }
+                  });
   return out;
 }
 
@@ -55,12 +82,28 @@ bool verify_proof(const PublicKey& pk, const ProtocolParams& params,
     throw ParamError("verify_proof: no tags to verify against");
   }
   const bn::Montgomery mont(pk.n);
-  crypto::CoefficientPrf prf(challenge.e, params.coeff_bits);
-  // R = prod_k T~_k^{a_k} mod N.
+  // R = prod_k T~_k^{a_k} mod N: a multi-exponentiation chunked across the
+  // pool. Each chunk folds its tags into a partial product over the shared
+  // Montgomery context; modular multiplication is exact and commutative, so
+  // combining the partials in chunk order reproduces the serial R bit for
+  // bit at every thread count.
+  const std::vector<bn::BigInt> coeffs = crypto::CoefficientPrf::expand(
+      challenge.e, params.coeff_bits, repacked_tags.size());
+  std::vector<bn::BigInt> partials(
+      partition_range(repacked_tags.size(),
+                      resolve_parallelism(params.parallelism))
+          .size());
+  parallel_chunks(repacked_tags.size(), params.parallelism,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                    bn::BigInt prod(1);
+                    for (std::size_t k = begin; k < end; ++k) {
+                      prod = mont.mul(prod, mont.pow(repacked_tags[k],
+                                                     coeffs[k]));
+                    }
+                    partials[chunk] = std::move(prod);
+                  });
   bn::BigInt r(1);
-  for (const auto& t : repacked_tags) {
-    r = mont.mul(r, mont.pow(t, prf.next()));
-  }
+  for (const auto& partial : partials) r = mont.mul(r, partial);
   const bn::BigInt expected = mont.pow(r, secret.s);
   return expected == proof.p.mod(pk.n);
 }

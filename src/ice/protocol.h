@@ -53,9 +53,12 @@ Proof make_proof(const PublicKey& pk, const ProtocolParams& params,
                  const bn::BigInt& s_tilde);
 
 /// User side: T~_k = T_k^{s_tilde} mod N for each retrieved tag.
+/// `parallelism` follows the ProtocolParams::parallelism convention
+/// (0 = hardware concurrency, 1 = single-threaded legacy path).
 std::vector<bn::BigInt> repack_tags(const PublicKey& pk,
                                     const std::vector<bn::BigInt>& tags,
-                                    const bn::BigInt& s_tilde);
+                                    const bn::BigInt& s_tilde,
+                                    std::size_t parallelism = 0);
 
 /// TPA side: recomputes the coefficients from e, aggregates the repacked
 /// tags, raises to s, and compares with the edge's proof.

@@ -9,7 +9,7 @@ TagStore::TagStore(const ProtocolParams& params,
     : db_(params.tag_bits()),
       embedding_(std::make_unique<pir::Embedding>(
           tags.empty() ? 1 : tags.size())),
-      server_(db_, *embedding_, strategy) {
+      server_(db_, *embedding_, strategy, params.parallelism) {
   if (tags.empty()) throw ParamError("TagStore: empty tag set");
   for (const auto& t : tags) db_.add(t);
 }

@@ -11,7 +11,10 @@ namespace ice::proto {
 // exhaust TPA memory.
 constexpr std::size_t kMaxOpenSessions = 4096;
 
-TpaService::TpaService(pir::EvalStrategy strategy) : strategy_(strategy) {}
+TpaService::TpaService(pir::EvalStrategy strategy, std::size_t parallelism)
+    : strategy_(strategy) {
+  params_.parallelism = parallelism;
+}
 
 void TpaService::register_edge(std::uint32_t edge_id,
                                net::RpcChannel& channel) {
@@ -155,7 +158,8 @@ Bytes TpaService::handle_locked(std::uint16_t method, net::Reader& r) {
       }
       const BatchSession batch = std::move(it->second);
       batches_.erase(it);
-      const bool pass = verify_batch(*pk_, tags, batch.proofs, batch.secret);
+      const bool pass = verify_batch(*pk_, tags, batch.proofs, batch.secret,
+                                     params_.parallelism);
       log_.append(id, /*edge_id=*/0, /*batch=*/true, pass);
       net::Writer w;
       w.u8(pass ? 1 : 0);

@@ -29,9 +29,13 @@ namespace ice::proto {
 
 class TpaService final : public net::RpcHandler {
  public:
-  /// `strategy` selects the PIR evaluation path (benchmarks sweep it).
+  /// `strategy` selects the PIR evaluation path (benchmarks sweep it);
+  /// `parallelism` is the worker-task budget for PIR evaluation and proof
+  /// verification (ProtocolParams::parallelism convention; a local knob,
+  /// independent of the protocol parameters received via kTpaSetKey).
   explicit TpaService(
-      pir::EvalStrategy strategy = pir::EvalStrategy::kBitsliced);
+      pir::EvalStrategy strategy = pir::EvalStrategy::kBitsliced,
+      std::size_t parallelism = 0);
 
   Bytes handle(std::uint16_t method, BytesView request) override;
 

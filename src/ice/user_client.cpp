@@ -90,7 +90,7 @@ bool UserClient::audit_edge(net::RpcChannel& edge_channel,
 
   // 5. Repack: T~ = T^s~; updated blocks get fresh g^{m' s~} tags.
   std::vector<bn::BigInt> repacked =
-      repack_tags(keys_.pk.pk, tags, s_tilde);
+      repack_tags(keys_.pk.pk, tags, s_tilde, params_.parallelism);
   for (const auto& [index, content] : updated_blocks_) {
     const auto it = std::find(s_j.begin(), s_j.end(), index);
     if (it == s_j.end()) continue;

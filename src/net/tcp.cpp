@@ -112,8 +112,12 @@ void TcpServer::stop() {
 }
 
 void TcpServer::accept_loop() {
+  // Snapshot before looping: listen_fd_ was set before this thread started
+  // (synchronized by thread creation), while stop() overwrites the member
+  // concurrently. accept() on the snapshot fails once stop() closes the fd.
+  const int listen_fd = listen_fd_;
   for (;;) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
       return;  // listener closed by stop()

@@ -1,6 +1,7 @@
 #include "pir/server.h"
 
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace ice::pir {
 
@@ -30,8 +31,11 @@ MonomialEval eval_monomial(const GF4Vector& q, const Embedding::Triple& t) {
 }  // namespace
 
 PirServer::PirServer(const TagDatabase& db, const Embedding& embedding,
-                     EvalStrategy strategy)
-    : db_(&db), embedding_(&embedding), strategy_(strategy) {
+                     EvalStrategy strategy, std::size_t parallelism)
+    : db_(&db),
+      embedding_(&embedding),
+      strategy_(strategy),
+      parallelism_(parallelism) {
   if (db.size() > embedding.n()) {
     throw ParamError("PirServer: database larger than embedding domain");
   }
@@ -67,23 +71,27 @@ PirSingleResponse PirServer::eval_naive(const GF4Vector& q) const {
   out.values.assign(k, GF4::zero());
   out.gradients.assign(k, GF4Vector(gamma));
   // One full polynomial evaluation per bitplane: every monomial is
-  // recomputed from q and multiplied by its 0/1 coefficient.
-  for (std::size_t pi = 0; pi < k; ++pi) {
-    GF4 value;
-    GF4Vector grad(gamma);
-    for (std::size_t i = 0; i < n; ++i) {
-      const GF4 coeff(db_->bit(i, pi) ? std::uint8_t{1} : std::uint8_t{0});
-      const Embedding::Triple t = embedding_->triple(i);
-      const MonomialEval e = eval_monomial(q, t);
-      value += coeff * e.mono;
-      for (int d = 0; d < 3; ++d) {
-        grad[t[static_cast<std::size_t>(d)]] +=
-            coeff * e.deriv[static_cast<std::size_t>(d)];
+  // recomputed from q and multiplied by its 0/1 coefficient. Bitplanes are
+  // independent, so they shard across the pool into disjoint output slots.
+  parallel_chunks(k, parallelism_, [&](std::size_t, std::size_t plane_begin,
+                                       std::size_t plane_end) {
+    for (std::size_t pi = plane_begin; pi < plane_end; ++pi) {
+      GF4 value;
+      GF4Vector grad(gamma);
+      for (std::size_t i = 0; i < n; ++i) {
+        const GF4 coeff(db_->bit(i, pi) ? std::uint8_t{1} : std::uint8_t{0});
+        const Embedding::Triple t = embedding_->triple(i);
+        const MonomialEval e = eval_monomial(q, t);
+        value += coeff * e.mono;
+        for (int d = 0; d < 3; ++d) {
+          grad[t[static_cast<std::size_t>(d)]] +=
+              coeff * e.deriv[static_cast<std::size_t>(d)];
+        }
       }
+      out.values[pi] = value;
+      out.gradients[pi] = std::move(grad);
     }
-    out.values[pi] = value;
-    out.gradients[pi] = std::move(grad);
-  }
+  });
   return out;
 }
 
@@ -91,29 +99,38 @@ PirSingleResponse PirServer::eval_matrix(const GF4Vector& q) const {
   const std::size_t n = db_->size();
   const std::size_t k = db_->tag_bits();
   const std::size_t gamma = embedding_->gamma();
-  // Monomial values and derivatives once per query (not per bitplane).
+  // Monomial values and derivatives once per query (not per bitplane);
+  // disjoint slots, so the precompute shards over monomials.
   std::vector<MonomialEval> evals(n);
   std::vector<Embedding::Triple> triples(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    triples[i] = embedding_->triple(i);
-    evals[i] = eval_monomial(q, triples[i]);
-  }
+  parallel_chunks(n, parallelism_,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      triples[i] = embedding_->triple(i);
+                      evals[i] = eval_monomial(q, triples[i]);
+                    }
+                  });
   PirSingleResponse out;
   out.values.assign(k, GF4::zero());
   out.gradients.assign(k, GF4Vector(gamma));
-  for (std::size_t pi = 0; pi < k; ++pi) {
-    GF4 value;
-    GF4Vector& grad = out.gradients[pi];
-    for (std::uint32_t i : db_->plane(pi)) {  // only nonzero coefficients
-      const MonomialEval& e = evals[i];
-      const Embedding::Triple& t = triples[i];
-      value += e.mono;
-      grad[t[0]] += e.deriv[0];
-      grad[t[1]] += e.deriv[1];
-      grad[t[2]] += e.deriv[2];
+  // Bitplanes shard over the pool; every shard reuses the shared monomial
+  // table read-only and owns its slice of the output.
+  parallel_chunks(k, parallelism_, [&](std::size_t, std::size_t plane_begin,
+                                       std::size_t plane_end) {
+    for (std::size_t pi = plane_begin; pi < plane_end; ++pi) {
+      GF4 value;
+      GF4Vector& grad = out.gradients[pi];
+      for (std::uint32_t i : db_->plane(pi)) {  // only nonzero coefficients
+        const MonomialEval& e = evals[i];
+        const Embedding::Triple& t = triples[i];
+        value += e.mono;
+        grad[t[0]] += e.deriv[0];
+        grad[t[1]] += e.deriv[1];
+        grad[t[2]] += e.deriv[2];
+      }
+      out.values[pi] = value;
     }
-    out.values[pi] = value;
-  }
+  });
   return out;
 }
 
@@ -124,26 +141,54 @@ PirSingleResponse PirServer::eval_bitsliced(const GF4Vector& q) const {
   const std::size_t w = db_->words_per_tag();
 
   // Two bit planes (GF(4) components over basis {1, x}) for the value and
-  // for each of the gamma gradient coordinates.
-  std::vector<std::uint64_t> v_lo(w, 0), v_hi(w, 0);
-  std::vector<std::uint64_t> g_lo(gamma * w, 0), g_hi(gamma * w, 0);
+  // for each of the gamma gradient coordinates. Tag rows shard across the
+  // pool, each shard XOR-accumulating into its own scratch planes; XOR is
+  // exact and commutative, so folding the shards in any order reproduces
+  // the serial planes bit for bit.
+  struct Planes {
+    std::vector<std::uint64_t> v_lo, v_hi, g_lo, g_hi;
+  };
+  const std::size_t num_shards =
+      partition_range(n, resolve_parallelism(parallelism_)).size();
+  std::vector<Planes> shards(num_shards);
 
   auto xor_row = [w](std::uint64_t* dst, const std::uint64_t* src) {
     for (std::size_t j = 0; j < w; ++j) dst[j] ^= src[j];
   };
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const Embedding::Triple t = embedding_->triple(i);
-    const MonomialEval e = eval_monomial(q, t);
-    const std::uint64_t* row = db_->row(i);
-    if (e.mono.value() & 1) xor_row(v_lo.data(), row);
-    if (e.mono.value() & 2) xor_row(v_hi.data(), row);
-    for (int d = 0; d < 3; ++d) {
-      const GF4 dv = e.deriv[static_cast<std::size_t>(d)];
-      if (dv.is_zero()) continue;
-      const std::size_t pos = t[static_cast<std::size_t>(d)];
-      if (dv.value() & 1) xor_row(g_lo.data() + pos * w, row);
-      if (dv.value() & 2) xor_row(g_hi.data() + pos * w, row);
+  parallel_chunks(n, parallelism_, [&](std::size_t shard, std::size_t begin,
+                                       std::size_t end) {
+    Planes& p = shards[shard];
+    p.v_lo.assign(w, 0);
+    p.v_hi.assign(w, 0);
+    p.g_lo.assign(gamma * w, 0);
+    p.g_hi.assign(gamma * w, 0);
+    for (std::size_t i = begin; i < end; ++i) {
+      const Embedding::Triple t = embedding_->triple(i);
+      const MonomialEval e = eval_monomial(q, t);
+      const std::uint64_t* row = db_->row(i);
+      if (e.mono.value() & 1) xor_row(p.v_lo.data(), row);
+      if (e.mono.value() & 2) xor_row(p.v_hi.data(), row);
+      for (int d = 0; d < 3; ++d) {
+        const GF4 dv = e.deriv[static_cast<std::size_t>(d)];
+        if (dv.is_zero()) continue;
+        const std::size_t pos = t[static_cast<std::size_t>(d)];
+        if (dv.value() & 1) xor_row(p.g_lo.data() + pos * w, row);
+        if (dv.value() & 2) xor_row(p.g_hi.data() + pos * w, row);
+      }
+    }
+  });
+
+  std::vector<std::uint64_t> v_lo(w, 0), v_hi(w, 0);
+  std::vector<std::uint64_t> g_lo(gamma * w, 0), g_hi(gamma * w, 0);
+  for (const Planes& p : shards) {
+    for (std::size_t j = 0; j < w; ++j) {
+      v_lo[j] ^= p.v_lo[j];
+      v_hi[j] ^= p.v_hi[j];
+    }
+    for (std::size_t j = 0; j < gamma * w; ++j) {
+      g_lo[j] ^= p.g_lo[j];
+      g_hi[j] ^= p.g_hi[j];
     }
   }
 

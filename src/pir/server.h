@@ -30,9 +30,13 @@ enum class EvalStrategy { kNaive, kMatrix, kBitsliced };
 class PirServer {
  public:
   /// Non-owning views of the database and embedding; both must outlive the
-  /// server and agree on n.
+  /// server and agree on n. `parallelism` is the worker-shard budget for
+  /// each evaluation (ProtocolParams::parallelism convention: 0 = hardware
+  /// concurrency, 1 = the exact single-threaded legacy path); every
+  /// strategy returns bit-identical responses at every setting.
   PirServer(const TagDatabase& db, const Embedding& embedding,
-            EvalStrategy strategy = EvalStrategy::kBitsliced);
+            EvalStrategy strategy = EvalStrategy::kBitsliced,
+            std::size_t parallelism = 1);
 
   /// Evaluates all bitplanes and gradients at one query point.
   [[nodiscard]] PirSingleResponse respond_one(const gf::GF4Vector& q) const;
@@ -51,6 +55,7 @@ class PirServer {
   const TagDatabase* db_;
   const Embedding* embedding_;
   EvalStrategy strategy_;
+  std::size_t parallelism_;
 };
 
 }  // namespace ice::pir

@@ -18,7 +18,7 @@ std::size_t TagDatabase::add(const bn::BigInt& tag) {
   std::uint64_t* dst = rows_.data() + n_ * words_per_tag_;
   const auto& limbs = tag.limbs();
   for (std::size_t w = 0; w < limbs.size(); ++w) dst[w] = limbs[w];
-  planes_valid_ = false;
+  planes_valid_.store(false, std::memory_order_release);
   return n_++;
 }
 
@@ -31,7 +31,7 @@ void TagDatabase::update(std::size_t index, const bn::BigInt& tag) {
   for (std::size_t w = 0; w < words_per_tag_; ++w) dst[w] = 0;
   const auto& limbs = tag.limbs();
   for (std::size_t w = 0; w < limbs.size(); ++w) dst[w] = limbs[w];
-  planes_valid_ = false;
+  planes_valid_.store(false, std::memory_order_release);
 }
 
 bool TagDatabase::bit(std::size_t i, std::size_t pi) const {
@@ -53,6 +53,12 @@ const std::uint64_t* TagDatabase::row(std::size_t i) const {
 
 double TagDatabase::build_planes() const {
   Stopwatch sw;
+  std::lock_guard lock(planes_mu_);
+  build_planes_locked();
+  return sw.seconds();
+}
+
+void TagDatabase::build_planes_locked() const {
   planes_.assign(tag_bits_, {});
   for (std::size_t i = 0; i < n_; ++i) {
     const std::uint64_t* r = row(i);
@@ -68,13 +74,20 @@ double TagDatabase::build_planes() const {
       }
     }
   }
-  planes_valid_ = true;
-  return sw.seconds();
+  planes_valid_.store(true, std::memory_order_release);
 }
 
 const std::vector<std::uint32_t>& TagDatabase::plane(std::size_t pi) const {
   if (pi >= tag_bits_) throw ParamError("TagDatabase::plane: out of range");
-  if (!planes_valid_) build_planes();
+  // Double-checked lazy build: concurrent pool workers may all observe the
+  // planes as stale; exactly one rebuilds while the rest wait on the mutex
+  // and then see planes_valid_ set under the same lock.
+  if (!planes_valid_.load(std::memory_order_acquire)) {
+    std::lock_guard lock(planes_mu_);
+    if (!planes_valid_.load(std::memory_order_relaxed)) {
+      build_planes_locked();
+    }
+  }
   return planes_[pi];
 }
 

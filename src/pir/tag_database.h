@@ -8,7 +8,9 @@
 //   * per-bitplane index lists (the paper's "matrix representation" M_pi).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "bignum/bigint.h"
@@ -43,6 +45,9 @@ class TagDatabase {
   /// The paper's matrix representation: for bitplane `pi`, the list of tag
   /// indexes whose pi-th bit is 1 (rows of M_pi). Built lazily on first use
   /// after any mutation ("pre-processing once the tags are generated").
+  /// Safe to call from concurrent readers (the parallel PIR evaluation
+  /// shards bitplanes across pool workers); mutations (add/update) must
+  /// still be externally serialized against readers.
   [[nodiscard]] const std::vector<std::uint32_t>& plane(std::size_t pi) const;
 
   /// Forces (re)construction of all bitplane lists; returns build time in
@@ -50,12 +55,15 @@ class TagDatabase {
   double build_planes() const;
 
  private:
+  void build_planes_locked() const;  // caller holds planes_mu_
+
   std::size_t tag_bits_;
   std::size_t words_per_tag_;
   std::size_t n_ = 0;
   std::vector<std::uint64_t> rows_;  // n_ * words_per_tag_
+  mutable std::mutex planes_mu_;     // guards the lazy plane build
   mutable std::vector<std::vector<std::uint32_t>> planes_;  // K lists
-  mutable bool planes_valid_ = false;
+  mutable std::atomic<bool> planes_valid_{false};
 };
 
 }  // namespace ice::pir

@@ -24,7 +24,10 @@ struct World {
   World(const SimConfig& config, const KeyPair& keys, std::uint64_t seed)
       : params(make_params(config, keys)),
         csp(mec::BlockStore::synthetic(config.n_blocks, config.block_bytes,
-                                       seed)),
+                                       seed),
+            config.parallelism),
+        tpa0(pir::EvalStrategy::kBitsliced, config.parallelism),
+        tpa1(pir::EvalStrategy::kBitsliced, config.parallelism),
         edge_csp(csp),
         user_csp(csp),
         edge(0, params, keys.pk,
@@ -48,6 +51,7 @@ struct World {
     ProtocolParams p;
     p.modulus_bits = keys.pk.modulus_bits();
     p.block_bytes = config.block_bytes;
+    p.parallelism = config.parallelism;
     return p;
   }
 

@@ -29,6 +29,10 @@ struct SimConfig {
   std::size_t audit_every = 50;        // ticks between audits
   std::size_t flush_every = 200;       // ticks between write-backs
   double corruption_prob_per_tick = 0.01;
+  /// Worker-task budget for the audit hot paths (ProtocolParams convention:
+  /// 0 = hardware concurrency, 1 = single-threaded legacy path). Audit
+  /// verdicts and every report counter are identical at every setting.
+  std::size_t parallelism = 0;
 };
 
 struct SimReport {

@@ -3,8 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <numeric>
 #include <stdexcept>
 #include <vector>
+
+#include "common/parallel.h"
 
 namespace ice {
 namespace {
@@ -50,6 +54,130 @@ TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
 TEST(ThreadPoolTest, SizeReportsWorkerCount) {
   ThreadPool pool(3);
   EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPoolTest, PoolStaysUsableAfterThrowingTasks) {
+  ThreadPool pool(2);
+  std::vector<std::future<int>> bad;
+  for (int i = 0; i < 8; ++i) {
+    bad.push_back(pool.submit(
+        []() -> int { throw std::runtime_error("boom"); }));
+  }
+  for (auto& f : bad) EXPECT_THROW(f.get(), std::runtime_error);
+  // Workers must have survived every throw and still drain new tasks.
+  auto ok = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(ok.get(), 42);
+}
+
+TEST(ThreadPoolTest, ShutdownWhileBusyDrainsEverything) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 16; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        done.fetch_add(1);
+      });
+    }
+  }  // destructor runs while workers are mid-task and the queue is deep
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, ManySmallTasksStress) {
+  ThreadPool pool(4);
+  constexpr int kTasks = 10000;
+  std::atomic<long> sum{0};
+  std::vector<std::future<void>> futs;
+  futs.reserve(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    futs.push_back(pool.submit([&sum, i] { sum.fetch_add(i); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(sum.load(), static_cast<long>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolTest, OnPoolThreadFlagTracksWorkerContext) {
+  EXPECT_FALSE(ThreadPool::on_pool_thread());
+  ThreadPool pool(1);
+  auto fut = pool.submit([] { return ThreadPool::on_pool_thread(); });
+  EXPECT_TRUE(fut.get());
+  EXPECT_FALSE(ThreadPool::on_pool_thread());
+}
+
+TEST(ParallelChunksTest, PartitionRangeCoversEveryIndexOnce) {
+  for (std::size_t n : {0u, 1u, 5u, 16u, 17u}) {
+    for (std::size_t chunks : {1u, 2u, 3u, 7u, 32u}) {
+      const auto parts = partition_range(n, chunks);
+      std::size_t covered = 0;
+      std::size_t expect_begin = 0;
+      for (const auto& c : parts) {
+        EXPECT_EQ(c.begin, expect_begin);
+        EXPECT_LT(c.begin, c.end);
+        covered += c.end - c.begin;
+        expect_begin = c.end;
+      }
+      EXPECT_EQ(covered, n);
+      EXPECT_LE(parts.size(), std::min<std::size_t>(std::max<std::size_t>(
+                                  chunks, 1), std::max<std::size_t>(n, 1)));
+    }
+  }
+}
+
+TEST(ParallelChunksTest, VisitsEveryIndexExactlyOnce) {
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_chunks(kN, /*threads=*/7,
+                            [&hits](std::size_t, std::size_t b,
+                                    std::size_t e) {
+                              for (std::size_t i = b; i < e; ++i) {
+                                hits[i].fetch_add(1);
+                              }
+                            });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelChunksTest, PropagatesWorkerException) {
+  EXPECT_THROW(
+      parallel_chunks(100, /*threads=*/4,
+                                [](std::size_t c, std::size_t, std::size_t) {
+                                  if (c != 0) {
+                                    throw std::runtime_error("chunk");
+                                  }
+                                }),
+      std::runtime_error);
+  // And from the caller-executed chunk 0 as well.
+  EXPECT_THROW(
+      parallel_chunks(100, /*threads=*/4,
+                                [](std::size_t c, std::size_t, std::size_t) {
+                                  if (c == 0) {
+                                    throw std::runtime_error("chunk0");
+                                  }
+                                }),
+      std::runtime_error);
+}
+
+TEST(ParallelChunksTest, NestedCallsRunInlineWithoutDeadlock) {
+  // Saturate the shared pool with outer chunks that each open an inner
+  // parallel region; on_pool_thread() must force the inner regions inline,
+  // otherwise the inner submits would wait on workers that never free up.
+  std::atomic<long> total{0};
+  parallel_chunks(
+      64, /*threads=*/0, [&total](std::size_t, std::size_t b, std::size_t e) {
+        parallel_chunks(
+            e - b, /*threads=*/0,
+            [&total, b](std::size_t, std::size_t ib, std::size_t ie) {
+              for (std::size_t i = ib; i < ie; ++i) {
+                total.fetch_add(static_cast<long>(b + i));
+              }
+            });
+      });
+  EXPECT_EQ(total.load(), 64L * 63 / 2);
+}
+
+TEST(ParallelChunksTest, ResolveParallelismConvention) {
+  EXPECT_EQ(resolve_parallelism(1), 1u);
+  EXPECT_EQ(resolve_parallelism(7), 7u);
+  EXPECT_GE(resolve_parallelism(0), 1u);  // 0 = hardware
 }
 
 }  // namespace

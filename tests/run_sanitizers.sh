@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under AddressSanitizer(+UBSan) and
+# ThreadSanitizer using the CMake presets. TSan is the gate for the
+# parallel audit paths (common/parallel.h fan-out); ASan/UBSan covers the
+# big-integer and PIR kernels.
+#
+# Usage: tests/run_sanitizers.sh [asan|tsan] [ctest-filter-regex]
+#   no args      — run both sanitizers over the full suite
+#   one preset   — run just that preset
+#   filter regex — forwarded to `ctest -R` (e.g. 'Parallel|ThreadPool')
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=(asan tsan)
+if [[ $# -ge 1 && ( "$1" == "asan" || "$1" == "tsan" ) ]]; then
+  presets=("$1")
+  shift
+fi
+filter=()
+if [[ $# -ge 1 ]]; then
+  filter=(-R "$1")
+fi
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+for preset in "${presets[@]}"; do
+  echo "=== [$preset] configure + build ==="
+  cmake --preset "$preset"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "=== [$preset] ctest ==="
+  ctest --test-dir "build-$preset" --output-on-failure -j "$jobs" "${filter[@]}"
+done
+echo "=== sanitizers clean: ${presets[*]} ==="
