@@ -1,7 +1,7 @@
 #include "bignum/montgomery.h"
 
 #include <algorithm>
-#include <array>
+#include <mutex>
 
 #include "common/error.h"
 
@@ -20,6 +20,100 @@ Limb inv64(Limb x) {
   return inv;
 }
 
+// t >= n (comparing the k-limb t against n)?
+bool ge_mod(const Limb* t, const Limb* n, std::size_t k) {
+  for (std::size_t i = k; i-- > 0;) {
+    if (t[i] != n[i]) return t[i] > n[i];
+  }
+  return true;  // t == n also subtracts (yields 0, still reduced)
+}
+
+// out = t - n over k limbs (requires t >= n when called with carry-out 0).
+void sub_mod(Limb* out, const Limb* t, const Limb* n, std::size_t k) {
+  Limb borrow = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const Limb ti = t[i];
+    const Limb d = ti - n[i];
+    const Limb b1 = ti < n[i] ? 1u : 0u;
+    out[i] = d - borrow;
+    const Limb b2 = d < borrow ? 1u : 0u;
+    borrow = b1 | b2;
+  }
+}
+
+// Sliding-window width for a nbits-long exponent: minimizes
+// 2^{w-1} table products + nbits/(w+1) window products.
+unsigned window_bits_for(std::size_t nbits) {
+  if (nbits <= 32) return 2;
+  if (nbits <= 128) return 4;
+  if (nbits <= 1024) return 5;
+  return 6;
+}
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#define ICE_BN_HAVE_ADX_KERNELS 1
+
+// Largest limb count served by the ADX squaring path (bounds the stack pad
+// below; 32 limbs = 2048-bit moduli, beyond every protocol configuration).
+constexpr std::size_t kAdxMaxLimbs = 32;
+
+bool have_adx() {
+  static const bool ok =
+      __builtin_cpu_supports("adx") && __builtin_cpu_supports("bmi2");
+  return ok;
+}
+
+// t[0..len] += x * v[0..len-1]; returns the carry out of t[len] (0..2).
+// `len` must be even and >= 2. Dual carry chains: ADCX accumulates
+// lo_j + hi_{j-1}, ADOX folds the running t[j] in, so the two additions per
+// limb never serialize on one flag. Loop control uses LEA/JRCXZ only, which
+// leave CF and OF untouched between iterations.
+inline Limb mac_row_adx(Limb* t, Limb x, const Limb* v, std::size_t len) {
+  Limb carry_lo, carry_hi;
+  std::size_t cnt = len / 2;
+  asm volatile(
+      "xor %%r11d, %%r11d\n\t"  // hi_prev = 0; clears CF and OF
+      "1:\n\t"
+      "mulx (%[v]), %%rax, %%rbx\n\t"
+      "adcx %%r11, %%rax\n\t"
+      "adox (%[t]), %%rax\n\t"
+      "mov %%rax, (%[t])\n\t"
+      "mulx 8(%[v]), %%rax, %%r11\n\t"
+      "adcx %%rbx, %%rax\n\t"
+      "adox 8(%[t]), %%rax\n\t"
+      "mov %%rax, 8(%[t])\n\t"
+      "lea 16(%[v]), %[v]\n\t"
+      "lea 16(%[t]), %[t]\n\t"
+      "lea -1(%[cnt]), %[cnt]\n\t"
+      "jrcxz 2f\n\t"
+      "jmp 1b\n\t"
+      "2:\n\t"
+      // t[len] += hi_prev + CF + OF, capturing both possible overflows
+      "mov $0, %%eax\n\t"
+      "mov $0, %%ebx\n\t"
+      "adox %%rax, %%r11\n\t"
+      "seto %%bl\n\t"
+      "adcx (%[t]), %%r11\n\t"
+      "mov %%r11, (%[t])\n\t"
+      "setc %%al\n\t"
+      : [t] "+r"(t), [v] "+r"(v), [cnt] "+c"(cnt), "=a"(carry_lo),
+        "=b"(carry_hi)
+      : "d"(x)
+      : "r11", "cc", "memory");
+  return carry_lo + carry_hi;
+}
+
+// Rare-path propagation of a row's carry-out into t[from..to].
+inline void propagate_carry(Limb* t, Limb carry, std::size_t from,
+                            std::size_t to) {
+  for (std::size_t idx = from; carry != 0 && idx <= to; ++idx) {
+    const u128 s = static_cast<u128>(t[idx]) + carry;
+    t[idx] = static_cast<Limb>(s);
+    carry = static_cast<Limb>(s >> 64);
+  }
+}
+#endif  // x86-64 GNU
+
 }  // namespace
 
 Montgomery::Montgomery(const BigInt& modulus) : n_big_(modulus) {
@@ -29,7 +123,6 @@ Montgomery::Montgomery(const BigInt& modulus) : n_big_(modulus) {
   n_ = modulus.limbs();
   k_ = n_.size();
   n0inv_ = ~inv64(n_[0]) + 1;  // -inv mod 2^64
-
   // R^2 mod N with R = 2^{64k}: compute (2^{64k})^2 mod N via BigInt.
   BigInt r2 = (BigInt(1) << (64 * k_ * 2)).mod(modulus);
   r2_ = r2.limbs();
@@ -39,79 +132,241 @@ Montgomery::Montgomery(const BigInt& modulus) : n_big_(modulus) {
   one_mont_.resize(k_, 0);
 }
 
-Montgomery::LimbVec Montgomery::mont_mul(const LimbVec& a,
-                                         const LimbVec& b) const {
-  // CIOS (Coarsely Integrated Operand Scanning).
+void Montgomery::mul_into(Limb* out, const Limb* a, const Limb* b,
+                          Limb* scratch) const {
+  // Fused CIOS into scratch[0..k+1]: each round adds a[i] * b and m * n in
+  // ONE pass over t with two independent carry chains (c1 for a*b, c2 for
+  // m*n), halving the t traffic per round and letting the two multiply
+  // streams overlap instead of serializing on a single carry chain.
   const std::size_t k = k_;
-  LimbVec t(k + 2, 0);
+  const Limb* n = n_.data();
+  Limb* t = scratch;
+  std::fill(t, t + k + 2, Limb{0});
   for (std::size_t i = 0; i < k; ++i) {
-    // t += a[i] * b
-    Limb carry = 0;
     const Limb ai = a[i];
-    for (std::size_t j = 0; j < k; ++j) {
-      const u128 s = static_cast<u128>(ai) * b[j] + t[j] + carry;
-      t[j] = static_cast<Limb>(s);
-      carry = static_cast<Limb>(s >> 64);
-    }
-    u128 s = static_cast<u128>(t[k]) + carry;
-    t[k] = static_cast<Limb>(s);
-    t[k + 1] += static_cast<Limb>(s >> 64);
-
-    // m = t[0] * n0inv mod 2^64; t += m * n; t >>= 64
-    const Limb m = t[0] * n0inv_;
-    carry = 0;
-    {
-      const u128 s0 = static_cast<u128>(m) * n_[0] + t[0];
-      carry = static_cast<Limb>(s0 >> 64);
-    }
+    u128 p = static_cast<u128>(ai) * b[0] + t[0];
+    const Limb m = static_cast<Limb>(p) * n0inv_;
+    const u128 q = static_cast<u128>(m) * n[0] + static_cast<Limb>(p);
+    Limb c1 = static_cast<Limb>(p >> 64);
+    Limb c2 = static_cast<Limb>(q >> 64);  // low limb of q is exactly 0
     for (std::size_t j = 1; j < k; ++j) {
-      const u128 sj = static_cast<u128>(m) * n_[j] + t[j] + carry;
-      t[j - 1] = static_cast<Limb>(sj);
-      carry = static_cast<Limb>(sj >> 64);
+      p = static_cast<u128>(ai) * b[j] + t[j] + c1;
+      c1 = static_cast<Limb>(p >> 64);
+      const u128 r = static_cast<u128>(m) * n[j] + static_cast<Limb>(p) + c2;
+      t[j - 1] = static_cast<Limb>(r);
+      c2 = static_cast<Limb>(r >> 64);
     }
-    s = static_cast<u128>(t[k]) + carry;
+    const u128 s = static_cast<u128>(t[k]) + c1 + c2;
     t[k - 1] = static_cast<Limb>(s);
     t[k] = t[k + 1] + static_cast<Limb>(s >> 64);
     t[k + 1] = 0;
   }
-  t.resize(k + 1);
   // Conditional final subtraction: result < 2N is guaranteed.
-  bool need_sub = t[k] != 0;
-  if (!need_sub) {
-    need_sub = true;  // t == N also subtracts (yields 0, still reduced)
-    for (std::size_t i = k; i-- > 0;) {
-      if (t[i] != n_[i]) {
-        need_sub = t[i] > n_[i];
-        break;
-      }
+  if (t[k] != 0 || ge_mod(t, n, k)) {
+    sub_mod(out, t, n, k);
+  } else {
+    std::copy(t, t + k, out);
+  }
+}
+
+void Montgomery::sqr_into(Limb* out, const Limb* a, Limb* scratch) const {
+  // SOS squaring: full 2k-limb square with the cross products computed once
+  // and doubled, then a separate Montgomery reduction pass.
+  const std::size_t k = k_;
+  const Limb* n = n_.data();
+  Limb* t = scratch;  // uses 2k + 1 limbs
+  std::fill(t, t + 2 * k + 1, Limb{0});
+
+#ifdef ICE_BN_HAVE_ADX_KERNELS
+  if (have_adx() && k >= 2 && k % 2 == 0 && k <= kAdxMaxLimbs) {
+    sqr_into_adx(out, a, t);
+    return;
+  }
+#endif
+
+  // Cross products a[i] * a[j], j > i. Row i writes t[2i+1 .. i+k-1] and
+  // assigns the carry to t[i+k], which no earlier row has touched.
+  for (std::size_t i = 0; i < k; ++i) {
+    Limb carry = 0;
+    const Limb ai = a[i];
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const u128 s = static_cast<u128>(ai) * a[j] + t[i + j] + carry;
+      t[i + j] = static_cast<Limb>(s);
+      carry = static_cast<Limb>(s >> 64);
+    }
+    t[i + k] = carry;
+  }
+  // Double the cross products (their sum is < a^2 < 2^{128k}, so no bit
+  // falls off the top) and add the diagonal a[i]^2 terms.
+  Limb shift_carry = 0;
+  for (std::size_t i = 0; i < 2 * k; ++i) {
+    const Limb v = t[i];
+    t[i] = (v << 1) | shift_carry;
+    shift_carry = v >> 63;
+  }
+  t[2 * k] = shift_carry;
+  Limb carry = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const u128 s = static_cast<u128>(a[i]) * a[i] + t[2 * i] + carry;
+    t[2 * i] = static_cast<Limb>(s);
+    const u128 s2 = static_cast<u128>(t[2 * i + 1]) +
+                    static_cast<Limb>(s >> 64);
+    t[2 * i + 1] = static_cast<Limb>(s2);
+    carry = static_cast<Limb>(s2 >> 64);
+  }
+  t[2 * k] += carry;
+
+  // Montgomery reduction: k rounds of t += m * n << (64 i), then the
+  // result is t >> 64k, which is < 2N because a^2 < N * R. Rounds are
+  // fused in pairs: m1 needs only t[i+1] after m0's first two terms, so
+  // both rounds then run one shared pass with independent carry chains.
+  std::size_t i = 0;
+  for (; i + 1 < k; i += 2) {
+    const Limb m0 = t[i] * n0inv_;
+    const u128 p = static_cast<u128>(m0) * n[0] + t[i];
+    Limb c0 = static_cast<Limb>(p >> 64);  // low limb of p is exactly 0
+    u128 v = static_cast<u128>(m0) * n[1] + t[i + 1] + c0;
+    c0 = static_cast<Limb>(v >> 64);
+    const Limb m1 = static_cast<Limb>(v) * n0inv_;
+    const u128 q = static_cast<u128>(m1) * n[0] + static_cast<Limb>(v);
+    Limb c1 = static_cast<Limb>(q >> 64);  // low limb of q is exactly 0
+    for (std::size_t j = 2; j < k; ++j) {
+      v = static_cast<u128>(m0) * n[j] + t[i + j] + c0;
+      c0 = static_cast<Limb>(v >> 64);
+      const u128 w =
+          static_cast<u128>(m1) * n[j - 1] + static_cast<Limb>(v) + c1;
+      t[i + j] = static_cast<Limb>(w);
+      c1 = static_cast<Limb>(w >> 64);
+    }
+    const u128 s = static_cast<u128>(t[i + k]) + c0 +
+                   static_cast<u128>(m1) * n[k - 1] + c1;
+    t[i + k] = static_cast<Limb>(s);
+    Limb c = static_cast<Limb>(s >> 64);
+    for (std::size_t idx = i + k + 1; c != 0 && idx <= 2 * k; ++idx) {
+      const u128 s2 = static_cast<u128>(t[idx]) + c;
+      t[idx] = static_cast<Limb>(s2);
+      c = static_cast<Limb>(s2 >> 64);
     }
   }
-  if (need_sub) {
-    Limb borrow = 0;
-    for (std::size_t i = 0; i < k; ++i) {
-      const Limb ti = t[i];
-      const Limb d = ti - n_[i];
-      const Limb b1 = ti < n_[i] ? 1u : 0u;
-      t[i] = d - borrow;
-      const Limb b2 = d < borrow ? 1u : 0u;
-      borrow = b1 | b2;
+  for (; i < k; ++i) {  // odd k: one single-chain tail round
+    const Limb m = t[i] * n0inv_;
+    carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const u128 s = static_cast<u128>(m) * n[j] + t[i + j] + carry;
+      t[i + j] = static_cast<Limb>(s);
+      carry = static_cast<Limb>(s >> 64);
+    }
+    for (std::size_t idx = i + k; carry != 0 && idx <= 2 * k; ++idx) {
+      const u128 s = static_cast<u128>(t[idx]) + carry;
+      t[idx] = static_cast<Limb>(s);
+      carry = static_cast<Limb>(s >> 64);
     }
   }
-  t.resize(k);
-  return t;
+  Limb* r = t + k;  // k + 1 limbs
+  if (r[k] != 0 || ge_mod(r, n, k)) {
+    sub_mod(out, r, n, k);
+  } else {
+    std::copy(r, r + k, out);
+  }
+}
+
+#ifdef ICE_BN_HAVE_ADX_KERNELS
+void Montgomery::sqr_into_adx(Limb* out, const Limb* a, Limb* t) const {
+  // Same SOS shape as the generic path (cross rows, double, diagonals,
+  // row-at-a-time Montgomery reduction) with the two O(k^2) row passes done
+  // by mac_row_adx. Every reduction round derives the same multiplier
+  // m_i = t[i] * n0inv, so the result is bit-identical to the generic
+  // kernel; only the carry bookkeeping differs.
+  const std::size_t k = k_;
+  const Limb* n = n_.data();
+  // Caller zeroed t[0 .. 2k]. Rows read up to one limb past the cross
+  // range when the row length is odd (rounded up to the even length the
+  // asm loop needs), so read from a zero-padded copy of `a`.
+  Limb pad[kAdxMaxLimbs + 2];
+  std::copy(a, a + k, pad);
+  pad[k] = 0;
+  pad[k + 1] = 0;
+
+  // Cross products a[i] * a[j], j > i: row i adds a[i] * a[i+1..k-1] at
+  // t[2i+1]. The running partial sum fits in t[0 .. i+k], so each row's
+  // returned carry is zero; propagate anyway to keep the invariant local.
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    const std::size_t len = k - 1 - i;
+    const std::size_t len2 = (len + 1) & ~std::size_t{1};
+    const Limb c = mac_row_adx(t + 2 * i + 1, pad[i], pad + i + 1, len2);
+    propagate_carry(t, c, 2 * i + 2 + len2, 2 * k);
+  }
+  // Double the cross products and add the diagonal a[i]^2 terms (O(k) work
+  // next to the O(k^2) row passes; single carry chains are fine here).
+  Limb shift_carry = 0;
+  for (std::size_t i = 0; i < 2 * k; ++i) {
+    const Limb v = t[i];
+    t[i] = (v << 1) | shift_carry;
+    shift_carry = v >> 63;
+  }
+  t[2 * k] = shift_carry;
+  Limb carry = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const u128 s = static_cast<u128>(pad[i]) * pad[i] + t[2 * i] + carry;
+    t[2 * i] = static_cast<Limb>(s);
+    const u128 s2 = static_cast<u128>(t[2 * i + 1]) +
+                    static_cast<Limb>(s >> 64);
+    t[2 * i + 1] = static_cast<Limb>(s2);
+    carry = static_cast<Limb>(s2 >> 64);
+  }
+  t[2 * k] += carry;
+
+  // Montgomery reduction, one k-limb row per round; carries can escape
+  // t[i+k] here, so the returned carry does propagate.
+  for (std::size_t i = 0; i < k; ++i) {
+    const Limb m = t[i] * n0inv_;
+    const Limb c = mac_row_adx(t + i, m, n, k);
+    propagate_carry(t, c, i + k + 1, 2 * k);
+  }
+  Limb* r = t + k;
+  if (r[k] != 0 || ge_mod(r, n, k)) {
+    sub_mod(out, r, n, k);
+  } else {
+    std::copy(r, r + k, out);
+  }
+}
+#endif  // ICE_BN_HAVE_ADX_KERNELS
+
+Montgomery::LimbVec Montgomery::mont_mul(const LimbVec& a,
+                                         const LimbVec& b) const {
+  LimbVec out(k_);
+  LimbVec scratch(scratch_limbs());
+  mul_into(out.data(), a.data(), b.data(), scratch.data());
+  return out;
+}
+
+Montgomery::LimbVec Montgomery::mont_sqr(const LimbVec& a) const {
+  LimbVec out(k_);
+  LimbVec scratch(scratch_limbs());
+  sqr_into(out.data(), a.data(), scratch.data());
+  return out;
+}
+
+BigInt Montgomery::reduce(const BigInt& x) const {
+  if (!x.is_negative() && x < n_big_) return x;
+  return x.mod(n_big_);
 }
 
 Montgomery::LimbVec Montgomery::to_mont(const BigInt& x) const {
-  BigInt red = x.mod(n_big_);
+  const BigInt red = reduce(x);
   LimbVec v = red.limbs();
   v.resize(k_, 0);
-  return mont_mul(v, r2_);
+  LimbVec scratch(scratch_limbs());
+  mul_into(v.data(), v.data(), r2_.data(), scratch.data());
+  return v;
 }
 
 BigInt Montgomery::from_mont(const LimbVec& x) const {
   LimbVec one(k_, 0);
   one[0] = 1;
-  LimbVec v = mont_mul(x, one);
+  LimbVec v(k_);
+  LimbVec scratch(scratch_limbs());
+  mul_into(v.data(), x.data(), one.data(), scratch.data());
   return BigInt::from_limbs(std::move(v));
 }
 
@@ -123,38 +378,82 @@ BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
   if (exp.is_negative()) throw ParamError("Montgomery::pow: negative exponent");
   if (exp.is_zero()) return BigInt(1).mod(n_big_);
 
-  // Precompute base^0..base^15 in Montgomery form.
-  constexpr std::size_t kWindow = 4;
-  std::array<LimbVec, 1u << kWindow> table;
-  table[0] = one_mont_;
-  table[1] = to_mont(base);
-  for (std::size_t i = 2; i < table.size(); ++i) {
-    table[i] = mont_mul(table[i - 1], table[1]);
+  const std::size_t nbits = exp.bit_length();
+  const unsigned w = window_bits_for(nbits);
+
+  // Odd powers base^1, base^3, ..., base^{2^w - 1} in Montgomery form.
+  const std::size_t k = k_;
+  LimbVec scratch(scratch_limbs());
+  std::vector<LimbVec> table(std::size_t{1} << (w - 1));
+  table[0] = to_mont(base);
+  if (table.size() > 1) {
+    LimbVec b2(k);
+    sqr_into(b2.data(), table[0].data(), scratch.data());
+    for (std::size_t i = 1; i < table.size(); ++i) {
+      table[i].resize(k);
+      mul_into(table[i].data(), table[i - 1].data(), b2.data(),
+               scratch.data());
+    }
   }
 
-  const std::size_t nbits = exp.bit_length();
-  // Process exponent in fixed 4-bit windows from the top.
-  std::size_t top = (nbits + kWindow - 1) / kWindow * kWindow;
-  LimbVec acc = one_mont_;
+  // Sliding odd windows from the top; the chain between windows is pure
+  // squarings on the sqr_into specialization.
+  LimbVec acc(k);
   bool started = false;
-  for (std::size_t w = top; w > 0; w -= kWindow) {
-    if (started) {
-      for (std::size_t s = 0; s < kWindow; ++s) acc = mont_mul(acc, acc);
-    }
-    unsigned digit = 0;
-    for (std::size_t b = 0; b < kWindow; ++b) {
-      const std::size_t bitpos = w - kWindow + b;
-      if (exp.bit(bitpos)) digit |= 1u << b;
-    }
-    if (digit != 0) {
-      acc = mont_mul(acc, table[digit]);
-      started = true;
-    } else if (!started) {
+  std::size_t i = nbits;
+  while (i-- > 0) {
+    if (!exp.bit(i)) {
+      if (started) sqr_into(acc.data(), acc.data(), scratch.data());
       continue;
     }
+    std::size_t j = i >= w - 1 ? i - (w - 1) : 0;
+    while (!exp.bit(j)) ++j;  // make the window digit odd
+    unsigned digit = 0;
+    for (std::size_t b = j; b <= i; ++b) {
+      digit |= static_cast<unsigned>(exp.bit(b)) << (b - j);
+    }
+    if (started) {
+      for (std::size_t s = 0; s <= i - j; ++s) {
+        sqr_into(acc.data(), acc.data(), scratch.data());
+      }
+      mul_into(acc.data(), acc.data(), table[digit >> 1].data(),
+               scratch.data());
+    } else {
+      acc = table[digit >> 1];
+      started = true;
+    }
+    if (j == 0) break;
+    i = j;  // loop decrement moves to bit j - 1
   }
-  if (!started) return BigInt(1).mod(n_big_);
   return from_mont(acc);
+}
+
+std::shared_ptr<const Montgomery> Montgomery::shared(const BigInt& modulus) {
+  // Process-wide double-checked cache: shared-lock lookup on the hot path,
+  // exclusive-lock insert with a re-check. Bounded FIFO eviction; evicted
+  // contexts stay alive through the returned shared_ptr.
+  constexpr std::size_t kMaxCachedContexts = 64;
+  struct Cache {
+    std::shared_mutex mu;
+    std::vector<std::pair<BigInt, std::shared_ptr<const Montgomery>>> entries;
+  };
+  static Cache& cache = *new Cache;  // leaked: usable during static teardown
+  {
+    std::shared_lock lock(cache.mu);
+    for (const auto& [m, ctx] : cache.entries) {
+      if (m == modulus) return ctx;
+    }
+  }
+  auto fresh = std::make_shared<const Montgomery>(modulus);
+  std::unique_lock lock(cache.mu);
+  for (const auto& [m, ctx] : cache.entries) {
+    if (m == modulus) return ctx;
+  }
+  if (cache.entries.size() >= kMaxCachedContexts) {
+    cache.entries.erase(cache.entries.begin());
+  }
+  cache.entries.emplace_back(modulus, fresh);
+  return fresh;
 }
 
 BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {

@@ -4,40 +4,104 @@
 // block-sized exponents, edges compute one huge-exponent power per proof, and
 // the TPA computes |S_j| small-exponent powers per verification. A reusable
 // Montgomery context amortizes precomputation across those calls.
+//
+// The context is also the root of the exponentiation engine:
+//   * `shared(N)` is a process-wide per-modulus cache so hot paths stop
+//     re-deriving R^2 and -N^{-1} on every protocol call;
+//   * the Montgomery-residue API (`to_mont`/`mont_mul`/`mont_sqr`/...) is
+//     what bignum/multiexp.h and bignum/fixed_base.h build their shared
+//     squaring chains on;
+//   * `fixed_base(g, bits)` caches Lim-Lee comb tables for long-lived bases
+//     on the context itself (double-checked under a shared_mutex, the same
+//     discipline as pir::TagDatabase::plane).
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <utility>
 #include <vector>
 
 #include "bignum/bigint.h"
 
 namespace ice::bn {
 
+class FixedBase;
+
 /// Montgomery context for a fixed odd modulus N > 1.
-/// Thread-safe for concurrent use after construction (all methods const).
+/// Thread-safe for concurrent use after construction (the mutable fixed-base
+/// table cache is internally synchronized; everything else is const).
 class Montgomery {
  public:
   using Limb = BigInt::Limb;
+  /// A k-limb residue (k = limb_count()), little-endian, in Montgomery form
+  /// (value * R mod N with R = 2^{64 k}). The unit of the engine-level API.
+  using LimbVec = std::vector<Limb>;
 
   /// Throws ParamError unless `modulus` is odd and > 1.
   explicit Montgomery(const BigInt& modulus);
 
+  /// Process-wide per-modulus context cache. Returns the same immutable
+  /// context for repeated calls with the same modulus, so R^2 / -N^{-1} /
+  /// comb tables are derived once per process instead of once per call.
+  /// Bounded (LRU-ish FIFO eviction) so hostile inputs cannot exhaust
+  /// memory; an evicted context stays alive while callers hold the pointer.
+  static std::shared_ptr<const Montgomery> shared(const BigInt& modulus);
+
   [[nodiscard]] const BigInt& modulus() const { return n_big_; }
+  /// Limb count k of the modulus; every Montgomery residue has k limbs.
+  [[nodiscard]] std::size_t limb_count() const { return k_; }
 
   /// (a * b) mod N. Inputs need not be reduced; they are reduced first.
   [[nodiscard]] BigInt mul(const BigInt& a, const BigInt& b) const;
 
   /// base^exp mod N for exp >= 0 (throws ParamError on negative exp).
-  /// Sliding fixed 4-bit window over Montgomery residues.
+  /// Sliding odd-window chain over Montgomery residues with a squaring
+  /// specialization; window width adapts to the exponent length.
   [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exp) const;
 
- private:
-  using LimbVec = std::vector<Limb>;
+  /// Canonical residue of x in [0, N); skips the division when x is
+  /// already reduced (the common case for wire-validated proof values).
+  [[nodiscard]] BigInt reduce(const BigInt& x) const;
+
+  // --- Montgomery-residue API (engine layer) ------------------------------
+  // multiexp.h / fixed_base.h run whole squaring chains in this domain and
+  // convert once at each end.
+
+  [[nodiscard]] LimbVec to_mont(const BigInt& x) const;
+  [[nodiscard]] BigInt from_mont(const LimbVec& x) const;
+  /// R mod N: the Montgomery residue of 1 (multiplicative identity).
+  [[nodiscard]] const LimbVec& one_mont() const { return one_mont_; }
 
   /// Montgomery product: a * b * R^{-1} mod N; a, b are k-limb residues.
   [[nodiscard]] LimbVec mont_mul(const LimbVec& a, const LimbVec& b) const;
-  [[nodiscard]] LimbVec to_mont(const BigInt& x) const;
-  [[nodiscard]] BigInt from_mont(const LimbVec& x) const;
+  /// Montgomery square: a^2 * R^{-1} mod N. Result is identical to
+  /// mont_mul(a, a); roughly 3/4 the limb products (cross terms doubled
+  /// instead of recomputed), and squarings are the majority of pow work.
+  [[nodiscard]] LimbVec mont_sqr(const LimbVec& a) const;
+
+  // --- Allocation-free kernels for inner loops ----------------------------
+  // out/a/b point at k-limb buffers; `scratch` at scratch_limbs() limbs.
+  // out may alias a and/or b (results are staged in scratch).
+
+  [[nodiscard]] std::size_t scratch_limbs() const { return 2 * k_ + 2; }
+  void mul_into(Limb* out, const Limb* a, const Limb* b,
+                Limb* scratch) const;
+  void sqr_into(Limb* out, const Limb* a, Limb* scratch) const;
+
+  /// Cached Lim-Lee comb for `base`, able to take exponents of at least
+  /// `min_exp_bits` bits. Built lazily (and rebuilt bigger when a longer
+  /// exponent shows up); the handle stays valid after eviction. The comb
+  /// borrows this context, so it must not outlive it — handles obtained
+  /// from a `shared()` context live for the whole process.
+  [[nodiscard]] std::shared_ptr<const FixedBase> fixed_base(
+      const BigInt& base, std::size_t min_exp_bits) const;
+
+ private:
+  // x86-64 ADX/BMI2 squaring path (mulx + dual adcx/adox carry chains),
+  // selected at runtime by sqr_into when the CPU supports it. Bit-identical
+  // to the portable kernel. Defined only on x86-64 GNU toolchains.
+  void sqr_into_adx(Limb* out, const Limb* a, Limb* t) const;
 
   std::size_t k_;      // limb count of modulus
   LimbVec n_;          // modulus limbs, length k_
@@ -45,6 +109,12 @@ class Montgomery {
   Limb n0inv_;         // -N^{-1} mod 2^64
   LimbVec r2_;         // R^2 mod N (R = 2^{64 k_}), length k_
   LimbVec one_mont_;   // R mod N
+
+  // Small per-context comb cache keyed by base value (linear scan; there
+  // are only ever a handful of long-lived bases per modulus).
+  mutable std::shared_mutex fb_mu_;
+  mutable std::vector<std::pair<BigInt, std::shared_ptr<const FixedBase>>>
+      fb_cache_;
 };
 
 }  // namespace ice::bn

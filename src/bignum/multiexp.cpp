@@ -1,0 +1,294 @@
+#include "bignum/multiexp.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+#include "common/parallel.h"
+
+namespace ice::bn {
+
+namespace {
+
+using LimbVec = Montgomery::LimbVec;
+
+// Sliding-window width for Straus: per-base tables cost 2^{w-1} products,
+// windows cost ~bits/(w+1) products per base.
+unsigned straus_window(std::size_t max_bits) {
+  if (max_bits <= 32) return 2;
+  if (max_bits <= 128) return 4;
+  if (max_bits <= 1024) return 5;
+  return 6;
+}
+
+// One odd window of one exponent: multiply table[digit >> 1] in when the
+// shared chain reaches bit `pos`.
+struct WindowEvent {
+  std::size_t pos;
+  std::uint32_t base;
+  std::uint32_t digit;  // odd
+};
+
+// prod bases[i]^{exps[i]} over [begin, end) with one shared squaring chain.
+LimbVec straus_range(const Montgomery& mont, const std::vector<BigInt>& bases,
+                     const std::vector<BigInt>& exps, std::size_t begin,
+                     std::size_t end) {
+  std::size_t max_bits = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    max_bits = std::max(max_bits, exps[i].bit_length());
+  }
+  if (max_bits == 0) return mont.one_mont();
+  const unsigned w = straus_window(max_bits);
+
+  const std::size_t k = mont.limb_count();
+  LimbVec scratch(mont.scratch_limbs());
+  // Per-base odd-power tables (skipping zero exponents entirely) and the
+  // window schedule, sorted so the main loop replays it top-down.
+  std::vector<std::vector<LimbVec>> tables(end - begin);
+  std::vector<WindowEvent> events;
+  for (std::size_t i = begin; i < end; ++i) {
+    const BigInt& e = exps[i];
+    const std::size_t nbits = e.bit_length();
+    if (nbits == 0) continue;
+    std::size_t top = nbits;
+    std::size_t windows_before = events.size();
+    while (top-- > 0) {
+      if (!e.bit(top)) continue;
+      std::size_t j = top >= w - 1 ? top - (w - 1) : 0;
+      while (!e.bit(j)) ++j;
+      std::uint32_t digit = 0;
+      for (std::size_t b = j; b <= top; ++b) {
+        digit |= static_cast<std::uint32_t>(e.bit(b)) << (b - j);
+      }
+      events.push_back({j, static_cast<std::uint32_t>(i - begin), digit});
+      if (j == 0) break;
+      top = j;  // loop decrement continues from bit j - 1
+    }
+    // Table of odd powers up to the largest digit this base actually uses.
+    std::uint32_t max_digit = 1;
+    for (std::size_t v = windows_before; v < events.size(); ++v) {
+      max_digit = std::max(max_digit, events[v].digit);
+    }
+    auto& table = tables[i - begin];
+    table.resize((max_digit >> 1) + 1);
+    table[0] = mont.to_mont(bases[i]);
+    if (table.size() > 1) {
+      LimbVec b2(k);
+      mont.sqr_into(b2.data(), table[0].data(), scratch.data());
+      for (std::size_t d = 1; d < table.size(); ++d) {
+        table[d].resize(k);
+        mont.mul_into(table[d].data(), table[d - 1].data(), b2.data(),
+                      scratch.data());
+      }
+    }
+  }
+  if (events.empty()) return mont.one_mont();
+  std::stable_sort(events.begin(), events.end(),
+                   [](const WindowEvent& a, const WindowEvent& b) {
+                     return a.pos > b.pos;
+                   });
+
+  LimbVec acc;
+  bool started = false;
+  std::size_t next = 0;
+  for (std::size_t pos = events.front().pos + 1; pos-- > 0;) {
+    if (started) mont.sqr_into(acc.data(), acc.data(), scratch.data());
+    while (next < events.size() && events[next].pos == pos) {
+      const LimbVec& entry =
+          tables[events[next].base][events[next].digit >> 1];
+      if (started) {
+        mont.mul_into(acc.data(), acc.data(), entry.data(), scratch.data());
+      } else {
+        acc = entry;
+        started = true;
+      }
+      ++next;
+    }
+  }
+  return acc;
+}
+
+// Pippenger-style bucket method over [begin, end): fixed c-bit windows,
+// each window accumulates bases into digit buckets and combines them with
+// the running-product trick (prod_d bucket[d]^d in 2 * 2^c multiplies).
+LimbVec pippenger_range(const Montgomery& mont,
+                        const std::vector<BigInt>& bases,
+                        const std::vector<BigInt>& exps, std::size_t begin,
+                        std::size_t end, unsigned c) {
+  std::size_t max_bits = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    max_bits = std::max(max_bits, exps[i].bit_length());
+  }
+  if (max_bits == 0) return mont.one_mont();
+
+  const std::size_t k = mont.limb_count();
+  LimbVec scratch(mont.scratch_limbs());
+  std::vector<LimbVec> base_m(end - begin);
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!exps[i].is_zero()) base_m[i - begin] = mont.to_mont(bases[i]);
+  }
+
+  const std::size_t windows = (max_bits + c - 1) / c;
+  std::vector<LimbVec> bucket(std::size_t{1} << c);
+  std::vector<bool> used(bucket.size());
+  LimbVec acc;
+  bool started = false;
+  for (std::size_t win = windows; win-- > 0;) {
+    if (started) {
+      for (unsigned s = 0; s < c; ++s) {
+        mont.sqr_into(acc.data(), acc.data(), scratch.data());
+      }
+    }
+    std::fill(used.begin(), used.end(), false);
+    for (std::size_t i = begin; i < end; ++i) {
+      const BigInt& e = exps[i];
+      std::uint32_t digit = 0;
+      for (unsigned b = 0; b < c; ++b) {
+        digit |= static_cast<std::uint32_t>(e.bit(win * c + b)) << b;
+      }
+      if (digit == 0) continue;
+      LimbVec& slot = bucket[digit];
+      if (!used[digit]) {
+        slot = base_m[i - begin];
+        used[digit] = true;
+      } else {
+        mont.mul_into(slot.data(), slot.data(), base_m[i - begin].data(),
+                      scratch.data());
+      }
+    }
+    // prod_d bucket[d]^d via suffix products: running = prod_{d' >= d},
+    // total accumulates running once per d.
+    LimbVec running(k);
+    LimbVec total(k);
+    bool have_running = false;
+    bool have_total = false;
+    for (std::size_t d = bucket.size(); d-- > 1;) {
+      if (used[d]) {
+        if (have_running) {
+          mont.mul_into(running.data(), running.data(), bucket[d].data(),
+                        scratch.data());
+        } else {
+          running = bucket[d];
+          have_running = true;
+        }
+      }
+      if (!have_running) continue;
+      if (have_total) {
+        mont.mul_into(total.data(), total.data(), running.data(),
+                      scratch.data());
+      } else {
+        total = running;
+        have_total = true;
+      }
+    }
+    if (!have_total) continue;
+    if (started) {
+      mont.mul_into(acc.data(), acc.data(), total.data(), scratch.data());
+    } else {
+      acc = total;
+      started = true;
+    }
+  }
+  return started ? acc : mont.one_mont();
+}
+
+// Rough product counts used to pick the algorithm and the Pippenger window.
+double straus_cost(std::size_t k, std::size_t bits) {
+  const unsigned w = straus_window(bits);
+  const double table = static_cast<double>(k) *
+                       static_cast<double>(std::size_t{1} << (w - 1));
+  const double windows = static_cast<double>(k) * static_cast<double>(bits) /
+                         (w + 1.0);
+  return 0.8 * static_cast<double>(bits) + table + windows;
+}
+
+double pippenger_cost(std::size_t k, std::size_t bits, unsigned c) {
+  const double windows = (static_cast<double>(bits) + c - 1) / c;
+  return 0.8 * static_cast<double>(bits) +
+         windows * (static_cast<double>(k) +
+                    2.0 * static_cast<double>(std::size_t{1} << c));
+}
+
+LimbVec multi_exp_range(const Montgomery& mont,
+                        const std::vector<BigInt>& bases,
+                        const std::vector<BigInt>& exps, std::size_t begin,
+                        std::size_t end, MultiExpAlgo algo) {
+  const std::size_t k = end - begin;
+  std::size_t max_bits = 0;
+  for (std::size_t i = begin; i < end; ++i) {
+    max_bits = std::max(max_bits, exps[i].bit_length());
+  }
+  unsigned best_c = 4;
+  if (algo != MultiExpAlgo::kStraus && max_bits > 0) {
+    double best = pippenger_cost(k, max_bits, best_c);
+    for (unsigned c = 2; c <= 8; ++c) {
+      const double cost = pippenger_cost(k, max_bits, c);
+      if (cost < best) {
+        best = cost;
+        best_c = c;
+      }
+    }
+    if (algo == MultiExpAlgo::kAuto &&
+        (k < 32 || straus_cost(k, max_bits) <= best)) {
+      algo = MultiExpAlgo::kStraus;
+    }
+  }
+  if (algo == MultiExpAlgo::kStraus || max_bits == 0) {
+    return straus_range(mont, bases, exps, begin, end);
+  }
+  return pippenger_range(mont, bases, exps, begin, end, best_c);
+}
+
+}  // namespace
+
+BigInt multi_exp(const Montgomery& mont, const std::vector<BigInt>& bases,
+                 const std::vector<BigInt>& exps, std::size_t parallelism,
+                 MultiExpAlgo algo) {
+  if (bases.size() != exps.size()) {
+    throw ParamError("multi_exp: bases/exps size mismatch");
+  }
+  for (const BigInt& e : exps) {
+    if (e.is_negative()) throw ParamError("multi_exp: negative exponent");
+  }
+  if (bases.empty()) return BigInt(1).mod(mont.modulus());
+
+  std::vector<LimbVec> partials(
+      partition_range(bases.size(), resolve_parallelism(parallelism)).size());
+  parallel_chunks(bases.size(), parallelism,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                    partials[chunk] =
+                        multi_exp_range(mont, bases, exps, begin, end, algo);
+                  });
+  LimbVec acc = std::move(partials[0]);
+  LimbVec scratch(mont.scratch_limbs());
+  for (std::size_t c = 1; c < partials.size(); ++c) {
+    mont.mul_into(acc.data(), acc.data(), partials[c].data(), scratch.data());
+  }
+  return mont.from_mont(acc);
+}
+
+BigInt mont_product(const Montgomery& mont, const std::vector<BigInt>& values,
+                    std::size_t parallelism) {
+  if (values.empty()) return BigInt(1).mod(mont.modulus());
+  std::vector<LimbVec> partials(
+      partition_range(values.size(), resolve_parallelism(parallelism))
+          .size());
+  parallel_chunks(values.size(), parallelism,
+                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+                    LimbVec scratch(mont.scratch_limbs());
+                    LimbVec acc = mont.to_mont(values[begin]);
+                    for (std::size_t i = begin + 1; i < end; ++i) {
+                      const LimbVec v = mont.to_mont(values[i]);
+                      mont.mul_into(acc.data(), acc.data(), v.data(),
+                                    scratch.data());
+                    }
+                    partials[chunk] = std::move(acc);
+                  });
+  LimbVec acc = std::move(partials[0]);
+  LimbVec scratch(mont.scratch_limbs());
+  for (std::size_t c = 1; c < partials.size(); ++c) {
+    mont.mul_into(acc.data(), acc.data(), partials[c].data(), scratch.data());
+  }
+  return mont.from_mont(acc);
+}
+
+}  // namespace ice::bn

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <map>
 
+#include "bignum/fixed_base.h"
 #include "bignum/montgomery.h"
+#include "bignum/multiexp.h"
 #include "common/error.h"
 #include "common/parallel.h"
 #include "crypto/prf.h"
@@ -14,7 +16,9 @@ Challenge make_batch_base(const PublicKey& pk, bn::Rng64& rng,
                           ChallengeSecret& secret_out) {
   Challenge base;
   secret_out.s = bn::random_unit(rng, pk.n);
-  base.g_s = bn::Montgomery(pk.n).pow(pk.g, secret_out.s);
+  // g is long-lived: every batch round reuses the cached Lim-Lee comb.
+  const auto mont = bn::Montgomery::shared(pk.n);
+  base.g_s = mont->fixed_base(pk.g, pk.n.bit_length())->pow(secret_out.s);
   base.e = bn::BigInt(0);  // per-edge keys live with the user in ICE-batch
   return base;
 }
@@ -60,7 +64,9 @@ Proof make_batch_proof(const PublicKey& pk, const ProtocolParams& params,
   bn::BigInt aggregate(0);
   for (const auto& partial : partials) aggregate += partial;
   Proof proof;
-  proof.p = bn::Montgomery(pk.n).pow(g_s, aggregate);
+  // g_s is round-fresh, so no comb; the shared context still saves the
+  // per-call R^2 / n0inv derivation.
+  proof.p = bn::Montgomery::shared(pk.n)->pow(g_s, aggregate);
   return proof;
 }
 
@@ -116,7 +122,7 @@ std::vector<bn::BigInt> batch_repack(
       if (!inserted) it->second += a;
     }
   }
-  const bn::Montgomery mont(pk.n);
+  const auto mont = bn::Montgomery::shared(pk.n);
   // Resolve each union index's aggregated exponent up front (and validate),
   // then fan the independent modexps out into disjoint output slots.
   std::vector<const bn::BigInt*> exponents(union_indices.size());
@@ -134,7 +140,7 @@ std::vector<bn::BigInt> batch_repack(
   parallel_chunks(union_indices.size(), params.parallelism,
                   [&](std::size_t, std::size_t begin, std::size_t end) {
                     for (std::size_t i = begin; i < end; ++i) {
-                      repacked[i] = mont.pow(union_tags[i], *exponents[i]);
+                      repacked[i] = mont->pow(union_tags[i], *exponents[i]);
                     }
                   });
   return repacked;
@@ -148,26 +154,17 @@ bool verify_batch(const PublicKey& pk,
   if (repacked_tags.empty() || proofs.empty()) {
     throw ParamError("verify_batch: empty batch");
   }
-  const bn::Montgomery mont(pk.n);
-  // R = prod T~ chunked into partial products; modular multiplication is
-  // exact and commutative, so the chunk-ordered combine matches the serial
-  // product bit for bit.
-  std::vector<bn::BigInt> partials(
-      partition_range(repacked_tags.size(), resolve_parallelism(parallelism))
-          .size());
-  parallel_chunks(repacked_tags.size(), parallelism,
-                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-                    bn::BigInt prod(1);
-                    for (std::size_t k = begin; k < end; ++k) {
-                      prod = mont.mul(prod, repacked_tags[k]);
-                    }
-                    partials[chunk] = std::move(prod);
-                  });
-  bn::BigInt r(1);
-  for (const auto& partial : partials) r = mont.mul(r, partial);
-  const bn::BigInt expected = mont.pow(r, secret.s);
-  bn::BigInt combined(1);
-  for (const auto& proof : proofs) combined = mont.mul(combined, proof.p);
+  const auto mont = bn::Montgomery::shared(pk.n);
+  // Exponents here are all 1, so windowed multi-exp cannot help: both
+  // products run as straight Montgomery-domain chains (one conversion per
+  // value, one mont_mul per step) via mont_product, which keeps the
+  // chunk-ordered parallel combine bit-identical to the serial product.
+  std::vector<bn::BigInt> proof_values;
+  proof_values.reserve(proofs.size());
+  for (const auto& proof : proofs) proof_values.push_back(proof.p);
+  const bn::BigInt r = bn::mont_product(*mont, repacked_tags, parallelism);
+  const bn::BigInt expected = mont->pow(r, secret.s);
+  const bn::BigInt combined = bn::mont_product(*mont, proof_values, 1);
   return expected == combined;
 }
 

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 
+#include "bignum/fixed_base.h"
 #include "bignum/montgomery.h"
+#include "bignum/multiexp.h"
 #include "common/error.h"
 #include "crypto/prf.h"
+#include "ice/protocol.h"
 #include "ice/wire.h"
 
 namespace ice::proto {
@@ -45,26 +48,27 @@ CloudAuditResult audit_cloud(UserClient& user, net::RpcChannel& csp_channel,
 
   // Challenge the CSP (owner-driven: the user verifies itself).
   const PublicKey& pk = user.pk();
-  const bn::Montgomery mont(pk.n);
+  const auto mont = bn::Montgomery::shared(pk.n);
   ProtocolParams params;  // coefficient widths are the protocol defaults
   bn::BigInt e;
   do {
     e = bn::random_below(rng, bn::BigInt(1) << params.challenge_key_bits);
   } while (e.is_zero());
   const bn::BigInt s = bn::random_unit(rng, pk.n);
-  const bn::BigInt g_s = mont.pow(pk.g, s);
+  // g is long-lived: the shared context's comb covers every cloud audit.
+  const bn::BigInt g_s = mont->fixed_base(pk.g, pk.n.bit_length())->pow(s);
   const CspClient csp(csp_channel);
   csp.set_key(pk, params);  // idempotent; the CSP needs (N, g) and d
   const Proof proof = csp.challenge(e, g_s, result.sampled);
+  validate_proof(pk, proof);  // reject malformed CSP responses up front
 
-  // Verify against privately retrieved tags.
+  // Verify against privately retrieved tags: one simultaneous multi-exp
+  // over the sampled tags instead of a pow+mul per tag.
   const std::vector<bn::BigInt> tags = user.retrieve_tags(result.sampled);
-  crypto::CoefficientPrf prf(e, params.coeff_bits);
-  bn::BigInt r(1);
-  for (const auto& tag : tags) {
-    r = mont.mul(r, mont.pow(tag, prf.next()));
-  }
-  result.pass = mont.pow(r, s) == proof.p.mod(pk.n);
+  const std::vector<bn::BigInt> coeffs =
+      crypto::CoefficientPrf::expand(e, params.coeff_bits, tags.size());
+  const bn::BigInt r = bn::multi_exp(*mont, tags, coeffs, params.parallelism);
+  result.pass = mont->pow(r, s) == mont->reduce(proof.p);
   return result;
 }
 

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "bignum/fixed_base.h"
 #include "bignum/montgomery.h"
+#include "bignum/multiexp.h"
 #include "common/error.h"
 #include "crypto/prf.h"
 #include "ice/protocol.h"
@@ -24,23 +26,27 @@ bool subset_passes(const PublicKey& pk, const ProtocolParams& params,
     e = bn::random_below(rng, bn::BigInt(1) << params.challenge_key_bits);
   } while (e.is_zero());
   const bn::BigInt s = bn::random_unit(rng, pk.n);
-  const bn::BigInt g_s = mont.pow(pk.g, s);
+  // Every bisection round raises g, so the context's comb pays for itself
+  // after the first of the O(log n) subset audits.
+  const bn::BigInt g_s = mont.fixed_base(pk.g, pk.n.bit_length())->pow(s);
 
   ++proof_count;
   Proof proof;
   try {
     proof = edge.subset_proof(e, g_s, subset);
+    // A malformed proof value (out of range / non-unit) fails the subset
+    // the same way a missing block does.
+    validate_proof(pk, proof);
   } catch (const ProtocolError&) {
     // Edge no longer holds some block of the subset: treat as failing.
     return false;
   }
 
-  crypto::CoefficientPrf prf(e, params.coeff_bits);
-  bn::BigInt r(1);
-  for (const auto& tag : subset_tags) {
-    r = mont.mul(r, mont.pow(tag, prf.next()));
-  }
-  return mont.pow(r, s) == proof.p.mod(pk.n);
+  const std::vector<bn::BigInt> coeffs = crypto::CoefficientPrf::expand(
+      e, params.coeff_bits, subset_tags.size());
+  const bn::BigInt r =
+      bn::multi_exp(mont, subset_tags, coeffs, params.parallelism);
+  return mont.pow(r, s) == mont.reduce(proof.p);
 }
 
 void bisect(const PublicKey& pk, const ProtocolParams& params,
@@ -84,8 +90,8 @@ LocalizationResult localize_corruption(const PublicKey& pk,
     throw ParamError("localize_corruption: indices/tags size mismatch");
   }
   LocalizationResult out;
-  const bn::Montgomery mont(pk.n);
-  bisect(pk, params, edge, mont, indices, tags, rng, out);
+  const auto mont = bn::Montgomery::shared(pk.n);
+  bisect(pk, params, edge, *mont, indices, tags, rng, out);
   std::sort(out.corrupted.begin(), out.corrupted.end());
   return out;
 }

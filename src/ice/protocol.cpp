@@ -1,6 +1,8 @@
 #include "ice/protocol.h"
 
+#include "bignum/fixed_base.h"
 #include "bignum/montgomery.h"
+#include "bignum/multiexp.h"
 #include "common/error.h"
 #include "common/parallel.h"
 #include "crypto/prf.h"
@@ -16,7 +18,10 @@ Challenge make_challenge(const PublicKey& pk, const ProtocolParams& params,
                                        << params.challenge_key_bits);
   } while (chal.e.is_zero());
   secret_out.s = bn::random_unit(rng, pk.n);
-  chal.g_s = bn::Montgomery(pk.n).pow(pk.g, secret_out.s);
+  // g is the long-lived base of every challenge: the shared context's
+  // Lim-Lee comb turns g^s into a chain |N|/h the length of a generic pow.
+  const auto mont = bn::Montgomery::shared(pk.n);
+  chal.g_s = mont->fixed_base(pk.g, pk.n.bit_length())->pow(secret_out.s);
   return chal;
 }
 
@@ -53,7 +58,10 @@ Proof make_proof(const PublicKey& pk, const ProtocolParams& params,
   bn::BigInt aggregate(0);
   for (const auto& partial : partials) aggregate += partial;
   Proof proof;
-  proof.p = bn::Montgomery(pk.n).pow(challenge.g_s, aggregate * s_tilde);
+  // g_s is challenge-fresh, so no comb: one generic pow on the cached
+  // context (which still saves the per-call R^2 / n0inv derivation).
+  proof.p = bn::Montgomery::shared(pk.n)->pow(challenge.g_s,
+                                              aggregate * s_tilde);
   return proof;
 }
 
@@ -61,14 +69,14 @@ std::vector<bn::BigInt> repack_tags(const PublicKey& pk,
                                     const std::vector<bn::BigInt>& tags,
                                     const bn::BigInt& s_tilde,
                                     std::size_t parallelism) {
-  const bn::Montgomery mont(pk.n);
+  const auto mont = bn::Montgomery::shared(pk.n);
   std::vector<bn::BigInt> out(tags.size());
   // Independent modexps into disjoint slots; the Montgomery context (and
   // its precomputed R^2, -N^{-1}) is shared read-only across chunks.
   parallel_chunks(tags.size(), parallelism,
                   [&](std::size_t, std::size_t begin, std::size_t end) {
                     for (std::size_t k = begin; k < end; ++k) {
-                      out[k] = mont.pow(tags[k], s_tilde);
+                      out[k] = mont->pow(tags[k], s_tilde);
                     }
                   });
   return out;
@@ -81,37 +89,34 @@ bool verify_proof(const PublicKey& pk, const ProtocolParams& params,
   if (repacked_tags.empty()) {
     throw ParamError("verify_proof: no tags to verify against");
   }
-  const bn::Montgomery mont(pk.n);
-  // R = prod_k T~_k^{a_k} mod N: a multi-exponentiation chunked across the
-  // pool. Each chunk folds its tags into a partial product over the shared
-  // Montgomery context; modular multiplication is exact and commutative, so
-  // combining the partials in chunk order reproduces the serial R bit for
-  // bit at every thread count.
+  const auto mont = bn::Montgomery::shared(pk.n);
+  // R = prod_k T~_k^{a_k} mod N: one simultaneous multi-exponentiation
+  // sharing a single squaring chain across all |S_j| tags (multiexp.h),
+  // chunked over the pool with partials combined in chunk order — the
+  // canonical result is bit-identical to per-tag pow at every thread count.
   const std::vector<bn::BigInt> coeffs = crypto::CoefficientPrf::expand(
       challenge.e, params.coeff_bits, repacked_tags.size());
-  std::vector<bn::BigInt> partials(
-      partition_range(repacked_tags.size(),
-                      resolve_parallelism(params.parallelism))
-          .size());
-  parallel_chunks(repacked_tags.size(), params.parallelism,
-                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-                    bn::BigInt prod(1);
-                    for (std::size_t k = begin; k < end; ++k) {
-                      prod = mont.mul(prod, mont.pow(repacked_tags[k],
-                                                     coeffs[k]));
-                    }
-                    partials[chunk] = std::move(prod);
-                  });
-  bn::BigInt r(1);
-  for (const auto& partial : partials) r = mont.mul(r, partial);
-  const bn::BigInt expected = mont.pow(r, secret.s);
-  return expected == proof.p.mod(pk.n);
+  const bn::BigInt r =
+      bn::multi_exp(*mont, repacked_tags, coeffs, params.parallelism);
+  const bn::BigInt expected = mont->pow(r, secret.s);
+  // One canonical reduction of the claimed proof (a no-op for wire-valid
+  // proofs, which deserialization already range-checks).
+  return expected == mont->reduce(proof.p);
 }
 
 bn::BigInt draw_blinding(const PublicKey& pk, bn::Rng64& rng) {
   for (;;) {
     bn::BigInt s = bn::random_unit(rng, pk.n);
     if (s != bn::BigInt(1)) return s;
+  }
+}
+
+void validate_proof(const PublicKey& pk, const Proof& proof) {
+  if (proof.p.sign() <= 0 || proof.p >= pk.n) {
+    throw ProtocolError("proof value out of range [1, N)");
+  }
+  if (bn::gcd(proof.p, pk.n) != bn::BigInt(1)) {
+    throw ProtocolError("proof value is not a unit mod N");
   }
 }
 

@@ -71,4 +71,10 @@ bool verify_proof(const PublicKey& pk, const ProtocolParams& params,
 /// Draws the user's blinding s_tilde uniformly from Z_N^* \ {1}.
 bn::BigInt draw_blinding(const PublicKey& pk, bn::Rng64& rng);
 
+/// Validates a just-deserialized proof value: an honest proof is an element
+/// of Z_N^*, so anything outside [1, N) or sharing a factor with N is
+/// rejected up front with a clear error instead of flowing into the
+/// verification arithmetic. Throws ProtocolError on violation.
+void validate_proof(const PublicKey& pk, const Proof& proof);
+
 }  // namespace ice::proto

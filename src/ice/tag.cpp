@@ -1,31 +1,50 @@
 #include "ice/tag.h"
 
+#include <algorithm>
+
+#include "bignum/fixed_base.h"
 #include "common/error.h"
+#include "common/parallel.h"
 
 namespace ice::proto {
 
 TagGenerator::TagGenerator(PublicKey pk)
-    : pk_(std::move(pk)), mont_(pk_.n) {
+    : pk_(std::move(pk)), mont_(bn::Montgomery::shared(pk_.n)) {
   if (!plausible_public_key(pk_)) {
     throw ParamError("TagGenerator: implausible public key");
   }
 }
 
 bn::BigInt TagGenerator::tag(BytesView block) const {
-  return mont_.pow(pk_.g, bn::BigInt::from_bytes_be(block));
+  const bn::BigInt m = bn::BigInt::from_bytes_be(block);
+  return mont_->fixed_base(pk_.g, m.bit_length())->pow(m);
 }
 
 std::vector<bn::BigInt> TagGenerator::tag_all(
-    const std::vector<Bytes>& blocks) const {
-  std::vector<bn::BigInt> tags;
-  tags.reserve(blocks.size());
-  for (const auto& b : blocks) tags.push_back(tag(b));
+    const std::vector<Bytes>& blocks, std::size_t parallelism) const {
+  // Build (or fetch) one comb sized for the largest block before fanning
+  // out, so worker chunks share a read-only table instead of racing to
+  // construct it.
+  std::size_t max_bits = 0;
+  for (const auto& b : blocks) {
+    max_bits = std::max(max_bits, b.size() * 8);
+  }
+  const auto comb = mont_->fixed_base(pk_.g, std::max<std::size_t>(max_bits, 1));
+  std::vector<bn::BigInt> tags(blocks.size());
+  parallel_chunks(blocks.size(), parallelism,
+                  [&](std::size_t, std::size_t begin, std::size_t end) {
+                    for (std::size_t i = begin; i < end; ++i) {
+                      tags[i] =
+                          comb->pow(bn::BigInt::from_bytes_be(blocks[i]));
+                    }
+                  });
   return tags;
 }
 
 bn::BigInt TagGenerator::updated_tag(BytesView block,
                                      const bn::BigInt& s_tilde) const {
-  return mont_.pow(pk_.g, bn::BigInt::from_bytes_be(block) * s_tilde);
+  const bn::BigInt e = bn::BigInt::from_bytes_be(block) * s_tilde;
+  return mont_->fixed_base(pk_.g, e.bit_length())->pow(e);
 }
 
 }  // namespace ice::proto

@@ -92,6 +92,10 @@ Bytes TpaService::handle_locked(std::uint16_t method, net::Reader& r) {
           make_challenge(*pk_, params_, rng_, session.secret);
       session.proof = EdgeClient(*it->second).challenge(id,
                                                         session.challenge);
+      // Reject malformed proof values at the wire boundary: an honest edge
+      // always returns an element of Z_N^*, so anything else is a protocol
+      // violation, not a failed audit.
+      validate_proof(*pk_, session.proof);
       sessions_[id] = std::move(session);
       return ok_empty();
     }
@@ -131,10 +135,12 @@ Bytes TpaService::handle_locked(std::uint16_t method, net::Reader& r) {
       return ok_response(std::move(w));
     }
     case kTpaSubmitProof: {
+      if (!pk_) return error_response("TpaService: set key first");
       const std::uint64_t id = r.u64();
       Proof proof;
       proof.p = r.bigint();
       r.expect_done();
+      validate_proof(*pk_, proof);  // range/unit check at deserialization
       const auto it = batches_.find(id);
       if (it == batches_.end()) {
         return error_response("TpaService: unknown batch");

@@ -19,7 +19,8 @@ UserClient::UserClient(const ProtocolParams& params, KeyPair keys,
 double UserClient::setup_file(const std::vector<Bytes>& blocks) {
   if (blocks.empty()) throw ParamError("setup_file: no blocks");
   Stopwatch sw;
-  const std::vector<bn::BigInt> tags = tagger_.tag_all(blocks);
+  const std::vector<bn::BigInt> tags =
+      tagger_.tag_all(blocks, params_.parallelism);
   const double taggen_seconds = sw.seconds();
   n_ = blocks.size();
   embedding_ = std::make_unique<pir::Embedding>(n_);
