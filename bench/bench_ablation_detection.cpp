@@ -48,7 +48,8 @@ bool sampled_audit(const proto::KeyPair& keys,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode(argc, argv);
   print_header("Ablation — detection probability: full vs sampled audits");
   proto::ProtocolParams params;
   params.modulus_bits = 256;  // soundness per audit is what varies here
@@ -57,13 +58,16 @@ int main() {
   const proto::TagGenerator tagger(keys.pk);
 
   const std::size_t kNj = 50;     // blocks on the edge
-  const int kTrials = 40;
+  const int kTrials = smoke ? 2 : 40;
   SplitMix64 gen(77);
   bn::Rng64Adapter rng(gen);
 
   std::printf("%-12s %10s %12s %12s %12s\n", "corrupted", "ICE(full)",
               "sample 25", "sample 10", "sample 5");
-  for (std::size_t corrupted : {1u, 2u, 5u, 10u}) {
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{1}
+            : std::vector<std::size_t>{1, 2, 5, 10};
+  for (std::size_t corrupted : sweep) {
     int caught_full = 0, caught_25 = 0, caught_10 = 0, caught_5 = 0;
     for (int t = 0; t < kTrials; ++t) {
       auto blocks = bench_blocks(kNj, params.block_bytes,

@@ -15,15 +15,20 @@ using namespace ice::bench;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode(argc, argv);
   print_header("Ablation — protocol phase cost vs modulus size");
-  const std::size_t kSj = 5;
-  const std::size_t kBlockBytes = 16 * 1024;
+  const std::size_t kSj = smoke ? 2 : 5;
+  const std::size_t kBlockBytes = smoke ? 1024 : 16 * 1024;
+  const int reps = smoke ? 1 : 3;
   std::printf("(|S_j| = %zu, %zu KB blocks)\n", kSj, kBlockBytes / 1024);
   std::printf("%-8s %12s %12s %12s %12s %12s\n", "|N|", "TagGen/b(ms)",
               "chal (ms)", "proof (ms)", "repack (ms)", "verify (ms)");
 
-  for (std::size_t bits : {256u, 512u, 1024u}) {
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{256}
+            : std::vector<std::size_t>{256, 512, 1024};
+  for (std::size_t bits : sweep) {
     proto::ProtocolParams params;
     params.modulus_bits = bits;
     params.block_bytes = kBlockBytes;
@@ -34,24 +39,24 @@ int main() {
     const auto blocks = bench_blocks(kSj, kBlockBytes, 3100 + bits);
 
     const double taggen_ms =
-        1e3 * time_median(3, [&] { (void)tagger.tag(blocks[0]); });
+        1e3 * time_median(reps, [&] { (void)tagger.tag(blocks[0]); });
     const auto tags = tagger.tag_all(blocks);
 
     proto::ChallengeSecret secret;
     proto::Challenge chal;
-    const double chal_ms = 1e3 * time_median(3, [&] {
+    const double chal_ms = 1e3 * time_median(reps, [&] {
       chal = proto::make_challenge(keys.pk, params, rng, secret);
     });
     const bn::BigInt s_tilde = proto::draw_blinding(keys.pk, rng);
     proto::Proof proof;
-    const double proof_ms = 1e3 * time_median(3, [&] {
+    const double proof_ms = 1e3 * time_median(reps, [&] {
       proof = proto::make_proof(keys.pk, params, blocks, chal, s_tilde);
     });
     std::vector<bn::BigInt> repacked;
-    const double repack_ms = 1e3 * time_median(3, [&] {
+    const double repack_ms = 1e3 * time_median(reps, [&] {
       repacked = proto::repack_tags(keys.pk, tags, s_tilde);
     });
-    const double verify_ms = 1e3 * time_median(3, [&] {
+    const double verify_ms = 1e3 * time_median(reps, [&] {
       if (!proto::verify_proof(keys.pk, params, repacked, chal, secret,
                                proof)) {
         std::fprintf(stderr, "BUG: honest proof rejected\n");

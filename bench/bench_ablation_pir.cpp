@@ -28,11 +28,15 @@ double respond_ms(const pir::TagDatabase& db, const pir::Embedding& emb,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode(argc, argv);
   print_header("Ablation — PIR evaluation strategy scaling (K = 1024)");
   std::printf("%-8s %12s %12s %14s %14s %12s\n", "n", "naive(ms)",
               "matrix(ms)", "bitsliced(ms)", "mtx speedup", "bits speedup");
-  for (std::size_t n : {50u, 100u, 200u, 500u, 1000u, 2000u}) {
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{50}
+            : std::vector<std::size_t>{50, 100, 200, 500, 1000, 2000};
+  for (std::size_t n : sweep) {
     pir::TagDatabase db(kTagBits);
     SplitMix64 gen(5 + n);
     bn::Rng64Adapter rng(gen);

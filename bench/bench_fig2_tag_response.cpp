@@ -113,13 +113,21 @@ void run_thread_sweep() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode(argc, argv);
   print_header(
       "Fig. 2 — TPA tag response time, with vs without matrix repr.");
   std::printf("(K = %zu tag bits; 'naive' recomputes every monomial per "
               "bitplane,\n 'matrix' is the paper's representation, "
               "'bitsliced' is our word-parallel ablation)\n",
               std::size_t{kTagBits});
+
+  if (smoke) {
+    // Tiny sweep through the same measurement code; no JSON (the thread
+    // sweep would overwrite real BENCH_parallel.json numbers).
+    run_sweep("Smoke: n = 30, |S_j| = 2", 30, {2}, /*sweep_n=*/false);
+    return 0;
+  }
 
   // Fig. 2a: vary |S_j| at n = 100.
   run_sweep("Fig. 2a: n = 100, |S_j| = 1..10", 100,

@@ -50,17 +50,22 @@ Timing measure(const proto::KeyPair& keys, const proto::ProtocolParams& params,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode(argc, argv);
   print_header("Fig. 3 — TPA integrity checking time");
   proto::ProtocolParams params;
-  params.modulus_bits = 1024;  // paper's |N|
-  params.block_bytes = 4096;   // scaled block (timing here is block-size
-                               // independent on the TPA side)
+  params.modulus_bits = smoke ? 256 : 1024;  // paper's |N| is 1024
+  params.block_bytes = smoke ? 512 : 4096;  // scaled block (timing here is
+                                            // block-size independent on the
+                                            // TPA side)
   const proto::KeyPair keys = bench_keypair(params.modulus_bits);
 
-  std::printf("\nFig. 3a: |N| = 1024, |S_j| = 1..10\n");
+  std::printf("\nFig. 3a: |N| = %zu, |S_j| sweep\n", params.modulus_bits);
   std::printf("%-8s %16s %16s\n", "|S_j|", "challenge (ms)", "verify (ms)");
-  for (std::size_t s_j : {1u, 2u, 4u, 6u, 8u, 10u}) {
+  const std::vector<std::size_t> sj_sweep =
+      smoke ? std::vector<std::size_t>{2}
+            : std::vector<std::size_t>{1, 2, 4, 6, 8, 10};
+  for (std::size_t s_j : sj_sweep) {
     const Timing t = measure(keys, params, s_j, 100 + s_j);
     std::printf("%-8zu %16.2f %16.2f\n", s_j, t.challenge_ms, t.verify_ms);
   }
@@ -68,7 +73,10 @@ int main() {
   std::printf("\nFig. 3b: |S_j| = 5, growing file (challenge/verify do not "
               "depend on n; shown for shape)\n");
   std::printf("%-8s %16s %16s\n", "n", "challenge (ms)", "verify (ms)");
-  for (std::size_t n : {40u, 80u, 120u, 160u, 200u}) {
+  const std::vector<std::size_t> n_sweep =
+      smoke ? std::vector<std::size_t>{40}
+            : std::vector<std::size_t>{40, 80, 120, 160, 200};
+  for (std::size_t n : n_sweep) {
     const Timing t = measure(keys, params, 5, 200 + n);
     std::printf("%-8zu %16.2f %16.2f\n", n, t.challenge_ms, t.verify_ms);
   }

@@ -65,20 +65,27 @@ void print_row(std::size_t v, const UserCost& c) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode(argc, argv);
   print_header("Fig. 5 — user-side cost (laptop measured, RasPi modeled)");
   std::printf("%-8s %14s %14s %16s %16s\n", "", "laptop", "laptop",
               "raspi (model)", "raspi (model)");
   std::printf("%-8s %14s %14s %16s %16s\n", "sweep", "query (ms)",
               "verify (ms)", "query (ms)", "verify (ms)");
 
-  std::printf("\nFig. 5a: n = 100, |S_j| = 1..10\n");
-  for (std::size_t s_j : {1u, 2u, 4u, 6u, 8u, 10u}) {
-    print_row(s_j, measure(100, s_j, 300 + s_j));
+  std::printf("\nFig. 5a: n = 100, |S_j| sweep\n");
+  const std::vector<std::size_t> sj_sweep =
+      smoke ? std::vector<std::size_t>{2}
+            : std::vector<std::size_t>{1, 2, 4, 6, 8, 10};
+  for (std::size_t s_j : sj_sweep) {
+    print_row(s_j, measure(smoke ? 40 : 100, s_j, 300 + s_j));
   }
 
-  std::printf("\nFig. 5b: |S_j| = 5, n = 40..200\n");
-  for (std::size_t n : {40u, 80u, 120u, 160u, 200u}) {
+  std::printf("\nFig. 5b: |S_j| = 5, n sweep\n");
+  const std::vector<std::size_t> n_sweep =
+      smoke ? std::vector<std::size_t>{40}
+            : std::vector<std::size_t>{40, 80, 120, 160, 200};
+  for (std::size_t n : n_sweep) {
     print_row(n, measure(n, 5, 400 + n));
   }
 

@@ -110,11 +110,21 @@ void run_thread_sweep(const ice::proto::KeyPair& keys) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode(argc, argv);
   print_header("Fig. 6 — edge proof generation time");
   proto::ProtocolParams params;
-  params.modulus_bits = 1024;  // paper's |N|
+  params.modulus_bits = smoke ? 256 : 1024;  // paper's |N| is 1024
   const proto::KeyPair keys = bench_keypair(params.modulus_bits);
+
+  if (smoke) {
+    // One tiny proof through the same measurement helper; skip the
+    // paper-size points and the thread sweep (which writes JSON).
+    const auto blocks = bench_blocks(2, 4 * 1024, 500);
+    std::printf("\nSmoke: |S_j| = 2, 4KB blocks: %.3f s\n",
+                proof_seconds(keys, params, blocks, 600, 1));
+    return 0;
+  }
 
   std::printf("\nScaled grid (16/32/64 KB blocks), |S_j| = 1..10\n");
   std::printf("%-8s %14s %14s %14s\n", "|S_j|", "16KB (s)", "32KB (s)",

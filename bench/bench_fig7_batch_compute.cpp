@@ -25,13 +25,21 @@ proto::ProtocolParams make_params() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode(argc, argv);
   print_header("Fig. 7 — ICE-batch computation vs #edges (n=100, 3-of-10)");
   std::printf("%-8s %14s %16s %18s\n", "#edges", "batch (ms)",
               "basic x J (ms)", "ratio batch/(JxB)");
 
-  for (std::size_t j_edges : {2u, 4u, 6u, 8u, 10u}) {
-    Deployment d(make_params(), 100, j_edges, 3, 9000 + j_edges);
+  const std::size_t n_blocks = smoke ? 20 : 100;
+  const int reps = smoke ? 1 : 3;
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{2}
+            : std::vector<std::size_t>{2, 4, 6, 8, 10};
+  for (std::size_t j_edges : sweep) {
+    proto::ProtocolParams params = make_params();
+    if (smoke) params.modulus_bits = 256;
+    Deployment d(params, n_blocks, j_edges, 3, 9000 + j_edges);
     d.setup();
     SplitMix64 gen(17 + j_edges);
     for (std::size_t j = 0; j < j_edges; ++j) {
@@ -46,13 +54,13 @@ int main() {
     }
     const auto channels = d.edge_channel_ptrs();
 
-    const double batch_s = time_median(3, [&] {
+    const double batch_s = time_median(reps, [&] {
       if (!d.user_->audit_edges_batch(channels)) {
         std::fprintf(stderr, "BUG: batch audit failed\n");
         std::exit(1);
       }
     });
-    const double basic_s = time_median(3, [&] {
+    const double basic_s = time_median(reps, [&] {
       if (!baseline::sequential_audits(*d.user_, channels)) {
         std::fprintf(stderr, "BUG: sequential audit failed\n");
         std::exit(1);

@@ -25,14 +25,21 @@ proto::ProtocolParams make_params() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode(argc, argv);
   print_header(
       "Fig. 8 — ICE-batch user<->TPA communication vs #edges (n=100)");
   std::printf("%-8s %14s %16s %14s %18s\n", "#edges", "batch (B)",
               "basic x J (B)", "union |U|", "ratio batch/(JxB)");
 
-  for (std::size_t j_edges : {2u, 4u, 6u, 8u, 10u}) {
-    Deployment d(make_params(), 100, j_edges, 3, 9100 + j_edges);
+  const std::size_t n_blocks = smoke ? 20 : 100;
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{2}
+            : std::vector<std::size_t>{2, 4, 6, 8, 10};
+  for (std::size_t j_edges : sweep) {
+    proto::ProtocolParams params = make_params();
+    if (smoke) params.modulus_bits = 256;
+    Deployment d(params, n_blocks, j_edges, 3, 9100 + j_edges);
     d.setup();
     SplitMix64 gen(23 + j_edges);
     std::vector<std::vector<std::size_t>> sets;

@@ -111,12 +111,21 @@ double bench_verify_shape(const proto::KeyPair& keys,
 }  // namespace
 }  // namespace ice::bench
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ice::bench;
+  const bool smoke = smoke_mode(argc, argv);
 
   print_header("multi-exp vs naive pow+mul fold (80-bit coefficients)");
-  const std::vector<std::size_t> ks = {1, 2, 4, 10, 32, 64, 128};
-  const Sweep s512 = sweep_multi_exp(512, ks);
+  const std::vector<std::size_t> ks =
+      smoke ? std::vector<std::size_t>{1, 4}
+            : std::vector<std::size_t>{1, 2, 4, 10, 32, 64, 128};
+  const Sweep s512 = sweep_multi_exp(smoke ? 256 : 512, ks);
+  if (smoke) {
+    // Tiny pass over every kernel shape; no JSON (keeps the real
+    // measurement files intact).
+    (void)bench_comb(256, 255);
+    return 0;
+  }
   const Sweep s1024 = sweep_multi_exp(1024, ks);
 
   print_header("fixed-base comb vs generic pow (base g)");

@@ -22,23 +22,25 @@ using namespace ice::bench;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const bool smoke = smoke_mode(argc, argv);
   print_header("Tab. III — preprocess time (s)");
   proto::ProtocolParams params;
-  params.modulus_bits = 1024;
-  params.block_bytes = 4096;  // scaled block (paper blocks are larger; the
-                              // TagGen trend in n is unchanged)
+  params.modulus_bits = smoke ? 256 : 1024;
+  params.block_bytes = smoke ? 512 : 4096;  // scaled block (paper blocks are
+                                            // larger; the TagGen trend in n
+                                            // is unchanged)
 
   // --- KeyGen ------------------------------------------------------------
   crypto::Csprng rng = crypto::Csprng::deterministic(5);
   {
     Stopwatch sw;
-    const proto::KeyPair kp = bench_keypair(1024);
-    std::printf("KeyGen (1024-bit N, cached safe primes): %8.4f s\n",
-                sw.seconds());
+    const proto::KeyPair kp = bench_keypair(params.modulus_bits);
+    std::printf("KeyGen (%zu-bit N, cached safe primes): %8.4f s\n",
+                params.modulus_bits, sw.seconds());
     (void)kp;
   }
-  {
+  if (!smoke) {  // the live search is a high-variance geometric variable
     Stopwatch sw;
     proto::ProtocolParams small;
     small.modulus_bits = 128;  // live safe-prime search, reduced size
@@ -50,11 +52,14 @@ int main() {
   }
 
   // --- TagGen and TPASetup vs n -------------------------------------------
-  const proto::KeyPair keys = bench_keypair(1024);
+  const proto::KeyPair keys = bench_keypair(params.modulus_bits);
   const proto::TagGenerator tagger(keys.pk);
   std::printf("\n%-6s %18s %24s %14s\n", "n", "TagGen laptop (s)",
               "TagGen raspi-model (s)", "TPASetup (s)");
-  for (std::size_t n : {40u, 80u, 120u, 160u, 200u}) {
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{10}
+            : std::vector<std::size_t>{40, 80, 120, 160, 200};
+  for (std::size_t n : sweep) {
     const auto blocks = bench_blocks(n, params.block_bytes, 60 + n);
     Stopwatch sw;
     const auto tags = tagger.tag_all(blocks);

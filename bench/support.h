@@ -13,6 +13,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/rng.h"
@@ -40,6 +41,19 @@ inline constexpr const char* kPrime512[2] = {
     "dc229f9f270e7c22cdf6d8ed9670743597c151bfbbed1f34984f1e922bf94c83",
     "8f3958def5298492ece4f64345f6c1343a288a0d73a2b5176227dc0d1139f094"
     "18ac4922c01812b1f16d330fe318395756c486893d865d430a2ed110c6bafe3f"};
+
+/// True when the binary was invoked with --smoke: every bench main shrinks
+/// its problem sizes to a tiny fixed configuration so the ctest entries
+/// labelled `bench_smoke` (and the sanitizer presets, which run the same
+/// ctest suite) can execute every bench end-to-end in seconds. Smoke runs
+/// exercise the exact measurement code paths; only the sizes change, and
+/// JSON emission is skipped so real measurement files are never clobbered.
+inline bool smoke_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--smoke") return true;
+  }
+  return false;
+}
 
 /// Keypair with a cached prime pair for the requested nominal modulus size
 /// (256, 512 or 1024 bits; the real |N| may be one bit short).

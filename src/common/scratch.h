@@ -1,0 +1,85 @@
+// Thread-local reusable scratch buffers for the audit hot paths.
+//
+// The PIR evaluation engine needs a fresh zeroed accumulator block per
+// respond() call (per-shard, per-point XOR planes). Allocating those with
+// `assign(w, 0)` on every call puts an allocator round-trip on the hot path;
+// this arena keeps returned buffers on a thread-local free list so steady
+// state reuses capacity and only pays the (unavoidable) zeroing memset.
+//
+// Lifetime rules (also documented in DESIGN.md §9):
+//   * Leases are scoped: a Lease must be destroyed on the thread that took
+//     it, before that thread exits. All users take a lease on the calling
+//     thread, let pool workers write into disjoint slices, join, then drop
+//     it — workers never hold leases of their own.
+//   * Leases may nest (recursive audit paths); each take() pops or creates
+//     an independent buffer, so a nested lease never aliases an outer one.
+//   * Buffers grow monotonically and are only reclaimed at thread exit.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace ice {
+
+class ScratchArena {
+ public:
+  /// RAII borrow of one buffer; hands the storage back on destruction.
+  class Lease {
+   public:
+    Lease(ScratchArena* arena, std::vector<std::uint64_t> buf,
+          std::size_t words)
+        : arena_(arena), buf_(std::move(buf)), words_(words) {}
+    ~Lease() {
+      if (arena_ != nullptr) arena_->give_back(std::move(buf_));
+    }
+    Lease(Lease&& o) noexcept
+        : arena_(std::exchange(o.arena_, nullptr)),
+          buf_(std::move(o.buf_)),
+          words_(o.words_) {}
+    Lease& operator=(Lease&&) = delete;
+    Lease(const Lease&) = delete;
+    Lease& operator=(const Lease&) = delete;
+
+    [[nodiscard]] std::uint64_t* data() { return buf_.data(); }
+    [[nodiscard]] const std::uint64_t* data() const { return buf_.data(); }
+    [[nodiscard]] std::size_t words() const { return words_; }
+
+   private:
+    ScratchArena* arena_;
+    std::vector<std::uint64_t> buf_;
+    std::size_t words_;
+  };
+
+  /// The calling thread's arena.
+  static ScratchArena& local() {
+    static thread_local ScratchArena arena;
+    return arena;
+  }
+
+  /// Borrows a buffer with the first `words` words zeroed.
+  [[nodiscard]] Lease take_zeroed(std::size_t words) {
+    std::vector<std::uint64_t> buf = pop();
+    if (buf.size() < words) buf.resize(words);
+    std::memset(buf.data(), 0, words * sizeof(std::uint64_t));
+    return Lease(this, std::move(buf), words);
+  }
+
+ private:
+  std::vector<std::uint64_t> pop() {
+    if (free_.empty()) return {};
+    std::vector<std::uint64_t> buf = std::move(free_.back());
+    free_.pop_back();
+    return buf;
+  }
+
+  void give_back(std::vector<std::uint64_t> buf) {
+    free_.push_back(std::move(buf));
+  }
+
+  std::vector<std::vector<std::uint64_t>> free_;
+};
+
+}  // namespace ice

@@ -19,9 +19,17 @@ EdgeService::EdgeService(std::uint32_t edge_id, const ProtocolParams& params,
 
 Bytes EdgeService::handle(std::uint16_t method, BytesView request) {
   try {
-    std::lock_guard lock(mu_);
-    net::Reader r(request);
-    return handle_locked(method, r);
+    std::function<void()> deferred;
+    Bytes response;
+    {
+      std::lock_guard lock(mu_);
+      net::Reader r(request);
+      response = handle_locked(method, r, deferred);
+    }
+    // Outbound proof submission runs without mu_ held (see handle_locked's
+    // doc comment); a failure still surfaces as this call's error response.
+    if (deferred) deferred();
+    return response;
   } catch (const std::exception& e) {
     return error_response(e.what());
   }
@@ -41,7 +49,8 @@ std::vector<Bytes> EdgeService::cached_blocks_ordered() {
   return blocks;
 }
 
-Bytes EdgeService::handle_locked(std::uint16_t method, net::Reader& r) {
+Bytes EdgeService::handle_locked(std::uint16_t method, net::Reader& r,
+                                 std::function<void()>& deferred) {
   switch (method) {
     case kEdgeRead: {
       const auto index = static_cast<std::size_t>(r.varint());
@@ -109,8 +118,13 @@ Bytes EdgeService::handle_locked(std::uint16_t method, net::Reader& r) {
       net::Writer w;
       w.u64(batch_id);
       w.bigint(proof.p);
-      const Bytes raw = tpa_->call(kTpaSubmitProof, w.take());
-      unwrap(raw);
+      // The proof only depends on state captured above, so the TPA
+      // submission is deferred past our own lock — the TPA challenges
+      // edges while holding ITS lock, and the two orders must not cross.
+      deferred = [this, payload = w.take()] {
+        const Bytes raw = tpa_->call(kTpaSubmitProof, payload);
+        unwrap(raw);
+      };
       return ok_empty();
     }
     case kEdgeSubsetProof: {

@@ -6,6 +6,7 @@
 // exercise that through the fault-injection hook.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -38,7 +39,13 @@ class EdgeService final : public net::RpcHandler {
   [[nodiscard]] std::uint32_t id() const { return edge_id_; }
 
  private:
-  Bytes handle_locked(std::uint16_t method, net::Reader& r);
+  /// `deferred` receives an outbound call to run AFTER mu_ is released
+  /// (the batch proof submission to the TPA): the TPA challenges edges
+  /// while holding its own lock, so an edge calling the TPA under mu_
+  /// would order the two service mutexes in both directions — a deadlock
+  /// under concurrent basic/batch audits.
+  Bytes handle_locked(std::uint16_t method, net::Reader& r,
+                      std::function<void()>& deferred);
   /// Current cache content as (blocks, indices) in index order.
   [[nodiscard]] std::vector<Bytes> cached_blocks_ordered();
   Bytes fetch_from_csp(std::size_t index);

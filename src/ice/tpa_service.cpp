@@ -24,8 +24,11 @@ void TpaService::register_edge(std::uint32_t edge_id,
 
 Bytes TpaService::handle(std::uint16_t method, BytesView request) {
   try {
-    // kEdgeChallenge round trips back through this TPA only via separate
-    // services, so holding the lock across the edge call cannot deadlock.
+    // Holding the lock across the kEdgeChallenge round trip is safe
+    // because the TPA->edge order is the only cross-service lock order:
+    // the edge submits its batch proofs to us only AFTER releasing its own
+    // lock (EdgeService::handle's deferred call), so the edge->TPA edge of
+    // the lock graph never exists.
     std::lock_guard lock(mu_);
     net::Reader r(request);
     return handle_locked(method, r);

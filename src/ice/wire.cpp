@@ -72,16 +72,17 @@ void write_pir_response(net::Writer& w, const pir::PirResponse& resp) {
   w.varint(resp.entries.size());
   for (const auto& e : resp.entries) {
     write_gf4_vector(w, e.values);
-    // Gradients are K vectors of uniform length gamma; flatten them into
-    // one packed GF(4) string to avoid per-vector length overhead (this is
-    // the dominant share of the TPA->User bytes in Tab. I).
-    const std::size_t gamma =
+    // Gradients are gamma coordinate vectors of uniform length K; flatten
+    // them into one packed GF(4) string to avoid per-vector length
+    // overhead (this is the dominant share of the TPA->User bytes in
+    // Tab. I).
+    const std::size_t inner =
         e.gradients.empty() ? 0 : e.gradients.front().size();
-    w.varint(gamma);
+    w.varint(inner);
     gf::GF4Vector flat;
-    flat.reserve(e.gradients.size() * gamma);
+    flat.reserve(e.gradients.size() * inner);
     for (const auto& g : e.gradients) {
-      if (g.size() != gamma) {
+      if (g.size() != inner) {
         throw CodecError("write_pir_response: ragged gradients");
       }
       flat.insert(flat.end(), g.begin(), g.end());
@@ -100,20 +101,20 @@ pir::PirResponse read_pir_response(net::Reader& r) {
   for (std::uint64_t i = 0; i < count; ++i) {
     pir::PirSingleResponse e;
     e.values = read_gf4_vector(r);
-    const std::uint64_t gamma = r.varint();
-    if (gamma > (std::uint64_t{1} << 16)) {
-      throw CodecError("read_pir_response: implausible gamma");
+    const std::uint64_t inner = r.varint();
+    if (inner > (std::uint64_t{1} << 16)) {
+      throw CodecError("read_pir_response: implausible gradient length");
     }
     const gf::GF4Vector flat = read_gf4_vector(r);
-    if (gamma != 0 && flat.size() % gamma != 0) {
+    if (inner != 0 && flat.size() % inner != 0) {
       throw CodecError("read_pir_response: gradient size mismatch");
     }
-    const std::size_t rows = gamma == 0 ? 0 : flat.size() / gamma;
+    const std::size_t rows = inner == 0 ? 0 : flat.size() / inner;
     e.gradients.reserve(rows);
     for (std::size_t row = 0; row < rows; ++row) {
       e.gradients.emplace_back(
-          flat.begin() + static_cast<std::ptrdiff_t>(row * gamma),
-          flat.begin() + static_cast<std::ptrdiff_t>((row + 1) * gamma));
+          flat.begin() + static_cast<std::ptrdiff_t>(row * inner),
+          flat.begin() + static_cast<std::ptrdiff_t>((row + 1) * inner));
     }
     resp.entries.push_back(std::move(e));
   }

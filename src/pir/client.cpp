@@ -1,5 +1,9 @@
 #include "pir/client.h"
 
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
 #include "common/error.h"
 
 namespace ice::pir {
@@ -24,6 +28,54 @@ GF4Matrix decode_matrix() {
   });
 }
 
+// Gathers the LSB of each of the eight bytes of x into the low byte of the
+// result (bit i <- byte i). Product positions 8i + (56 - 7j) are pairwise
+// distinct, so the multiply is carry-free.
+inline std::uint64_t gather_lsb(std::uint64_t x) {
+  return ((x & 0x0101010101010101ULL) * 0x0102040810204080ULL) >> 56;
+}
+
+// Folds z into one entry's coordinate-major gradients: after the call, bit
+// pi of (acc_lo, acc_hi) holds the {1, x} components of <grad F_pi, z>.
+// Per coordinate j, the K gradient bytes pack into component bitmasks
+// eight elements at a time (carry-free multiply gather), and z_j scatters
+// into both accumulators with three AND/XOR word ops —
+// (a0+a1x)(b0+b1x) = (a0b0^a1b1) + (a0b1^a1b0^a1b1)x — so the dot fold
+// runs word-parallel across 64 bitplanes at once instead of
+// element-by-element per plane.
+void fold_gradients(const std::vector<GF4Vector>& grads, const GF4Vector& z,
+                    std::size_t k, std::uint64_t* acc_lo,
+                    std::uint64_t* acc_hi) {
+  const std::size_t gamma = z.size();
+  for (std::size_t j = 0; j < gamma; ++j) {
+    const std::uint8_t zv = z[j].value();
+    if (zv == 0) continue;  // a zero coordinate contributes nothing
+    const std::uint64_t mzl = 0 - static_cast<std::uint64_t>(zv & 1u);
+    const std::uint64_t mzh = 0 - static_cast<std::uint64_t>((zv >> 1) & 1u);
+    const GF4* const g = grads[j].data();
+    for (std::size_t base = 0, word = 0; base < k; base += 64, ++word) {
+      const std::size_t lim = std::min<std::size_t>(64, k - base);
+      std::uint64_t glo = 0, ghi = 0;
+      std::size_t b = 0;
+      if (std::endian::native == std::endian::little) {
+        for (; b + 8 <= lim; b += 8) {
+          std::uint64_t bytes;
+          std::memcpy(&bytes, g + base + b, 8);
+          glo |= gather_lsb(bytes) << b;
+          ghi |= gather_lsb(bytes >> 1) << b;
+        }
+      }
+      for (; b < lim; ++b) {
+        const auto v = static_cast<std::uint64_t>(g[base + b].value());
+        glo |= (v & 1) << b;
+        ghi |= (v >> 1) << b;
+      }
+      acc_lo[word] ^= (glo & mzl) ^ (ghi & mzh);
+      acc_hi[word] ^= (glo & mzh) ^ (ghi & mzl) ^ (ghi & mzh);
+    }
+  }
+}
+
 }  // namespace
 
 PirClient::PirClient(const Embedding& embedding, std::size_t tag_bits)
@@ -40,21 +92,36 @@ PirClient::EncodedQuery PirClient::encode(
   out.secrets.indices.assign(indices.begin(), indices.end());
   out.secrets.z.reserve(indices.size());
   const GF4 t_tau[kNumServers] = {GF4::one(), GF4::x()};
-  for (std::size_t idx : indices) {
-    const GF4Vector phi = embedding_->point(idx);  // range-checks idx
-    // z_l uniform in F_4^gamma: 2 random bits per coordinate.
-    GF4Vector z(gamma);
-    std::uint64_t pool = 0;
-    std::size_t pool_bits = 0;
-    for (auto& coord : z) {
-      if (pool_bits < 2) {
-        pool = rng.next_u64();
-        pool_bits = 64;
-      }
-      coord = GF4(static_cast<std::uint8_t>(pool & 0x3));
+  // z_l uniform in F_4^gamma: 2 random bits per coordinate, drawn from a
+  // bit pool that persists across coordinates AND indices. A refill keeps
+  // any leftover bit instead of discarding it (low component first), so
+  // encode consumes exactly ceil(2 * gamma * count / 64) RNG words — pinned
+  // by the determinism test in tests/pir/client_codec_test.cpp.
+  std::uint64_t pool = 0;
+  std::size_t pool_bits = 0;
+  const auto next_gf4 = [&]() -> GF4 {
+    std::uint8_t v;
+    if (pool_bits == 0) {
+      pool = rng.next_u64();
+      pool_bits = 64;
+    }
+    if (pool_bits == 1) {
+      const auto leftover = static_cast<std::uint8_t>(pool & 0x1);
+      pool = rng.next_u64();
+      v = static_cast<std::uint8_t>(leftover | ((pool & 0x1) << 1));
+      pool >>= 1;
+      pool_bits = 63;
+    } else {
+      v = static_cast<std::uint8_t>(pool & 0x3);
       pool >>= 2;
       pool_bits -= 2;
     }
+    return GF4(v);
+  };
+  for (std::size_t idx : indices) {
+    const GF4Vector phi = embedding_->point(idx);  // range-checks idx
+    GF4Vector z(gamma);
+    for (auto& coord : z) coord = next_gf4();
     for (std::size_t tau = 0; tau < kNumServers; ++tau) {
       out.queries[tau].points.push_back(gf::axpy(phi, t_tau[tau], z));
     }
@@ -74,24 +141,49 @@ std::vector<bn::BigInt> PirClient::decode(const QuerySecrets& secrets,
   const std::size_t gamma = embedding_->gamma();
   std::vector<bn::BigInt> tags;
   tags.reserve(count);
-  std::vector<std::uint64_t> words((tag_bits_ + 63) / 64);
+  const std::size_t kw = (tag_bits_ + 63) / 64;
+  std::vector<std::uint64_t> words(kw);
+  // Per-server packed dot planes, reused across points: bit pi of
+  // (d*_lo, d*_hi) holds the {1, x} components of <grad F_pi, z> — the
+  // gradient folds run word-parallel over all K bitplanes in
+  // fold_gradients instead of one dot product per plane.
+  std::vector<std::uint64_t> d0_lo(kw), d0_hi(kw), d1_lo(kw), d1_hi(kw);
+  GF4Vector u(4);
   for (std::size_t l = 0; l < count; ++l) {
     const PirSingleResponse& e0 = r0.entries[l];
     const PirSingleResponse& e1 = r1.entries[l];
     if (e0.values.size() != tag_bits_ || e1.values.size() != tag_bits_ ||
-        e0.gradients.size() != tag_bits_ ||
-        e1.gradients.size() != tag_bits_) {
-      throw ProtocolError("PirClient::decode: bitplane count mismatch");
+        e0.gradients.size() != gamma || e1.gradients.size() != gamma) {
+      throw ProtocolError("PirClient::decode: response shape mismatch");
     }
-    const GF4Vector& z = secrets.z[l];
-    std::fill(words.begin(), words.end(), 0);
-    for (std::size_t pi = 0; pi < tag_bits_; ++pi) {
-      if (e0.gradients[pi].size() != gamma ||
-          e1.gradients[pi].size() != gamma) {
+    for (std::size_t j = 0; j < gamma; ++j) {
+      if (e0.gradients[j].size() != tag_bits_ ||
+          e1.gradients[j].size() != tag_bits_) {
         throw ProtocolError("PirClient::decode: gradient dim mismatch");
       }
-      const GF4Vector u = {e0.values[pi], gf::dot(e0.gradients[pi], z),
-                           e1.values[pi], gf::dot(e1.gradients[pi], z)};
+    }
+    const GF4Vector& z = secrets.z[l];
+    if (z.size() != gamma) {
+      throw ProtocolError("PirClient::decode: secret dim mismatch");
+    }
+    std::fill(d0_lo.begin(), d0_lo.end(), 0);
+    std::fill(d0_hi.begin(), d0_hi.end(), 0);
+    std::fill(d1_lo.begin(), d1_lo.end(), 0);
+    std::fill(d1_hi.begin(), d1_hi.end(), 0);
+    fold_gradients(e0.gradients, z, tag_bits_, d0_lo.data(), d0_hi.data());
+    fold_gradients(e1.gradients, z, tag_bits_, d1_lo.data(), d1_hi.data());
+    std::fill(words.begin(), words.end(), 0);
+    for (std::size_t pi = 0; pi < tag_bits_; ++pi) {
+      const std::size_t word = pi / 64;
+      const std::size_t sh = pi % 64;
+      u[0] = e0.values[pi];
+      u[1] = GF4(static_cast<std::uint8_t>(((d0_lo[word] >> sh) & 1u) |
+                                           (((d0_hi[word] >> sh) & 1u)
+                                            << 1)));
+      u[2] = e1.values[pi];
+      u[3] = GF4(static_cast<std::uint8_t>(((d1_lo[word] >> sh) & 1u) |
+                                           (((d1_hi[word] >> sh) & 1u)
+                                            << 1)));
       const GF4 bit = decode_matrix_inv_.mul(u)[0];
       if (bit.value() > 1) {
         throw ProtocolError("PirClient::decode: non-boolean decoded bit");

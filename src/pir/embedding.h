@@ -11,6 +11,7 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "gf/gf4.h"
 
@@ -36,6 +37,10 @@ class Embedding {
 
   /// phi(i) as bit positions. i must be < n (throws ParamError).
   [[nodiscard]] Triple triple(std::size_t i) const;
+
+  /// All n triples, contiguous in index order. The batched PIR sweep
+  /// streams this directly (one bounds check per sweep, not per row).
+  [[nodiscard]] std::span<const Triple> triples() const { return triples_; }
 
   /// phi(i) as a 0/1 vector over GF(4), length gamma.
   [[nodiscard]] gf::GF4Vector point(std::size_t i) const;

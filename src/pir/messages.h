@@ -22,10 +22,13 @@ struct PirQuery {
 };
 
 /// Response entry for one queried point: F_pi(q) for every bitplane pi and
-/// the gradient (partial derivatives) of each F_pi at q.
+/// the gradient (partial derivatives) of each F_pi at q. Gradients are
+/// coordinate-major — gradients[j][pi] is dF_pi/dx_j — matching the
+/// server's accumulator planes (contiguous unpack) and letting the client
+/// fold z_j into all K bitplanes word-parallel during decode.
 struct PirSingleResponse {
   gf::GF4Vector values;                   // length K
-  std::vector<gf::GF4Vector> gradients;   // K entries, each length gamma
+  std::vector<gf::GF4Vector> gradients;   // gamma entries, each length K
 };
 
 /// Full response from one TPA (paper Alg. 1, "Auditor tau: tag response").

@@ -38,10 +38,16 @@ class PirServer {
             EvalStrategy strategy = EvalStrategy::kBitsliced,
             std::size_t parallelism = 1);
 
-  /// Evaluates all bitplanes and gradients at one query point.
+  /// Evaluates all bitplanes and gradients at one query point. This is the
+  /// reference path: the fused batch engine below is pinned bit-identical
+  /// to a respond_one loop by the differential tests.
   [[nodiscard]] PirSingleResponse respond_one(const gf::GF4Vector& q) const;
 
-  /// Evaluates a whole query batch.
+  /// Evaluates a whole query batch in ONE pass over the tag database: for
+  /// each row the per-point monomial evaluations are computed once and
+  /// scatter-accumulated into per-point planes (m-way accumulation instead
+  /// of m full sweeps). Bit-identical to looping respond_one over the
+  /// points, at every strategy and parallelism setting.
   [[nodiscard]] PirResponse respond(const PirQuery& query) const;
 
   [[nodiscard]] EvalStrategy strategy() const { return strategy_; }
@@ -51,6 +57,13 @@ class PirServer {
   [[nodiscard]] PirSingleResponse eval_matrix(const gf::GF4Vector& q) const;
   [[nodiscard]] PirSingleResponse eval_bitsliced(
       const gf::GF4Vector& q) const;
+
+  [[nodiscard]] PirResponse eval_naive_batch(
+      const std::vector<gf::GF4Vector>& qs) const;
+  [[nodiscard]] PirResponse eval_matrix_batch(
+      const std::vector<gf::GF4Vector>& qs) const;
+  [[nodiscard]] PirResponse eval_bitsliced_batch(
+      const std::vector<gf::GF4Vector>& qs) const;
 
   const TagDatabase* db_;
   const Embedding* embedding_;

@@ -47,10 +47,6 @@ bn::BigInt TagDatabase::tag(std::size_t i) const {
   return bn::BigInt::from_limbs({r, r + words_per_tag_});
 }
 
-const std::uint64_t* TagDatabase::row(std::size_t i) const {
-  return rows_.data() + i * words_per_tag_;
-}
-
 double TagDatabase::build_planes() const {
   Stopwatch sw;
   std::lock_guard lock(planes_mu_);

@@ -39,8 +39,17 @@ class TagDatabase {
   /// Tag `i` reconstructed as an integer.
   [[nodiscard]] bn::BigInt tag(std::size_t i) const;
 
-  /// Row of 64-bit words (little-endian bit order) for tag `i`.
-  [[nodiscard]] const std::uint64_t* row(std::size_t i) const;
+  /// Row of 64-bit words (little-endian bit order) for tag `i`. Inline: the
+  /// per-row eval paths call this n times per query point.
+  [[nodiscard]] const std::uint64_t* row(std::size_t i) const {
+    return rows_.data() + i * words_per_tag_;
+  }
+
+  /// All rows, contiguous (row i at offset i * words_per_tag()). The fused
+  /// batch sweep streams this once per query batch.
+  [[nodiscard]] const std::uint64_t* rows_data() const {
+    return rows_.data();
+  }
 
   /// The paper's matrix representation: for bitplane `pi`, the list of tag
   /// indexes whose pi-th bit is 1 (rows of M_pi). Built lazily on first use

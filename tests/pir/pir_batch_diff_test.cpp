@@ -1,0 +1,152 @@
+// Differential tests for the fused multi-query evaluation engine: for every
+// strategy, parallelism setting and batch size, PirServer::respond must be
+// bit-identical to looping the reference respond_one over the points — on
+// both servers' query distributions (tau = 0 queries phi + z, tau = 1
+// queries phi + x*z) and under every SIMD tier this CPU supports.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "bignum/random.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/simd.h"
+#include "pir/client.h"
+#include "pir/server.h"
+
+namespace ice::pir {
+namespace {
+
+struct Case {
+  EvalStrategy strategy;
+  std::size_t parallelism;
+  std::size_t m;
+};
+
+std::string strategy_name(EvalStrategy s) {
+  switch (s) {
+    case EvalStrategy::kNaive: return "Naive";
+    case EvalStrategy::kMatrix: return "Matrix";
+    case EvalStrategy::kBitsliced: return "Bitsliced";
+  }
+  return "?";
+}
+
+class PirBatchDiffTest : public ::testing::TestWithParam<Case> {
+ protected:
+  static constexpr std::size_t kN = 150;
+  static constexpr std::size_t kTagBits = 96;
+};
+
+TEST_P(PirBatchDiffTest, FusedRespondMatchesLoopedRespondOne) {
+  const auto [strategy, parallelism, m] = GetParam();
+  SplitMix64 gen(0xba7c + m * 31 + parallelism);
+  bn::Rng64Adapter rng(gen);
+  TagDatabase db(kTagBits);
+  for (std::size_t i = 0; i < kN; ++i) {
+    db.add(bn::random_bits(rng, 1 + gen.below(kTagBits)));
+  }
+  const Embedding emb(kN);
+  const PirServer server(db, emb, strategy, parallelism);
+  const PirClient client(emb, kTagBits);
+
+  // Realistic query distributions: what each of the two TPAs actually sees
+  // for an m-point retrieval.
+  std::vector<std::size_t> wanted;
+  for (std::size_t l = 0; l < m; ++l) wanted.push_back(gen.below(kN));
+  const auto enc = client.encode(wanted, rng);
+
+  for (std::size_t tau = 0; tau < PirClient::kNumServers; ++tau) {
+    const PirQuery& query = enc.queries[tau];
+    const PirResponse fused = server.respond(query);
+    ASSERT_EQ(fused.entries.size(), m) << "tau=" << tau;
+    for (std::size_t l = 0; l < m; ++l) {
+      const PirSingleResponse ref = server.respond_one(query.points[l]);
+      EXPECT_EQ(fused.entries[l].values, ref.values)
+          << "tau=" << tau << " point " << l;
+      EXPECT_EQ(fused.entries[l].gradients, ref.gradients)
+          << "tau=" << tau << " point " << l;
+    }
+  }
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (EvalStrategy s : {EvalStrategy::kNaive, EvalStrategy::kMatrix,
+                         EvalStrategy::kBitsliced}) {
+    for (std::size_t parallelism : {std::size_t{1}, std::size_t{0},
+                                    std::size_t{4}}) {
+      for (std::size_t m : {std::size_t{1}, std::size_t{2}, std::size_t{17},
+                            std::size_t{64}}) {
+        cases.push_back({s, parallelism, m});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PirBatchDiffTest, ::testing::ValuesIn(all_cases()),
+    [](const auto& info) {
+      return strategy_name(info.param.strategy) + "p" +
+             std::to_string(info.param.parallelism) + "m" +
+             std::to_string(info.param.m);
+    });
+
+// The fused sweep must produce the same bits no matter which XOR kernel
+// tier serves it (portable / AVX2 / AVX-512, as available).
+TEST(PirBatchSimdTest, AllSupportedTiersProduceIdenticalResponses) {
+  SplitMix64 gen(0x7135);
+  bn::Rng64Adapter rng(gen);
+  const std::size_t n = 120, k = 256;
+  TagDatabase db(k);
+  for (std::size_t i = 0; i < n; ++i) db.add(bn::random_bits(rng, k));
+  const Embedding emb(n);
+  const PirServer server(db, emb, EvalStrategy::kBitsliced);
+  const PirClient client(emb, k);
+  std::vector<std::size_t> wanted = {3, 77, 3, 119, 0};
+  const auto enc = client.encode(wanted, rng);
+
+  const simd::XorTier original = simd::active_kernels().tier;
+  simd::set_active_tier(simd::XorTier::kPortable);
+  const PirResponse reference = server.respond(enc.queries[0]);
+  for (simd::XorTier tier :
+       {simd::XorTier::kAvx2, simd::XorTier::kAvx512}) {
+    if (!simd::tier_supported(tier)) continue;
+    simd::set_active_tier(tier);
+    const PirResponse got = server.respond(enc.queries[0]);
+    ASSERT_EQ(got.entries.size(), reference.entries.size());
+    for (std::size_t l = 0; l < got.entries.size(); ++l) {
+      EXPECT_EQ(got.entries[l].values, reference.entries[l].values)
+          << simd::tier_name(tier) << " point " << l;
+      EXPECT_EQ(got.entries[l].gradients, reference.entries[l].gradients)
+          << simd::tier_name(tier) << " point " << l;
+    }
+  }
+  simd::set_active_tier(original);
+}
+
+TEST(PirBatchTest, EmptyBatchYieldsEmptyResponse) {
+  TagDatabase db(32);
+  db.add(bn::BigInt(5));
+  const Embedding emb(1);
+  const PirServer server(db, emb);
+  EXPECT_TRUE(server.respond(PirQuery{}).entries.empty());
+}
+
+TEST(PirBatchTest, AnyWrongDimensionPointRejected) {
+  TagDatabase db(32);
+  db.add(bn::BigInt(5));
+  const Embedding emb(1);
+  for (EvalStrategy s : {EvalStrategy::kNaive, EvalStrategy::kMatrix,
+                         EvalStrategy::kBitsliced}) {
+    const PirServer server(db, emb, s);
+    PirQuery query;
+    query.points.emplace_back(emb.gamma());
+    query.points.emplace_back(emb.gamma() + 1);  // second point malformed
+    EXPECT_THROW(server.respond(query), ParamError);
+  }
+}
+
+}  // namespace
+}  // namespace ice::pir

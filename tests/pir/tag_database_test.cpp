@@ -6,6 +6,8 @@
 #include "bignum/random.h"
 #include "common/error.h"
 #include "common/rng.h"
+#include "pir/client.h"
+#include "pir/server.h"
 
 namespace ice::pir {
 namespace {
@@ -100,6 +102,37 @@ TEST(TagDatabaseTest, BuildPlanesReturnsTime) {
   TagDatabase db(64);
   for (int i = 0; i < 20; ++i) db.add(bn::BigInt(i));
   EXPECT_GE(db.build_planes(), 0.0);
+}
+
+// Guards the lazy planes_valid_ invalidation: a kMatrix retrieval served
+// BEFORE an update must not leave stale plane index lists behind — the
+// retrieval AFTER the update has to see the replaced tag.
+TEST(TagDatabaseTest, UpdateVisibleThroughMatrixStrategyRetrieval) {
+  SplitMix64 gen(0xa11d);
+  bn::Rng64Adapter rng(gen);
+  const std::size_t n = 40, tag_bits = 72;
+  TagDatabase db(tag_bits);
+  for (std::size_t i = 0; i < n; ++i) db.add(bn::random_bits(rng, tag_bits));
+  const Embedding emb(n);
+  const PirServer server(db, emb, EvalStrategy::kMatrix);
+  const PirClient client(emb, tag_bits);
+
+  const std::size_t target = 23;
+  const auto retrieve = [&](std::size_t idx) {
+    std::vector<std::size_t> wanted = {idx};
+    const auto enc = client.encode(wanted, rng);
+    return client.decode(enc.secrets, server.respond(enc.queries[0]),
+                         server.respond(enc.queries[1]))[0];
+  };
+
+  // Force the lazy plane build with a pre-update retrieval.
+  EXPECT_EQ(retrieve(target), db.tag(target));
+
+  const bn::BigInt replacement = bn::random_bits(rng, tag_bits);
+  db.update(target, replacement);
+  EXPECT_EQ(retrieve(target), replacement);
+  // Neighbours are untouched.
+  EXPECT_EQ(retrieve(target - 1), db.tag(target - 1));
 }
 
 }  // namespace
