@@ -1,0 +1,370 @@
+// Concurrent-session throughput: sharded session cores vs the pre-refactor
+// big-lock services.
+//
+// K user threads each run independent ICE-basic audits against ONE shared
+// TPA/edge deployment. Two service builds are compared:
+//   serialized — every service wrapped in one service-wide mutex held across
+//                the whole handler, including nested outbound calls. This is
+//                the pre-session-core locking (the old TPA held its lock
+//                across the edge challenge round trip).
+//   sharded    — the services as they are now: per-session state in sharded
+//                tables, config behind shared_mutexes, and no lock ever held
+//                across a channel call.
+// and two channel families:
+//   in-process — calls traverse a channel wrapper that really sleeps the
+//                modeled one-way WAN latency each direction. Latency
+//                injection is what makes the lock-scope difference visible
+//                on any machine: the serialized build sleeps while holding
+//                the service lock, so K sessions serialize their WAN waits;
+//                the sharded build overlaps them. (CPU work still contends
+//                for real cores, so multi-core hosts additionally overlap
+//                compute — the speedups below are a floor.)
+//   tcp        — the real loopback transport, thread-per-connection, no
+//                injected latency; reported as measured.
+//
+// Writes BENCH_sessions.json. `--smoke` shrinks everything to seconds and
+// skips the JSON (this is the ctest `stress` label entry).
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <thread>
+
+#include "net/tcp.h"
+#include "support.h"
+
+namespace ice::bench {
+namespace {
+
+struct Cfg {
+  std::vector<std::size_t> session_counts;
+  int audits_per_session;
+  std::size_t modulus_bits;
+  std::size_t n_blocks;
+  double one_way_latency_s;
+};
+
+constexpr std::size_t kBlockBytes = 64;
+
+/// Optionally reproduces the pre-refactor service-wide big lock: one mutex
+/// around the entire handler, nested outbound calls included.
+class MaybeSerialized final : public net::RpcHandler {
+ public:
+  MaybeSerialized(net::RpcHandler& inner, bool serialize)
+      : inner_(&inner), serialize_(serialize) {}
+
+  Bytes handle(std::uint16_t method, BytesView request) override {
+    if (serialize_) {
+      std::lock_guard lock(mu_);
+      return inner_->handle(method, request);
+    }
+    return inner_->handle(method, request);
+  }
+
+ private:
+  std::mutex mu_;
+  net::RpcHandler* inner_;
+  bool serialize_;
+};
+
+/// In-process channel that really sleeps the modeled one-way latency on each
+/// direction of every call (unlike InMemoryChannel, which only accounts it).
+class SleepingChannel final : public net::RpcChannel {
+ public:
+  SleepingChannel(net::RpcHandler& handler, double one_way_seconds)
+      : handler_(&handler),
+        one_way_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(one_way_seconds))) {}
+
+  Bytes call(std::uint16_t method, BytesView request) override {
+    std::this_thread::sleep_for(one_way_);
+    Bytes response = handler_->handle(method, request);
+    std::this_thread::sleep_for(one_way_);
+    stats_.calls++;
+    stats_.bytes_sent += request.size() + net::kRpcHeaderBytes;
+    stats_.bytes_received += response.size() + net::kRpcHeaderBytes;
+    return response;
+  }
+
+  [[nodiscard]] const net::ChannelStats& stats() const override {
+    return stats_;
+  }
+  void reset_stats() override { stats_.reset(); }
+
+ private:
+  net::RpcHandler* handler_;
+  std::chrono::nanoseconds one_way_;
+  net::ChannelStats stats_;
+};
+
+/// One deployment (CSP + 2 TPAs + 1 edge + owner), built either serialized
+/// or sharded. All user traffic goes through the MaybeSerialized wrappers so
+/// the two builds differ only in lock scope.
+class Arm {
+ public:
+  Arm(bool serialized, const Cfg& cfg)
+      : cfg_(cfg),
+        params_(make_params(cfg)),
+        keys_(bench_keypair(cfg.modulus_bits)),
+        csp_(mec::BlockStore::synthetic(cfg.n_blocks, kBlockBytes, 7)),
+        csp_wrap_(csp_, serialized),
+        tpa0_wrap_(tpa0_, serialized),
+        tpa1_wrap_(tpa1_, serialized),
+        edge_csp_(csp_wrap_),
+        edge_tpa_(tpa0_wrap_),
+        edge_(0, params_, keys_.pk,
+              mec::EdgeCache(cfg.n_blocks, mec::EvictionPolicy::kLru),
+              edge_csp_, &edge_tpa_),
+        edge_wrap_(edge_, serialized),
+        tpa_edge_(edge_wrap_, cfg.one_way_latency_s),
+        owner_tpa0_(tpa0_wrap_),
+        owner_tpa1_(tpa1_wrap_),
+        owner_(params_, keys_, owner_tpa0_, owner_tpa1_) {
+    tpa0_.register_edge(0, tpa_edge_);
+    std::vector<Bytes> blocks;
+    for (std::size_t i = 0; i < cfg.n_blocks; ++i) {
+      blocks.push_back(csp_.store().block(i));
+    }
+    owner_.setup_file(blocks);
+    std::vector<std::size_t> warm;
+    for (std::size_t i = 0; i < cfg.n_blocks / 2; ++i) warm.push_back(i);
+    edge_.pre_download(warm);
+  }
+
+  static proto::ProtocolParams make_params(const Cfg& cfg) {
+    proto::ProtocolParams p = proto::ProtocolParams::test();
+    p.modulus_bits = cfg.modulus_bits;
+    p.block_bytes = kBlockBytes;
+    return p;
+  }
+
+  /// Aggregate audits/second with `sessions` concurrent user threads.
+  double run(std::size_t sessions) {
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    threads.reserve(sessions);
+    Stopwatch sw;
+    for (std::size_t k = 0; k < sessions; ++k) {
+      threads.emplace_back([this, &failures] {
+        try {
+          SleepingChannel tpa0(tpa0_wrap_, cfg_.one_way_latency_s);
+          SleepingChannel tpa1(tpa1_wrap_, cfg_.one_way_latency_s);
+          SleepingChannel edge(edge_wrap_, cfg_.one_way_latency_s);
+          proto::UserClient user(params_, keys_, tpa0, tpa1);
+          user.attach_file(cfg_.n_blocks);
+          for (int i = 0; i < cfg_.audits_per_session; ++i) {
+            if (!user.audit_edge(edge, 0)) failures.fetch_add(1);
+          }
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall = sw.seconds();
+    if (failures.load() != 0) {
+      std::fprintf(stderr, "bench_sessions: %d failed audits\n",
+                   failures.load());
+      std::exit(1);
+    }
+    return static_cast<double>(sessions) * cfg_.audits_per_session / wall;
+  }
+
+ private:
+  Cfg cfg_;
+  proto::ProtocolParams params_;
+  proto::KeyPair keys_;
+  proto::CspService csp_;
+  proto::TpaService tpa0_;
+  proto::TpaService tpa1_;
+  MaybeSerialized csp_wrap_;
+  MaybeSerialized tpa0_wrap_;
+  MaybeSerialized tpa1_wrap_;
+  net::InMemoryChannel edge_csp_;
+  net::InMemoryChannel edge_tpa_;
+  proto::EdgeService edge_;
+  MaybeSerialized edge_wrap_;
+  SleepingChannel tpa_edge_;
+  net::InMemoryChannel owner_tpa0_;
+  net::InMemoryChannel owner_tpa1_;
+  proto::UserClient owner_;
+};
+
+/// Same deployment over the loopback TCP transport; no injected latency.
+class TcpArm {
+ public:
+  TcpArm(bool serialized, const Cfg& cfg)
+      : cfg_(cfg),
+        params_(Arm::make_params(cfg)),
+        keys_(bench_keypair(cfg.modulus_bits)),
+        csp_(mec::BlockStore::synthetic(cfg.n_blocks, kBlockBytes, 7)),
+        csp_wrap_(csp_, serialized),
+        tpa0_wrap_(tpa0_, serialized),
+        tpa1_wrap_(tpa1_, serialized),
+        csp_srv_(csp_wrap_),
+        tpa0_srv_(tpa0_wrap_),
+        tpa1_srv_(tpa1_wrap_),
+        edge_csp_("127.0.0.1", csp_srv_.port()),
+        edge_tpa_("127.0.0.1", tpa0_srv_.port()),
+        edge_(0, params_, keys_.pk,
+              mec::EdgeCache(cfg.n_blocks, mec::EvictionPolicy::kLru),
+              edge_csp_, &edge_tpa_),
+        edge_wrap_(edge_, serialized),
+        edge_srv_(edge_wrap_),
+        tpa_edge_("127.0.0.1", edge_srv_.port()),
+        owner_tpa0_("127.0.0.1", tpa0_srv_.port()),
+        owner_tpa1_("127.0.0.1", tpa1_srv_.port()),
+        owner_(params_, keys_, owner_tpa0_, owner_tpa1_) {
+    tpa0_.register_edge(0, tpa_edge_);
+    std::vector<Bytes> blocks;
+    for (std::size_t i = 0; i < cfg.n_blocks; ++i) {
+      blocks.push_back(csp_.store().block(i));
+    }
+    owner_.setup_file(blocks);
+    std::vector<std::size_t> warm;
+    for (std::size_t i = 0; i < cfg.n_blocks / 2; ++i) warm.push_back(i);
+    edge_.pre_download(warm);
+  }
+
+  double run(std::size_t sessions) {
+    std::vector<std::thread> threads;
+    std::atomic<int> failures{0};
+    threads.reserve(sessions);
+    Stopwatch sw;
+    for (std::size_t k = 0; k < sessions; ++k) {
+      threads.emplace_back([this, &failures] {
+        try {
+          net::TcpChannel tpa0("127.0.0.1", tpa0_srv_.port());
+          net::TcpChannel tpa1("127.0.0.1", tpa1_srv_.port());
+          net::TcpChannel edge("127.0.0.1", edge_srv_.port());
+          proto::UserClient user(params_, keys_, tpa0, tpa1);
+          user.attach_file(cfg_.n_blocks);
+          for (int i = 0; i < cfg_.audits_per_session; ++i) {
+            if (!user.audit_edge(edge, 0)) failures.fetch_add(1);
+          }
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall = sw.seconds();
+    if (failures.load() != 0) {
+      std::fprintf(stderr, "bench_sessions(tcp): %d failed audits\n",
+                   failures.load());
+      std::exit(1);
+    }
+    return static_cast<double>(sessions) * cfg_.audits_per_session / wall;
+  }
+
+ private:
+  Cfg cfg_;
+  proto::ProtocolParams params_;
+  proto::KeyPair keys_;
+  proto::CspService csp_;
+  proto::TpaService tpa0_;
+  proto::TpaService tpa1_;
+  MaybeSerialized csp_wrap_;
+  MaybeSerialized tpa0_wrap_;
+  MaybeSerialized tpa1_wrap_;
+  net::TcpServer csp_srv_;
+  net::TcpServer tpa0_srv_;
+  net::TcpServer tpa1_srv_;
+  net::TcpChannel edge_csp_;
+  net::TcpChannel edge_tpa_;
+  proto::EdgeService edge_;
+  MaybeSerialized edge_wrap_;
+  net::TcpServer edge_srv_;
+  net::TcpChannel tpa_edge_;
+  net::TcpChannel owner_tpa0_;
+  net::TcpChannel owner_tpa1_;
+  proto::UserClient owner_;
+};
+
+template <typename ArmT>
+void sweep(const char* family, const Cfg& cfg, std::vector<double>& ser_thr,
+           std::vector<double>& shard_thr) {
+  for (const std::size_t k : cfg.session_counts) {
+    // Fresh deployments per point so session tables and caches start equal.
+    ArmT serialized(/*serialized=*/true, cfg);
+    ArmT sharded(/*serialized=*/false, cfg);
+    const double ser = serialized.run(k);
+    const double shard = sharded.run(k);
+    ser_thr.push_back(ser);
+    shard_thr.push_back(shard);
+    std::printf("%-10s K=%-3zu serialized %8.2f audits/s   sharded %8.2f "
+                "audits/s   speedup %5.2fx\n",
+                family, k, ser, shard, shard / ser);
+    std::fflush(stdout);
+  }
+}
+
+}  // namespace
+}  // namespace ice::bench
+
+int main(int argc, char** argv) {
+  using namespace ice::bench;
+  const bool smoke = smoke_mode(argc, argv);
+  double latency_override = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a(argv[i]);
+    if (a.rfind("--latency-ms=", 0) == 0) {
+      latency_override = std::atof(a.substr(13).data()) * 1e-3;
+    }
+  }
+  Cfg cfg;
+  if (smoke) {
+    cfg = {.session_counts = {1, 2},
+           .audits_per_session = 1,
+           .modulus_bits = 256,
+           .n_blocks = 12,
+           .one_way_latency_s = 0.001};
+  } else {
+    // 6 ms one-way is a mid-range WAN figure (same ballpark as the paper's
+    // edge-to-cloud setting); the serialized TPA holds its big lock across
+    // the 12 ms edge challenge round trip, which is the bottleneck this
+    // bench exists to show.
+    cfg = {.session_counts = {1, 2, 4, 8},
+           .audits_per_session = 3,
+           .modulus_bits = 512,
+           .n_blocks = 24,
+           .one_way_latency_s = 0.006};
+  }
+  if (latency_override > 0) cfg.one_way_latency_s = latency_override;
+
+  print_header("concurrent audit sessions: serialized vs sharded services");
+  std::printf("modulus %zu bits, %zu blocks x %zu B, %d audits/session, "
+              "modeled one-way latency %.1f ms, %u hardware threads\n",
+              cfg.modulus_bits, cfg.n_blocks, kBlockBytes,
+              cfg.audits_per_session, cfg.one_way_latency_s * 1e3,
+              std::thread::hardware_concurrency());
+
+  std::vector<double> inproc_ser, inproc_shard, tcp_ser, tcp_shard;
+  sweep<Arm>("inproc", cfg, inproc_ser, inproc_shard);
+  sweep<TcpArm>("tcp", cfg, tcp_ser, tcp_shard);
+
+  const double last_speedup = inproc_shard.back() / inproc_ser.back();
+  std::printf("\nin-process speedup at K=%zu: %.2fx\n",
+              cfg.session_counts.back(), last_speedup);
+
+  if (!smoke) {
+    std::ofstream out("BENCH_sessions.json", std::ios::trunc);
+    out << "{\n"
+        << "  \"sessions\": " << json_array(cfg.session_counts) << ",\n"
+        << "  \"audits_per_session\": " << cfg.audits_per_session << ",\n"
+        << "  \"modulus_bits\": " << cfg.modulus_bits << ",\n"
+        << "  \"modeled_one_way_latency_s\": " << cfg.one_way_latency_s
+        << ",\n"
+        << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+        << ",\n"
+        << "  \"inproc_serialized_audits_per_s\": " << json_array(inproc_ser)
+        << ",\n"
+        << "  \"inproc_sharded_audits_per_s\": " << json_array(inproc_shard)
+        << ",\n"
+        << "  \"tcp_serialized_audits_per_s\": " << json_array(tcp_ser)
+        << ",\n"
+        << "  \"tcp_sharded_audits_per_s\": " << json_array(tcp_shard)
+        << "\n}\n";
+    std::printf("[wrote BENCH_sessions.json]\n");
+  }
+  return 0;
+}

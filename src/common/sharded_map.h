@@ -1,0 +1,192 @@
+// Sharded hash map with per-shard locking and TTL eviction.
+//
+// The session-core building block: per-session protocol state lives here so
+// independent sessions touch independent shard mutexes and a service-wide
+// lock is never needed on the session path. Entries expire `ttl` after
+// insertion (an abandoned audit must not leak TPA memory forever) and the
+// table refuses inserts beyond `max_entries` (a hostile user must not
+// exhaust it). Expired entries read as absent and are reaped lazily.
+//
+// Locking discipline: every operation takes exactly ONE shard mutex at a
+// time (clear/purge_expired visit shards sequentially), so shard mutexes
+// can never deadlock against each other. Callbacks passed to with() /
+// extract_if() run under the shard lock — they must not block, and in
+// particular must never perform a channel call.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace ice {
+
+/// Tuning knobs shared by all ShardedMap instantiations.
+struct ShardedMapConfig {
+  std::size_t shards = 16;
+  std::chrono::steady_clock::duration ttl = std::chrono::minutes(10);
+  std::size_t max_entries = 4096;
+};
+
+template <typename K, typename V>
+class ShardedMap {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  enum class Insert {
+    kInserted,  // key now maps to the given value
+    kExists,    // a live entry already holds this key; nothing changed
+    kFull,      // table at max_entries (after reaping); nothing changed
+  };
+
+  enum class Extract {
+    kExtracted,  // entry removed and returned
+    kMissing,    // no live entry under this key
+    kRejected,   // entry exists but the predicate said no; left in place
+  };
+
+  explicit ShardedMap(ShardedMapConfig config = {})
+      : config_(config), shards_(config.shards == 0 ? 1 : config.shards) {}
+
+  /// Inserts key -> value unless a live entry exists or the table is full.
+  /// A full table is swept for expired entries once before giving up.
+  Insert try_emplace(const K& key, V value) {
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      {
+        Shard& s = shard_for(key);
+        std::lock_guard lock(s.mu);
+        const auto now = Clock::now();
+        const auto it = s.map.find(key);
+        if (it != s.map.end()) {
+          if (now < it->second.deadline) return Insert::kExists;
+          it->second.value = std::move(value);  // expired: reuse the slot
+          it->second.deadline = now + config_.ttl;
+          return Insert::kInserted;
+        }
+        if (size_.load(std::memory_order_relaxed) < config_.max_entries) {
+          s.map.emplace(key, Entry{std::move(value), now + config_.ttl});
+          size_.fetch_add(1, std::memory_order_relaxed);
+          return Insert::kInserted;
+        }
+      }
+      if (attempt == 0 && purge_expired() == 0) return Insert::kFull;
+    }
+    return Insert::kFull;
+  }
+
+  /// Runs fn(V&) under the shard lock; false if the key has no live entry.
+  /// fn must not block (see the locking discipline above).
+  template <typename Fn>
+  bool with(const K& key, Fn&& fn) {
+    Shard& s = shard_for(key);
+    std::lock_guard lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    if (Clock::now() >= it->second.deadline) {
+      s.map.erase(it);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return false;
+    }
+    fn(it->second.value);
+    return true;
+  }
+
+  /// Removes the entry and returns its value, or nullopt if absent.
+  std::optional<V> extract(const K& key) {
+    auto [outcome, value] = extract_if(key, [](const V&) { return true; });
+    return outcome == Extract::kExtracted ? std::move(value) : std::nullopt;
+  }
+
+  /// Removes the entry only if pred(value) holds; kRejected leaves it in
+  /// place so the caller can distinguish "gone" from "not ready".
+  template <typename Pred>
+  std::pair<Extract, std::optional<V>> extract_if(const K& key, Pred&& pred) {
+    Shard& s = shard_for(key);
+    std::lock_guard lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return {Extract::kMissing, std::nullopt};
+    if (Clock::now() >= it->second.deadline) {
+      s.map.erase(it);
+      size_.fetch_sub(1, std::memory_order_relaxed);
+      return {Extract::kMissing, std::nullopt};
+    }
+    if (!pred(std::as_const(it->second.value))) {
+      return {Extract::kRejected, std::nullopt};
+    }
+    std::optional<V> value(std::move(it->second.value));
+    s.map.erase(it);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return {Extract::kExtracted, std::move(value)};
+  }
+
+  /// Removes the entry if present; true if something was removed.
+  bool erase(const K& key) {
+    Shard& s = shard_for(key);
+    std::lock_guard lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it == s.map.end()) return false;
+    s.map.erase(it);
+    size_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Drops every entry (shard by shard; not atomic across shards).
+  void clear() {
+    for (Shard& s : shards_) {
+      std::lock_guard lock(s.mu);
+      size_.fetch_sub(s.map.size(), std::memory_order_relaxed);
+      s.map.clear();
+    }
+  }
+
+  /// Reaps expired entries; returns how many were removed.
+  std::size_t purge_expired() {
+    const auto now = Clock::now();
+    std::size_t purged = 0;
+    for (Shard& s : shards_) {
+      std::lock_guard lock(s.mu);
+      for (auto it = s.map.begin(); it != s.map.end();) {
+        if (now >= it->second.deadline) {
+          it = s.map.erase(it);
+          ++purged;
+        } else {
+          ++it;
+        }
+      }
+    }
+    size_.fetch_sub(purged, std::memory_order_relaxed);
+    return purged;
+  }
+
+  /// Live + not-yet-reaped expired entries. Exact only at quiescence; the
+  /// max_entries cap is enforced against this count, so it is approximate
+  /// by up to the number of concurrent inserters.
+  [[nodiscard]] std::size_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    V value;
+    Clock::time_point deadline;
+  };
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<K, Entry> map;
+  };
+
+  Shard& shard_for(const K& key) {
+    return shards_[std::hash<K>{}(key) % shards_.size()];
+  }
+
+  ShardedMapConfig config_;
+  std::vector<Shard> shards_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace ice

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 
 #include "bignum/random.h"
 #include "crypto/chacha20.h"
@@ -32,6 +33,30 @@ class Csprng final : public bn::Rng64 {
   explicit Csprng(const ChaCha20::Key& key);
 
   ChaCha20 stream_;
+};
+
+/// Mutex-serialized Csprng so one generator can be shared by concurrent
+/// sessions (services draw challenge secrets from any transport thread).
+/// Each next_u64 is an independent draw, so interleaving across threads
+/// changes which values each caller sees but never their distribution.
+class SharedCsprng final : public bn::Rng64 {
+ public:
+  SharedCsprng() = default;
+  explicit SharedCsprng(Csprng inner) : inner_(std::move(inner)) {}
+
+  /// Deterministic stream for tests/benchmarks. NOT for production keys.
+  static SharedCsprng deterministic(std::uint64_t seed) {
+    return SharedCsprng(Csprng::deterministic(seed));
+  }
+
+  std::uint64_t next_u64() override {
+    std::lock_guard lock(mu_);
+    return inner_.next_u64();
+  }
+
+ private:
+  std::mutex mu_;
+  Csprng inner_;
 };
 
 }  // namespace ice::crypto

@@ -1,74 +1,105 @@
 #include "ice/csp_service.h"
 
+#include <algorithm>
+#include <mutex>
+
 #include "common/error.h"
 #include "ice/batch.h"
 #include "ice/wire.h"
 
 namespace ice::proto {
 
+using net::ServiceError;
+using net::Status;
+
+CspService::CspService(mec::BlockStore store, std::size_t parallelism)
+    : dispatch_("CspService"), store_(std::move(store)) {
+  params_.parallelism = parallelism;
+  const auto bind = [this](void (CspService::*fn)(net::Reader&,
+                                                  net::Writer&)) {
+    return [this, fn](net::Reader& r, net::Writer& w) { (this->*fn)(r, w); };
+  };
+  dispatch_.on(kCspInfo, "info", bind(&CspService::on_info));
+  dispatch_.on(kCspFetch, "fetch", bind(&CspService::on_fetch));
+  dispatch_.on(kCspWriteBack, "write_back", bind(&CspService::on_write_back));
+  dispatch_.on(kCspSetKey, "set_key", bind(&CspService::on_set_key));
+  dispatch_.on(kCspChallenge, "challenge", bind(&CspService::on_challenge));
+}
+
 Bytes CspService::handle(std::uint16_t method, BytesView request) {
-  try {
-    std::lock_guard lock(mu_);
-    net::Reader r(request);
-    switch (method) {
-      case kCspInfo: {
-        net::Writer w;
-        w.varint(store_.size());
-        w.varint(store_.block_size());
-        return ok_response(std::move(w));
-      }
-      case kCspFetch: {
-        const auto index = static_cast<std::size_t>(r.varint());
-        r.expect_done();
-        net::Writer w;
-        w.bytes(store_.block(index));
-        return ok_response(std::move(w));
-      }
-      case kCspWriteBack: {
-        const std::uint64_t count = r.varint();
-        for (std::uint64_t i = 0; i < count; ++i) {
-          const auto index = static_cast<std::size_t>(r.varint());
-          store_.update_block(index, r.bytes());
-        }
-        r.expect_done();
-        return ok_empty();
-      }
-      case kCspSetKey: {
-        PublicKey pk;
-        pk.n = r.bigint();
-        pk.g = r.bigint();
-        params_.coeff_bits = static_cast<std::size_t>(r.varint());
-        params_.challenge_key_bits = static_cast<std::size_t>(r.varint());
-        r.expect_done();
-        if (!plausible_public_key(pk)) {
-          return error_response("CspService: implausible public key");
-        }
-        params_.modulus_bits = pk.n.bit_length();
-        pk_ = std::move(pk);
-        return ok_empty();
-      }
-      case kCspChallenge: {
-        if (!pk_) return error_response("CspService: set key first");
-        const bn::BigInt e = r.bigint();
-        const bn::BigInt g_s = r.bigint();
-        const std::vector<std::size_t> sample = read_index_list(r);
-        r.expect_done();
-        std::vector<Bytes> blocks;
-        blocks.reserve(sample.size());
-        for (std::size_t index : sample) {
-          blocks.push_back(store_.block(index));
-        }
-        const Proof proof = make_batch_proof(*pk_, params_, blocks, e, g_s);
-        net::Writer w;
-        w.bigint(proof.p);
-        return ok_response(std::move(w));
-      }
-      default:
-        return error_response("CspService: unknown method");
-    }
-  } catch (const std::exception& e) {
-    return error_response(e.what());
+  return dispatch_.handle(method, request);
+}
+
+void CspService::on_info(net::Reader&, net::Writer& w) {
+  std::shared_lock lock(mu_);
+  w.varint(store_.size());
+  w.varint(store_.block_size());
+}
+
+void CspService::on_fetch(net::Reader& r, net::Writer& w) {
+  const auto index = static_cast<std::size_t>(r.varint());
+  std::shared_lock lock(mu_);
+  w.bytes(store_.block(index));
+}
+
+void CspService::on_write_back(net::Reader& r, net::Writer&) {
+  // Decode fully before touching the store so a malformed tail cannot
+  // leave a half-applied batch behind.
+  std::vector<std::pair<std::size_t, Bytes>> blocks;
+  const std::uint64_t count = r.varint();
+  // Each entry costs >= 2 encoded bytes, so remaining() bounds any honest
+  // count; a hostile prefix cannot force a giant up-front allocation.
+  blocks.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, r.remaining())));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto index = static_cast<std::size_t>(r.varint());
+    blocks.emplace_back(index, r.bytes());
   }
+  r.expect_done();
+  std::unique_lock lock(mu_);
+  for (auto& [index, data] : blocks) {
+    store_.update_block(index, std::move(data));
+  }
+}
+
+void CspService::on_set_key(net::Reader& r, net::Writer&) {
+  PublicKey pk;
+  pk.n = r.bigint();
+  pk.g = r.bigint();
+  const auto coeff_bits = static_cast<std::size_t>(r.varint());
+  const auto key_bits = static_cast<std::size_t>(r.varint());
+  if (!plausible_public_key(pk)) {
+    throw ServiceError(Status::kInvalidArgument, "implausible public key");
+  }
+  std::unique_lock lock(mu_);
+  params_.coeff_bits = coeff_bits;
+  params_.challenge_key_bits = key_bits;
+  params_.modulus_bits = pk.n.bit_length();
+  pk_ = std::move(pk);
+}
+
+void CspService::on_challenge(net::Reader& r, net::Writer& w) {
+  const bn::BigInt e = r.bigint();
+  const bn::BigInt g_s = r.bigint();
+  const std::vector<std::size_t> sample = read_index_list(r);
+  PublicKey pk;
+  ProtocolParams params;
+  std::vector<Bytes> blocks;
+  {
+    std::shared_lock lock(mu_);
+    if (!pk_) {
+      throw ServiceError(Status::kFailedPrecondition, "set key first");
+    }
+    pk = *pk_;
+    params = params_;
+    blocks.reserve(sample.size());
+    for (std::size_t index : sample) {
+      blocks.push_back(store_.block(index));
+    }
+  }
+  // Heavy proof computation runs with no lock held.
+  const Proof proof = make_batch_proof(pk, params, blocks, e, g_s);
+  w.bigint(proof.p);
 }
 
 CspClient::Info CspClient::info() const {

@@ -2,15 +2,21 @@
 //
 // The paper assumes CSP-side integrity is already solved ([3], [5], [8]);
 // this actor is the honest substrate edges pre-download from.
+//
+// Concurrency (DESIGN.md §10): a single reader/writer lock over the block
+// store — fetches and PDP challenges read shared, write-backs and key
+// installation take it exclusive. Proof computation runs on blocks copied
+// out under the shared lock.
 #pragma once
 
-#include <mutex>
 #include <optional>
+#include <shared_mutex>
 
 #include "ice/keys.h"
 #include "ice/params.h"
 #include "ice/protocol.h"
 #include "mec/block_store.h"
+#include "net/dispatch.h"
 #include "net/rpc.h"
 
 namespace ice::proto {
@@ -19,10 +25,7 @@ class CspService final : public net::RpcHandler {
  public:
   /// `parallelism` is the worker-task budget for PDP challenge proofs
   /// (ProtocolParams::parallelism convention; local knob, not wire state).
-  explicit CspService(mec::BlockStore store, std::size_t parallelism = 0)
-      : store_(std::move(store)) {
-    params_.parallelism = parallelism;
-  }
+  explicit CspService(mec::BlockStore store, std::size_t parallelism = 0);
 
   Bytes handle(std::uint16_t method, BytesView request) override;
 
@@ -33,7 +36,14 @@ class CspService final : public net::RpcHandler {
   [[nodiscard]] mec::BlockStore& store_for_corruption() { return store_; }
 
  private:
-  std::mutex mu_;
+  void on_info(net::Reader& r, net::Writer& w);
+  void on_fetch(net::Reader& r, net::Writer& w);
+  void on_write_back(net::Reader& r, net::Writer& w);
+  void on_set_key(net::Reader& r, net::Writer& w);
+  void on_challenge(net::Reader& r, net::Writer& w);
+
+  net::Dispatcher dispatch_;
+  mutable std::shared_mutex mu_;
   mec::BlockStore store_;
   std::optional<PublicKey> pk_;  // for answering PDP challenges
   ProtocolParams params_;

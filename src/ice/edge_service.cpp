@@ -7,41 +7,53 @@
 
 namespace ice::proto {
 
+using net::ServiceError;
+using net::Status;
+
 EdgeService::EdgeService(std::uint32_t edge_id, const ProtocolParams& params,
                          PublicKey pk, mec::EdgeCache cache,
                          net::RpcChannel& csp, net::RpcChannel* tpa)
     : edge_id_(edge_id),
       params_(params),
       pk_(std::move(pk)),
-      cache_(std::move(cache)),
       csp_(&csp),
-      tpa_(tpa) {}
-
-Bytes EdgeService::handle(std::uint16_t method, BytesView request) {
-  try {
-    std::function<void()> deferred;
-    Bytes response;
-    {
-      std::lock_guard lock(mu_);
-      net::Reader r(request);
-      response = handle_locked(method, r, deferred);
-    }
-    // Outbound proof submission runs without mu_ held (see handle_locked's
-    // doc comment); a failure still surfaces as this call's error response.
-    if (deferred) deferred();
-    return response;
-  } catch (const std::exception& e) {
-    return error_response(e.what());
-  }
+      tpa_(tpa),
+      dispatch_("EdgeService"),
+      cache_(std::move(cache)),
+      blindings_(session_table_config()) {
+  const auto bind = [this](void (EdgeService::*fn)(net::Reader&,
+                                                   net::Writer&)) {
+    return [this, fn](net::Reader& r, net::Writer& w) { (this->*fn)(r, w); };
+  };
+  dispatch_.on(kEdgeRead, "read", bind(&EdgeService::on_read));
+  dispatch_.on(kEdgeWrite, "write", bind(&EdgeService::on_write));
+  dispatch_.on(kEdgeIndexQuery, "index_query",
+               bind(&EdgeService::on_index_query));
+  dispatch_.on(kEdgeShareBlind, "share_blinding",
+               bind(&EdgeService::on_share_blind));
+  dispatch_.on(kEdgeChallenge, "challenge", bind(&EdgeService::on_challenge));
+  dispatch_.on(kEdgeBatchChallenge, "batch_challenge",
+               bind(&EdgeService::on_batch_challenge));
+  dispatch_.on(kEdgeSubsetProof, "subset_proof",
+               bind(&EdgeService::on_subset_proof));
+  dispatch_.on(kEdgeFlush, "flush", bind(&EdgeService::on_flush));
 }
 
-Bytes EdgeService::fetch_from_csp(std::size_t index) {
-  const Bytes block = CspClient(*csp_).fetch(index);
-  cache_.admit(index, block);
+Bytes EdgeService::handle(std::uint16_t method, BytesView request) {
+  return dispatch_.handle(method, request);
+}
+
+Bytes EdgeService::fetch_and_admit(std::size_t index) {
+  // The CSP round trip runs with no lock held; only the admit re-locks.
+  Bytes block = CspClient(*csp_).fetch(index);
+  std::lock_guard lock(cache_mu_);
+  if (!cache_.contains(index)) {
+    cache_.admit(index, block);
+  }
   return block;
 }
 
-std::vector<Bytes> EdgeService::cached_blocks_ordered() {
+std::vector<Bytes> EdgeService::cached_blocks_ordered_locked() {
   std::vector<Bytes> blocks;
   for (std::size_t index : cache_.cached_indices()) {
     blocks.push_back(*cache_.get(index));
@@ -49,123 +61,141 @@ std::vector<Bytes> EdgeService::cached_blocks_ordered() {
   return blocks;
 }
 
-Bytes EdgeService::handle_locked(std::uint16_t method, net::Reader& r,
-                                 std::function<void()>& deferred) {
-  switch (method) {
-    case kEdgeRead: {
-      const auto index = static_cast<std::size_t>(r.varint());
-      r.expect_done();
-      auto cached = cache_.get(index);
-      const Bytes block = cached ? std::move(*cached)
-                                 : fetch_from_csp(index);
-      net::Writer w;
-      w.bytes(block);
-      return ok_response(std::move(w));
+std::vector<Bytes> EdgeService::snapshot_blocks() {
+  std::lock_guard lock(cache_mu_);
+  return cached_blocks_ordered_locked();
+}
+
+void EdgeService::on_read(net::Reader& r, net::Writer& w) {
+  const auto index = static_cast<std::size_t>(r.varint());
+  {
+    std::lock_guard lock(cache_mu_);
+    if (auto cached = cache_.get(index)) {
+      w.bytes(*cached);
+      return;
     }
-    case kEdgeWrite: {
-      const auto index = static_cast<std::size_t>(r.varint());
-      Bytes data = r.bytes();
-      r.expect_done();
-      if (!cache_.contains(index)) {
-        (void)fetch_from_csp(index);  // write-allocate
-      }
+  }
+  w.bytes(fetch_and_admit(index));
+}
+
+void EdgeService::on_write(net::Reader& r, net::Writer&) {
+  const auto index = static_cast<std::size_t>(r.varint());
+  Bytes data = r.bytes();
+  {
+    std::lock_guard lock(cache_mu_);
+    if (cache_.contains(index)) {
       cache_.write(index, std::move(data));
-      return ok_empty();
+      return;
     }
-    case kEdgeIndexQuery: {
-      r.expect_done();
-      net::Writer w;
-      write_index_list(w, cache_.cached_indices());
-      return ok_response(std::move(w));
-    }
-    case kEdgeShareBlind: {
-      const std::uint64_t session = r.u64();
-      bn::BigInt s_tilde = r.bigint();
-      r.expect_done();
-      if (s_tilde.is_zero()) {
-        return error_response("EdgeService: zero blinding");
-      }
-      session_blindings_[session] = std::move(s_tilde);
-      return ok_empty();
-    }
-    case kEdgeChallenge: {
-      const std::uint64_t session = r.u64();
-      Challenge chal;
-      chal.e = r.bigint();
-      chal.g_s = r.bigint();
-      r.expect_done();
-      const auto it = session_blindings_.find(session);
-      if (it == session_blindings_.end()) {
-        return error_response("EdgeService: no blinding for session");
-      }
-      const Proof proof =
-          make_proof(pk_, params_, cached_blocks_ordered(), chal, it->second);
-      session_blindings_.erase(it);  // one-shot
-      net::Writer w;
-      w.bigint(proof.p);
-      return ok_response(std::move(w));
-    }
-    case kEdgeBatchChallenge: {
-      const std::uint64_t batch_id = r.u64();
-      const bn::BigInt e_j = r.bigint();
-      const bn::BigInt g_s = r.bigint();
-      r.expect_done();
-      if (tpa_ == nullptr) {
-        return error_response("EdgeService: no TPA channel for batch");
-      }
-      const Proof proof =
-          make_batch_proof(pk_, params_, cached_blocks_ordered(), e_j, g_s);
-      net::Writer w;
-      w.u64(batch_id);
-      w.bigint(proof.p);
-      // The proof only depends on state captured above, so the TPA
-      // submission is deferred past our own lock — the TPA challenges
-      // edges while holding ITS lock, and the two orders must not cross.
-      deferred = [this, payload = w.take()] {
-        const Bytes raw = tpa_->call(kTpaSubmitProof, payload);
-        unwrap(raw);
-      };
-      return ok_empty();
-    }
-    case kEdgeSubsetProof: {
-      const bn::BigInt e = r.bigint();
-      const bn::BigInt g_s = r.bigint();
-      const std::vector<std::size_t> subset = read_index_list(r);
-      r.expect_done();
-      std::vector<Bytes> blocks;
-      blocks.reserve(subset.size());
-      for (std::size_t index : subset) {
-        auto cached = cache_.get(index);
-        if (!cached) {
-          return error_response("EdgeService: subset block not cached");
-        }
-        blocks.push_back(std::move(*cached));
-      }
-      // Owner-driven challenge: the data owner verifies with its own s, so
-      // no session blinding is involved (make_batch_proof has exactly the
-      // unblinded shape needed).
-      const Proof proof = make_batch_proof(pk_, params_, blocks, e, g_s);
-      net::Writer w;
-      w.bigint(proof.p);
-      return ok_response(std::move(w));
-    }
-    case kEdgeFlush: {
-      r.expect_done();
-      auto dirty = cache_.flush();
-      CspClient(*csp_).write_back(dirty);
-      net::Writer w;
-      w.varint(dirty.size());
-      return ok_response(std::move(w));
-    }
-    default:
-      return error_response("EdgeService: unknown method");
+  }
+  (void)fetch_and_admit(index);  // write-allocate
+  std::lock_guard lock(cache_mu_);
+  cache_.write(index, std::move(data));
+}
+
+void EdgeService::on_index_query(net::Reader&, net::Writer& w) {
+  std::lock_guard lock(cache_mu_);
+  write_index_list(w, cache_.cached_indices());
+}
+
+void EdgeService::on_share_blind(net::Reader& r, net::Writer&) {
+  const std::uint64_t session = r.u64();
+  bn::BigInt s_tilde = r.bigint();
+  if (s_tilde.is_zero()) {
+    throw ServiceError(Status::kInvalidArgument, "zero blinding");
+  }
+  switch (blindings_.try_emplace(session,
+                                 BlindingSession{std::move(s_tilde)})) {
+    case SessionTable<BlindingSession>::Insert::kExists:
+      throw ServiceError(Status::kAlreadyExists,
+                         "blinding already shared for session");
+    case SessionTable<BlindingSession>::Insert::kFull:
+      throw ServiceError(Status::kResourceExhausted,
+                         "too many pending blindings");
+    case SessionTable<BlindingSession>::Insert::kInserted:
+      break;
   }
 }
 
+void EdgeService::on_challenge(net::Reader& r, net::Writer& w) {
+  const std::uint64_t session = r.u64();
+  Challenge chal;
+  chal.e = r.bigint();
+  chal.g_s = r.bigint();
+  r.expect_done();
+  auto blinding = blindings_.extract(session);  // one-shot
+  if (!blinding) {
+    throw ServiceError(Status::kNotFound, "no blinding for session");
+  }
+  // Snapshot the cache, then compute the proof with no lock held.
+  const std::vector<Bytes> blocks = snapshot_blocks();
+  const Proof proof =
+      make_proof(pk_, params_, blocks, chal, blinding->s_tilde);
+  w.bigint(proof.p);
+}
+
+void EdgeService::on_batch_challenge(net::Reader& r, net::Writer&) {
+  const std::uint64_t batch_id = r.u64();
+  const bn::BigInt e_j = r.bigint();
+  const bn::BigInt g_s = r.bigint();
+  r.expect_done();
+  if (tpa_ == nullptr) {
+    throw ServiceError(Status::kFailedPrecondition,
+                       "no TPA channel for batch");
+  }
+  const std::vector<Bytes> blocks = snapshot_blocks();
+  const Proof proof = make_batch_proof(pk_, params_, blocks, e_j, g_s);
+  // Submit to the TPA with no lock held; a rejection surfaces as this
+  // call's error response.
+  net::Writer submit;
+  submit.u64(batch_id);
+  submit.bigint(proof.p);
+  const Bytes raw = tpa_->call(kTpaSubmitProof, submit.take());
+  unwrap(raw);
+}
+
+void EdgeService::on_subset_proof(net::Reader& r, net::Writer& w) {
+  const bn::BigInt e = r.bigint();
+  const bn::BigInt g_s = r.bigint();
+  const std::vector<std::size_t> subset = read_index_list(r);
+  std::vector<Bytes> blocks;
+  blocks.reserve(subset.size());
+  {
+    std::lock_guard lock(cache_mu_);
+    for (std::size_t index : subset) {
+      auto cached = cache_.get(index);
+      if (!cached) {
+        throw ServiceError(Status::kNotFound, "subset block not cached");
+      }
+      blocks.push_back(std::move(*cached));
+    }
+  }
+  // Owner-driven challenge: the data owner verifies with its own s, so
+  // no session blinding is involved (make_batch_proof has exactly the
+  // unblinded shape needed).
+  const Proof proof = make_batch_proof(pk_, params_, blocks, e, g_s);
+  w.bigint(proof.p);
+}
+
+void EdgeService::on_flush(net::Reader&, net::Writer& w) {
+  std::vector<std::pair<std::size_t, Bytes>> dirty;
+  {
+    std::lock_guard lock(cache_mu_);
+    dirty = cache_.flush();
+  }
+  // Write-back leaves for the CSP with no lock held.
+  CspClient(*csp_).write_back(dirty);
+  w.varint(dirty.size());
+}
+
 void EdgeService::pre_download(const std::vector<std::size_t>& indices) {
-  std::lock_guard lock(mu_);
   for (std::size_t index : indices) {
-    if (!cache_.contains(index)) (void)fetch_from_csp(index);
+    bool have = false;
+    {
+      std::lock_guard lock(cache_mu_);
+      have = cache_.contains(index);
+    }
+    if (!have) (void)fetch_and_admit(index);
   }
 }
 

@@ -4,17 +4,24 @@
 // The edge is the UNTRUSTED party in the protocol: nothing here is relied
 // on for security — a tampered edge simply fails verification. Tests
 // exercise that through the fault-injection hook.
+//
+// Concurrency (DESIGN.md §10): the per-session blinding nonces live in a
+// sharded TTL table; the only service-wide lock is cache_mu_ over the block
+// cache, and it is never held across a channel call — CSP fetches,
+// write-backs and TPA proof submissions all run lock-free on state
+// snapshotted under the lock (which also removes the PR 3 deferred-call
+// workaround for the TPA/Edge lock-order inversion).
 #pragma once
 
-#include <functional>
-#include <map>
 #include <mutex>
 #include <optional>
 
 #include "ice/keys.h"
 #include "ice/params.h"
 #include "ice/protocol.h"
+#include "ice/session.h"
 #include "mec/edge_cache.h"
+#include "net/dispatch.h"
 #include "net/rpc.h"
 #include "net/serde.h"
 
@@ -33,31 +40,41 @@ class EdgeService final : public net::RpcHandler {
   /// Warms the cache with specific blocks (experiment setup).
   void pre_download(const std::vector<std::size_t>& indices);
 
-  /// Fault-injection access to the cache (tests/experiments only).
+  /// Fault-injection access to the cache (tests/experiments only; callers
+  /// must be quiescent — no lock is taken).
   [[nodiscard]] mec::EdgeCache& cache_for_corruption() { return cache_; }
 
   [[nodiscard]] std::uint32_t id() const { return edge_id_; }
 
  private:
-  /// `deferred` receives an outbound call to run AFTER mu_ is released
-  /// (the batch proof submission to the TPA): the TPA challenges edges
-  /// while holding its own lock, so an edge calling the TPA under mu_
-  /// would order the two service mutexes in both directions — a deadlock
-  /// under concurrent basic/batch audits.
-  Bytes handle_locked(std::uint16_t method, net::Reader& r,
-                      std::function<void()>& deferred);
-  /// Current cache content as (blocks, indices) in index order.
-  [[nodiscard]] std::vector<Bytes> cached_blocks_ordered();
-  Bytes fetch_from_csp(std::size_t index);
+  void on_read(net::Reader& r, net::Writer& w);
+  void on_write(net::Reader& r, net::Writer& w);
+  void on_index_query(net::Reader& r, net::Writer& w);
+  void on_share_blind(net::Reader& r, net::Writer& w);
+  void on_challenge(net::Reader& r, net::Writer& w);
+  void on_batch_challenge(net::Reader& r, net::Writer& w);
+  void on_subset_proof(net::Reader& r, net::Writer& w);
+  void on_flush(net::Reader& r, net::Writer& w);
 
-  std::uint32_t edge_id_;
-  ProtocolParams params_;
-  PublicKey pk_;
-  std::mutex mu_;
+  /// Fetches `index` from the CSP (lock-free round trip) and admits it;
+  /// returns the block. A concurrent admit of the same index wins quietly.
+  Bytes fetch_and_admit(std::size_t index);
+  /// Current cache content as blocks in index order (call under cache_mu_).
+  [[nodiscard]] std::vector<Bytes> cached_blocks_ordered_locked();
+  /// Snapshot of the cached blocks for proof computation.
+  [[nodiscard]] std::vector<Bytes> snapshot_blocks();
+
+  const std::uint32_t edge_id_;
+  const ProtocolParams params_;
+  const PublicKey pk_;
+  net::RpcChannel* const csp_;
+  net::RpcChannel* const tpa_;
+  net::Dispatcher dispatch_;
+
+  std::mutex cache_mu_;
   mec::EdgeCache cache_;
-  net::RpcChannel* csp_;
-  net::RpcChannel* tpa_;
-  std::map<std::uint64_t, bn::BigInt> session_blindings_;  // s~ per session
+
+  SessionTable<BlindingSession> blindings_;  // s~ per session, one-shot
 };
 
 /// Client stub for the user-side (and TPA-side challenge) calls.

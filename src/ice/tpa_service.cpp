@@ -6,188 +6,279 @@
 
 namespace ice::proto {
 
-// An abandoned audit (user never submits repacked tags) would otherwise
-// leak a session entry forever; cap the table so a hostile user cannot
-// exhaust TPA memory.
-constexpr std::size_t kMaxOpenSessions = 4096;
+using net::ServiceError;
+using net::Status;
 
 TpaService::TpaService(pir::EvalStrategy strategy, std::size_t parallelism)
-    : strategy_(strategy) {
+    : strategy_(strategy),
+      dispatch_("TpaService"),
+      sessions_(session_table_config()),
+      batches_(session_table_config()) {
   params_.parallelism = parallelism;
+  const auto bind = [this](void (TpaService::*fn)(net::Reader&,
+                                                  net::Writer&)) {
+    return [this, fn](net::Reader& r, net::Writer& w) { (this->*fn)(r, w); };
+  };
+  dispatch_.on(kTpaSetKey, "set_key", bind(&TpaService::on_set_key));
+  dispatch_.on(kTpaStoreTags, "store_tags", bind(&TpaService::on_store_tags));
+  dispatch_.on(kTpaTagQuery, "tag_query", bind(&TpaService::on_tag_query));
+  dispatch_.on(kTpaStartAudit, "start_audit",
+               bind(&TpaService::on_start_audit));
+  dispatch_.on(kTpaSubmitRepacked, "submit_repacked",
+               bind(&TpaService::on_submit_repacked));
+  dispatch_.on(kTpaBatchBegin, "batch_begin",
+               bind(&TpaService::on_batch_begin));
+  dispatch_.on(kTpaSubmitProof, "submit_proof",
+               bind(&TpaService::on_submit_proof));
+  dispatch_.on(kTpaBatchFinish, "batch_finish",
+               bind(&TpaService::on_batch_finish));
+  dispatch_.on(kTpaUpdateTag, "update_tag",
+               bind(&TpaService::on_update_tag));
+}
+
+Bytes TpaService::handle(std::uint16_t method, BytesView request) {
+  return dispatch_.handle(method, request);
 }
 
 void TpaService::register_edge(std::uint32_t edge_id,
                                net::RpcChannel& channel) {
-  std::lock_guard lock(mu_);
+  std::unique_lock lock(config_mu_);
   edges_[edge_id] = &channel;
 }
 
-Bytes TpaService::handle(std::uint16_t method, BytesView request) {
+bool TpaService::has_tags() const {
+  std::shared_lock lock(store_mu_);
+  return store_ != nullptr;
+}
+
+std::pair<PublicKey, ProtocolParams> TpaService::config_snapshot() const {
+  std::shared_lock lock(config_mu_);
+  if (!pk_) {
+    throw ServiceError(Status::kFailedPrecondition, "set key first");
+  }
+  return {*pk_, params_};
+}
+
+void TpaService::on_set_key(net::Reader& r, net::Writer&) {
+  PublicKey pk;
+  pk.n = r.bigint();
+  pk.g = r.bigint();
+  const auto coeff_bits = static_cast<std::size_t>(r.varint());
+  const auto key_bits = static_cast<std::size_t>(r.varint());
+  if (!plausible_public_key(pk)) {
+    throw ServiceError(Status::kInvalidArgument, "implausible public key");
+  }
+  {
+    std::unique_lock lock(config_mu_);
+    params_.coeff_bits = coeff_bits;
+    params_.challenge_key_bits = key_bits;
+    params_.modulus_bits = pk.n.bit_length();
+    pk_ = std::move(pk);
+  }
+  {
+    std::unique_lock lock(store_mu_);
+    store_.reset();  // tags from an old key are meaningless now
+  }
+  // So are sessions challenged under the old key.
+  sessions_.clear();
+  batches_.clear();
+}
+
+void TpaService::on_store_tags(net::Reader& r, net::Writer&) {
+  std::vector<bn::BigInt> tags = read_bigint_list(r);
+  if (tags.empty()) {
+    throw ServiceError(Status::kInvalidArgument, "no tags");
+  }
+  const auto [pk, params] = config_snapshot();
+  (void)pk;
+  // Build and preprocess the replacement store with no lock held (this is
+  // the expensive part), then swap it in.
+  auto store = std::make_unique<TagStore>(params, std::move(tags), strategy_);
+  store->preprocess();
+  std::unique_lock lock(store_mu_);
+  store_ = std::move(store);
+}
+
+void TpaService::on_tag_query(net::Reader& r, net::Writer& w) {
+  const pir::PirQuery query = read_pir_query(r);
+  // Concurrent queries share the store under the shared lock; respond() is
+  // const and safe after preprocess().
+  std::shared_lock lock(store_mu_);
+  if (store_ == nullptr) {
+    throw ServiceError(Status::kFailedPrecondition, "no tags stored");
+  }
+  write_pir_response(w, store_->respond(query));
+}
+
+void TpaService::on_start_audit(net::Reader& r, net::Writer&) {
+  const auto edge_id = static_cast<std::uint32_t>(r.varint());
+  // Session id is a user-chosen nonce: the user already shared the
+  // blinding s~ with the edge under this id, and the edge looks it up
+  // when our challenge arrives.
+  const std::uint64_t id = r.u64();
+  r.expect_done();
+  PublicKey pk;
+  ProtocolParams params;
+  net::RpcChannel* edge_channel = nullptr;
+  {
+    std::shared_lock lock(config_mu_);
+    if (!pk_) {
+      throw ServiceError(Status::kFailedPrecondition, "set key first");
+    }
+    const auto it = edges_.find(edge_id);
+    if (it == edges_.end()) {
+      throw ServiceError(Status::kNotFound, "unknown edge");
+    }
+    pk = *pk_;
+    params = params_;
+    edge_channel = it->second;
+  }
+
+  AuditSession session;
+  session.edge_id = edge_id;
+  session.challenge = make_challenge(pk, params, rng_, session.secret);
+  const Challenge challenge = session.challenge;
+  // Park the session in kChallenging state BEFORE the round trip so a
+  // concurrent start_audit on the same nonce is refused, then challenge
+  // the edge with no lock of ours held.
+  switch (sessions_.try_emplace(id, std::move(session))) {
+    case SessionTable<AuditSession>::Insert::kExists:
+      throw ServiceError(Status::kAlreadyExists, "session id already in use");
+    case SessionTable<AuditSession>::Insert::kFull:
+      throw ServiceError(Status::kResourceExhausted,
+                         "too many open sessions");
+    case SessionTable<AuditSession>::Insert::kInserted:
+      break;
+  }
+  Proof proof;
   try {
-    // Holding the lock across the kEdgeChallenge round trip is safe
-    // because the TPA->edge order is the only cross-service lock order:
-    // the edge submits its batch proofs to us only AFTER releasing its own
-    // lock (EdgeService::handle's deferred call), so the edge->TPA edge of
-    // the lock graph never exists.
-    std::lock_guard lock(mu_);
-    net::Reader r(request);
-    return handle_locked(method, r);
-  } catch (const std::exception& e) {
-    return error_response(e.what());
+    proof = EdgeClient(*edge_channel).challenge(id, challenge);
+    // Reject malformed proof values at the wire boundary: an honest edge
+    // always returns an element of Z_N^*, so anything else is a protocol
+    // violation, not a failed audit.
+    validate_proof(pk, proof);
+  } catch (...) {
+    sessions_.erase(id);
+    throw;
+  }
+  const bool parked = sessions_.with(id, [&](AuditSession& s) {
+    s.proof = std::move(proof);
+    s.state = AuditSession::State::kAwaitingTags;
+  });
+  if (!parked) {
+    throw ServiceError(Status::kNotFound,
+                       "session expired during the edge challenge");
   }
 }
 
-Bytes TpaService::handle_locked(std::uint16_t method, net::Reader& r) {
-  switch (method) {
-    case kTpaSetKey: {
-      PublicKey pk;
-      pk.n = r.bigint();
-      pk.g = r.bigint();
-      params_.coeff_bits = static_cast<std::size_t>(r.varint());
-      params_.challenge_key_bits = static_cast<std::size_t>(r.varint());
-      r.expect_done();
-      if (!plausible_public_key(pk)) {
-        return error_response("TpaService: implausible public key");
-      }
-      params_.modulus_bits = pk.n.bit_length();
-      pk_ = std::move(pk);
-      store_.reset();  // tags from an old key are meaningless now
-      return ok_empty();
-    }
-    case kTpaStoreTags: {
-      if (!pk_) return error_response("TpaService: set key first");
-      std::vector<bn::BigInt> tags = read_bigint_list(r);
-      r.expect_done();
-      if (tags.empty()) return error_response("TpaService: no tags");
-      store_.emplace(params_, std::move(tags), strategy_);
-      store_->preprocess();
-      return ok_empty();
-    }
-    case kTpaTagQuery: {
-      if (!store_) return error_response("TpaService: no tags stored");
-      const pir::PirQuery query = read_pir_query(r);
-      r.expect_done();
-      net::Writer w;
-      write_pir_response(w, store_->respond(query));
-      return ok_response(std::move(w));
-    }
-    case kTpaStartAudit: {
-      if (!pk_) return error_response("TpaService: set key first");
-      const auto edge_id = static_cast<std::uint32_t>(r.varint());
-      // Session id is a user-chosen nonce: the user already shared the
-      // blinding s~ with the edge under this id, and the edge looks it up
-      // when our challenge arrives.
-      const std::uint64_t id = r.u64();
-      r.expect_done();
-      const auto it = edges_.find(edge_id);
-      if (it == edges_.end()) {
-        return error_response("TpaService: unknown edge");
-      }
-      if (sessions_.contains(id)) {
-        return error_response("TpaService: session id already in use");
-      }
-      if (sessions_.size() >= kMaxOpenSessions) {
-        return error_response("TpaService: too many open sessions");
-      }
-      AuditSession session;
-      session.edge_id = edge_id;
-      session.challenge =
-          make_challenge(*pk_, params_, rng_, session.secret);
-      session.proof = EdgeClient(*it->second).challenge(id,
-                                                        session.challenge);
-      // Reject malformed proof values at the wire boundary: an honest edge
-      // always returns an element of Z_N^*, so anything else is a protocol
-      // violation, not a failed audit.
-      validate_proof(*pk_, session.proof);
-      sessions_[id] = std::move(session);
-      return ok_empty();
-    }
-    case kTpaSubmitRepacked: {
-      const std::uint64_t id = r.u64();
-      const std::vector<bn::BigInt> tags = read_bigint_list(r);
-      r.expect_done();
-      const auto it = sessions_.find(id);
-      if (it == sessions_.end()) {
-        return error_response("TpaService: unknown session");
-      }
-      const AuditSession session = std::move(it->second);
-      sessions_.erase(it);
-      const bool pass = verify_proof(*pk_, params_, tags, session.challenge,
-                                     session.secret, session.proof);
-      log_.append(id, session.edge_id, /*batch=*/false, pass);
-      net::Writer w;
-      w.u8(pass ? 1 : 0);
-      return ok_response(std::move(w));
-    }
-    case kTpaBatchBegin: {
-      if (!pk_) return error_response("TpaService: set key first");
-      const auto num_edges = static_cast<std::size_t>(r.varint());
-      r.expect_done();
-      if (num_edges == 0) return error_response("TpaService: empty batch");
-      if (batches_.size() >= kMaxOpenSessions) {
-        return error_response("TpaService: too many open batches");
-      }
-      BatchSession batch;
-      const Challenge base = make_batch_base(*pk_, rng_, batch.secret);
-      batch.expected_proofs = num_edges;
-      const std::uint64_t id = next_id_++;
-      batches_[id] = std::move(batch);
-      net::Writer w;
-      w.u64(id);
-      w.bigint(base.g_s);
-      return ok_response(std::move(w));
-    }
-    case kTpaSubmitProof: {
-      if (!pk_) return error_response("TpaService: set key first");
-      const std::uint64_t id = r.u64();
-      Proof proof;
-      proof.p = r.bigint();
-      r.expect_done();
-      validate_proof(*pk_, proof);  // range/unit check at deserialization
-      const auto it = batches_.find(id);
-      if (it == batches_.end()) {
-        return error_response("TpaService: unknown batch");
-      }
-      if (it->second.proofs.size() >= it->second.expected_proofs) {
-        return error_response("TpaService: batch already full");
-      }
-      it->second.proofs.push_back(std::move(proof));
-      return ok_empty();
-    }
-    case kTpaBatchFinish: {
-      const std::uint64_t id = r.u64();
-      const std::vector<bn::BigInt> tags = read_bigint_list(r);
-      r.expect_done();
-      const auto it = batches_.find(id);
-      if (it == batches_.end()) {
-        return error_response("TpaService: unknown batch");
-      }
-      if (it->second.proofs.size() != it->second.expected_proofs) {
-        return error_response("TpaService: batch proofs incomplete");
-      }
-      const BatchSession batch = std::move(it->second);
-      batches_.erase(it);
-      const bool pass = verify_batch(*pk_, tags, batch.proofs, batch.secret,
-                                     params_.parallelism);
-      log_.append(id, /*edge_id=*/0, /*batch=*/true, pass);
-      net::Writer w;
-      w.u8(pass ? 1 : 0);
-      return ok_response(std::move(w));
-    }
-    case kTpaUpdateTag: {
-      if (!store_) return error_response("TpaService: no tags stored");
-      const auto index = static_cast<std::size_t>(r.varint());
-      const bn::BigInt tag = r.bigint();
-      r.expect_done();
-      if (index >= store_->n()) {
-        return error_response("TpaService: tag index out of range");
-      }
-      store_->update(index, tag);
-      return ok_empty();
-    }
-    default:
-      return error_response("TpaService: unknown method");
+void TpaService::on_submit_repacked(net::Reader& r, net::Writer& w) {
+  const std::uint64_t id = r.u64();
+  const std::vector<bn::BigInt> tags = read_bigint_list(r);
+  r.expect_done();
+  const auto [pk, params] = config_snapshot();
+  auto [outcome, session] =
+      sessions_.extract_if(id, [](const AuditSession& s) {
+        return s.state == AuditSession::State::kAwaitingTags;
+      });
+  if (outcome == SessionTable<AuditSession>::Extract::kMissing) {
+    throw ServiceError(Status::kNotFound, "unknown session");
   }
+  if (outcome == SessionTable<AuditSession>::Extract::kRejected) {
+    throw ServiceError(Status::kFailedPrecondition,
+                       "edge challenge still in flight");
+  }
+  const bool pass = verify_proof(pk, params, tags, session->challenge,
+                                 session->secret, session->proof);
+  {
+    std::lock_guard lock(log_mu_);
+    log_.append(id, session->edge_id, /*batch=*/false, pass);
+  }
+  w.u8(pass ? 1 : 0);
+}
+
+void TpaService::on_batch_begin(net::Reader& r, net::Writer& w) {
+  // Batch id is a user-chosen nonce, mirroring start_audit: the user
+  // quotes it to every edge it challenges, and each edge quotes it back
+  // when submitting its proof.
+  const std::uint64_t id = r.u64();
+  const auto num_edges = static_cast<std::size_t>(r.varint());
+  if (num_edges == 0) {
+    throw ServiceError(Status::kInvalidArgument, "empty batch");
+  }
+  const auto [pk, params] = config_snapshot();
+  (void)params;
+  BatchSession batch;
+  const Challenge base = make_batch_base(pk, rng_, batch.secret);
+  batch.expected_proofs = num_edges;
+  switch (batches_.try_emplace(id, std::move(batch))) {
+    case SessionTable<BatchSession>::Insert::kExists:
+      throw ServiceError(Status::kAlreadyExists, "batch id already in use");
+    case SessionTable<BatchSession>::Insert::kFull:
+      throw ServiceError(Status::kResourceExhausted, "too many open batches");
+    case SessionTable<BatchSession>::Insert::kInserted:
+      break;
+  }
+  w.bigint(base.g_s);
+}
+
+void TpaService::on_submit_proof(net::Reader& r, net::Writer&) {
+  const std::uint64_t id = r.u64();
+  Proof proof;
+  proof.p = r.bigint();
+  r.expect_done();
+  const auto [pk, params] = config_snapshot();
+  (void)params;
+  validate_proof(pk, proof);  // range/unit check at deserialization
+  bool full = false;
+  const bool found = batches_.with(id, [&](BatchSession& batch) {
+    if (batch.proofs.size() >= batch.expected_proofs) {
+      full = true;
+      return;
+    }
+    batch.proofs.push_back(std::move(proof));
+  });
+  if (!found) throw ServiceError(Status::kNotFound, "unknown batch");
+  if (full) {
+    throw ServiceError(Status::kFailedPrecondition, "batch already full");
+  }
+}
+
+void TpaService::on_batch_finish(net::Reader& r, net::Writer& w) {
+  const std::uint64_t id = r.u64();
+  const std::vector<bn::BigInt> tags = read_bigint_list(r);
+  r.expect_done();
+  const auto [pk, params] = config_snapshot();
+  auto [outcome, batch] = batches_.extract_if(
+      id, [](const BatchSession& b) { return b.complete(); });
+  if (outcome == SessionTable<BatchSession>::Extract::kMissing) {
+    throw ServiceError(Status::kNotFound, "unknown batch");
+  }
+  if (outcome == SessionTable<BatchSession>::Extract::kRejected) {
+    throw ServiceError(Status::kFailedPrecondition,
+                       "batch proofs incomplete");
+  }
+  const bool pass = verify_batch(pk, tags, batch->proofs, batch->secret,
+                                 params.parallelism);
+  {
+    std::lock_guard lock(log_mu_);
+    log_.append(id, /*edge_id=*/0, /*batch=*/true, pass);
+  }
+  w.u8(pass ? 1 : 0);
+}
+
+void TpaService::on_update_tag(net::Reader& r, net::Writer&) {
+  const auto index = static_cast<std::size_t>(r.varint());
+  const bn::BigInt tag = r.bigint();
+  r.expect_done();
+  // update() mutates store content, so it excludes concurrent tag queries.
+  std::unique_lock lock(store_mu_);
+  if (store_ == nullptr) {
+    throw ServiceError(Status::kFailedPrecondition, "no tags stored");
+  }
+  if (index >= store_->n()) {
+    throw ServiceError(Status::kNotFound, "tag index out of range");
+  }
+  store_->update(index, tag);
 }
 
 void TpaClient::set_key(const PublicKey& pk,
@@ -235,14 +326,14 @@ bool TpaClient::submit_repacked(std::uint64_t session_id,
   return r.u8() == 1;
 }
 
-std::pair<std::uint64_t, bn::BigInt> TpaClient::batch_begin(
-    std::size_t num_edges) const {
+bn::BigInt TpaClient::batch_begin(std::uint64_t batch_id,
+                                  std::size_t num_edges) const {
   net::Writer w;
+  w.u64(batch_id);
   w.varint(num_edges);
   const Bytes raw = channel_->call(kTpaBatchBegin, w.take());
   net::Reader r = unwrap(raw);
-  const std::uint64_t id = r.u64();
-  return {id, r.bigint()};
+  return r.bigint();
 }
 
 void TpaClient::update_tag(std::size_t index, const bn::BigInt& tag) const {

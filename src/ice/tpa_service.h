@@ -8,12 +8,20 @@
 //
 // Exactly one of the two TPA replicas is the "verifier" (owns audit
 // sessions and edge channels); both answer tag queries.
+//
+// Concurrency (DESIGN.md §10): requests route through a typed Dispatcher;
+// per-session state lives in sharded TTL tables locked per shard; the only
+// service-wide locks are two shared_mutexes over key/edge configuration and
+// the tag store, taken shared on the hot paths. No lock of any kind is held
+// across an outbound channel call (the PR 3 TPA/Edge lock-order hazard is
+// structurally impossible now).
 #pragma once
 
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 
 #include "crypto/csprng.h"
 #include "ice/audit_log.h"
@@ -21,7 +29,9 @@
 #include "ice/keys.h"
 #include "ice/params.h"
 #include "ice/protocol.h"
+#include "ice/session.h"
 #include "ice/tag_store.h"
+#include "net/dispatch.h"
 #include "net/rpc.h"
 #include "net/serde.h"
 
@@ -44,36 +54,48 @@ class TpaService final : public net::RpcHandler {
   void register_edge(std::uint32_t edge_id, net::RpcChannel& channel);
 
   /// Direct state access for tests.
-  [[nodiscard]] bool has_tags() const { return store_.has_value(); }
+  [[nodiscard]] bool has_tags() const;
 
-  /// Tamper-evident record of every verdict this TPA issued.
+  /// Tamper-evident record of every verdict this TPA issued. Read it only
+  /// while no audit is in flight (appends are internally serialized, reads
+  /// through this accessor are not).
   [[nodiscard]] const AuditLog& audit_log() const { return log_; }
 
  private:
-  Bytes handle_locked(std::uint16_t method, net::Reader& r);
+  void on_set_key(net::Reader& r, net::Writer& w);
+  void on_store_tags(net::Reader& r, net::Writer& w);
+  void on_tag_query(net::Reader& r, net::Writer& w);
+  void on_start_audit(net::Reader& r, net::Writer& w);
+  void on_submit_repacked(net::Reader& r, net::Writer& w);
+  void on_batch_begin(net::Reader& r, net::Writer& w);
+  void on_submit_proof(net::Reader& r, net::Writer& w);
+  void on_batch_finish(net::Reader& r, net::Writer& w);
+  void on_update_tag(net::Reader& r, net::Writer& w);
 
-  struct AuditSession {
-    std::uint32_t edge_id = 0;
-    Challenge challenge;
-    ChallengeSecret secret;
-    Proof proof;
-  };
-  struct BatchSession {
-    ChallengeSecret secret;
-    std::size_t expected_proofs = 0;
-    std::vector<Proof> proofs;
-  };
+  /// Copies the key + params under the shared config lock; throws
+  /// ServiceError(kFailedPrecondition) before set_key.
+  [[nodiscard]] std::pair<PublicKey, ProtocolParams> config_snapshot() const;
 
-  std::mutex mu_;
-  pir::EvalStrategy strategy_;
+  const pir::EvalStrategy strategy_;
+  net::Dispatcher dispatch_;
+
+  // Key/edge configuration: written by set_key/register_edge, read
+  // (shared) by every audit path.
+  mutable std::shared_mutex config_mu_;
   ProtocolParams params_;        // coeff/key widths from kTpaSetKey
   std::optional<PublicKey> pk_;
-  std::optional<TagStore> store_;
   std::map<std::uint32_t, net::RpcChannel*> edges_;
-  std::map<std::uint64_t, AuditSession> sessions_;
-  std::map<std::uint64_t, BatchSession> batches_;
-  std::uint64_t next_id_ = 1;
-  crypto::Csprng rng_;
+
+  // Tag store: replaced wholesale by store_tags (built and preprocessed
+  // OUTSIDE the lock, then swapped in), queried shared by tag_query.
+  mutable std::shared_mutex store_mu_;
+  std::unique_ptr<TagStore> store_;
+
+  SessionTable<AuditSession> sessions_;
+  SessionTable<BatchSession> batches_;
+  crypto::SharedCsprng rng_;
+
+  std::mutex log_mu_;
   AuditLog log_;
 };
 
@@ -87,15 +109,17 @@ class TpaClient {
   [[nodiscard]] pir::PirResponse tag_query(const pir::PirQuery& query) const;
   /// Starts an ICE-basic audit of `edge_id` under the user-chosen session
   /// nonce (the edge holds the blinding s~ under the same id). The TPA
-  /// challenges the edge synchronously and parks the proof.
+  /// challenges the edge synchronously and parks the proof. A nonce that
+  /// collides with a live session is refused (RemoteError kAlreadyExists).
   void start_audit(std::uint32_t edge_id, std::uint64_t session_id) const;
   /// Submits the repacked tags; returns the audit verdict.
   [[nodiscard]] bool submit_repacked(
       std::uint64_t session_id, const std::vector<bn::BigInt>& tags) const;
-  /// ICE-batch: opens a batch expecting `num_edges` proofs; returns
-  /// (batch_id, g_s).
-  [[nodiscard]] std::pair<std::uint64_t, bn::BigInt> batch_begin(
-      std::size_t num_edges) const;
+  /// ICE-batch: opens a batch under the user-chosen id expecting
+  /// `num_edges` proofs; returns g_s. A live-id collision is refused
+  /// (RemoteError kAlreadyExists).
+  [[nodiscard]] bn::BigInt batch_begin(std::uint64_t batch_id,
+                                       std::size_t num_edges) const;
   /// ICE-batch: closes the batch with the repacked union tags.
   [[nodiscard]] bool batch_finish(std::uint64_t batch_id,
                                   const std::vector<bn::BigInt>& tags) const;

@@ -1,6 +1,7 @@
 #include "ice/user_client.h"
 
 #include <algorithm>
+#include <thread>
 
 #include "common/error.h"
 #include "common/stopwatch.h"
@@ -29,8 +30,17 @@ double UserClient::setup_file(const std::vector<Bytes>& blocks) {
     tpa.set_key(keys_.pk.pk, params_);
     tpa.store_tags(tags);
   }
+  std::lock_guard lock(blocks_mu_);
   updated_blocks_.clear();
   return taggen_seconds;
+}
+
+void UserClient::attach_file(std::size_t n_blocks) {
+  if (n_blocks == 0) throw ParamError("attach_file: no blocks");
+  n_ = n_blocks;
+  embedding_ = std::make_unique<pir::Embedding>(n_blocks);
+  std::lock_guard lock(blocks_mu_);
+  updated_blocks_.clear();
 }
 
 std::vector<bn::BigInt> UserClient::retrieve_tags(
@@ -40,12 +50,33 @@ std::vector<bn::BigInt> UserClient::retrieve_tags(
   // one bit short of the nominal params_.modulus_bits.
   const pir::PirClient client(*embedding_, keys_.pk.pk.modulus_bits());
   auto enc = client.encode(indices, rng_);
-  const pir::PirResponse r0 = TpaClient(*tpa0_).tag_query(enc.queries[0]);
-  const pir::PirResponse r1 = TpaClient(*tpa1_).tag_query(enc.queries[1]);
+  // The two PIR servers are independent (that independence is the privacy
+  // guarantee), so their round trips overlap instead of paying the WAN
+  // latency twice per retrieval.
+  pir::PirResponse r1;
+  std::exception_ptr r1_error;
+  std::thread second([&] {
+    try {
+      r1 = TpaClient(*tpa1_).tag_query(enc.queries[1]);
+    } catch (...) {
+      r1_error = std::current_exception();
+    }
+  });
+  pir::PirResponse r0;
+  std::exception_ptr r0_error;
+  try {
+    r0 = TpaClient(*tpa0_).tag_query(enc.queries[0]);
+  } catch (...) {
+    r0_error = std::current_exception();
+  }
+  second.join();
+  if (r0_error != nullptr) std::rethrow_exception(r0_error);
+  if (r1_error != nullptr) std::rethrow_exception(r1_error);
   return client.decode(enc.secrets, r0, r1);
 }
 
 void UserClient::forget_updated_block(std::size_t index) {
+  std::lock_guard lock(blocks_mu_);
   std::erase_if(updated_blocks_,
                 [index](const auto& e) { return e.first == index; });
 }
@@ -61,6 +92,7 @@ void UserClient::commit_updated_block(std::size_t index, BytesView content) {
 }
 
 void UserClient::note_updated_block(std::size_t index, Bytes new_content) {
+  std::lock_guard lock(blocks_mu_);
   std::erase_if(updated_blocks_,
                 [index](const auto& e) { return e.first == index; });
   updated_blocks_.emplace_back(index, std::move(new_content));
@@ -83,16 +115,33 @@ bool UserClient::audit_edge(net::RpcChannel& edge_channel,
   const bn::BigInt s_tilde = draw_blinding(keys_.pk.pk, rng_);
   edge.share_blinding(session_id, s_tilde);
 
-  // 3. TPA challenges the edge and parks the proof.
-  tpa.start_audit(edge_id, session_id);
-
-  // 4. Private tag retrieval for S_j.
-  std::vector<bn::BigInt> tags = retrieve_tags(s_j);
+  // 3+4. The TPA challenges the edge and parks the proof under the session
+  //      id while the user privately retrieves the tags for S_j — the two
+  //      round trips touch disjoint state (audit session vs tag store), so
+  //      only submit_repacked needs both to have finished.
+  std::exception_ptr audit_error;
+  std::thread challenge([&] {
+    try {
+      tpa.start_audit(edge_id, session_id);
+    } catch (...) {
+      audit_error = std::current_exception();
+    }
+  });
+  std::vector<bn::BigInt> tags;
+  std::exception_ptr tags_error;
+  try {
+    tags = retrieve_tags(s_j);
+  } catch (...) {
+    tags_error = std::current_exception();
+  }
+  challenge.join();
+  if (audit_error != nullptr) std::rethrow_exception(audit_error);
+  if (tags_error != nullptr) std::rethrow_exception(tags_error);
 
   // 5. Repack: T~ = T^s~; updated blocks get fresh g^{m' s~} tags.
   std::vector<bn::BigInt> repacked =
       repack_tags(keys_.pk.pk, tags, s_tilde, params_.parallelism);
-  for (const auto& [index, content] : updated_blocks_) {
+  for (const auto& [index, content] : updated_blocks()) {
     const auto it = std::find(s_j.begin(), s_j.end(), index);
     if (it == s_j.end()) continue;
     repacked[static_cast<std::size_t>(it - s_j.begin())] =
@@ -112,7 +161,7 @@ LocalizationResult UserClient::localize_corruption(
   const std::vector<std::size_t> s_j = edge.index_query();
   std::vector<bn::BigInt> tags = retrieve_tags(s_j);
   // Blocks updated this session have fresh expected tags.
-  for (const auto& [index, content] : updated_blocks_) {
+  for (const auto& [index, content] : updated_blocks()) {
     const auto it = std::find(s_j.begin(), s_j.end(), index);
     if (it == s_j.end()) continue;
     tags[static_cast<std::size_t>(it - s_j.begin())] =
@@ -140,9 +189,10 @@ bool UserClient::audit_edges_batch(
     }
   }
 
-  // TPA opens the batch (draws s); user draws the per-edge keys e_j, which
-  // the TPA never sees.
-  const auto [batch_id, g_s] = tpa.batch_begin(edge_channels.size());
+  // TPA opens the batch (draws s) under a user-chosen nonce; user draws
+  // the per-edge keys e_j, which the TPA never sees.
+  const std::uint64_t batch_id = rng_.next_u64();
+  const bn::BigInt g_s = tpa.batch_begin(batch_id, edge_channels.size());
   const std::vector<bn::BigInt> keys =
       draw_challenge_keys(params_, edge_channels.size(), rng_);
   for (std::size_t j = 0; j < edge_channels.size(); ++j) {

@@ -9,9 +9,14 @@
 //   batch:   IndexQuery x J -> batch begin (TPA) -> challenge keys e_j to
 //            each edge (fast local links) -> union retrieval -> aggregated
 //            repack -> batch finish -> verdict
+// Thread safety: after the single-threaded setup phase (setup_file or
+// attach_file), concurrent audit_edge / audit_edges_batch / retrieve_tags
+// calls on one client are safe — randomness goes through a serialized
+// SharedCsprng and the updated-block notes sit behind their own mutex.
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "bignum/random.h"
@@ -37,6 +42,12 @@ class UserClient {
   /// Returns the tag-generation time in seconds (paper Tab. III "TagGen").
   double setup_file(const std::vector<Bytes>& blocks);
 
+  /// Adopts an already-uploaded file of `n_blocks` blocks without re-tagging
+  /// or re-uploading: a second client holding the same key pair (e.g. one
+  /// per concurrent session in the benchmarks) can audit the file some
+  /// other client set up.
+  void attach_file(std::size_t n_blocks);
+
   /// Runs one complete ICE-basic audit of the edge behind `edge_channel`
   /// (registered at the TPA as `edge_id`). Returns the verdict.
   [[nodiscard]] bool audit_edge(net::RpcChannel& edge_channel,
@@ -60,9 +71,10 @@ class UserClient {
   /// ordinary audits cover the new content with no special casing.
   void commit_updated_block(std::size_t index, BytesView content);
 
-  /// Blocks updated this session and not yet committed.
-  [[nodiscard]] const std::vector<std::pair<std::size_t, Bytes>>&
-  updated_blocks() const {
+  /// Snapshot of the blocks updated this session and not yet committed.
+  [[nodiscard]] std::vector<std::pair<std::size_t, Bytes>> updated_blocks()
+      const {
+    std::lock_guard lock(blocks_mu_);
     return updated_blocks_;
   }
 
@@ -92,7 +104,8 @@ class UserClient {
   net::RpcChannel* tpa1_;
   std::size_t n_ = 0;
   std::unique_ptr<pir::Embedding> embedding_;
-  crypto::Csprng rng_;
+  crypto::SharedCsprng rng_;
+  mutable std::mutex blocks_mu_;
   std::vector<std::pair<std::size_t, Bytes>> updated_blocks_;
 };
 

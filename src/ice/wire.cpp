@@ -1,40 +1,10 @@
 #include "ice/wire.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 
 namespace ice::proto {
-
-Bytes ok_response(net::Writer&& payload) {
-  net::Writer w;
-  w.u8(0);
-  const Bytes body = payload.take();
-  Bytes out = w.take();
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
-}
-
-Bytes ok_empty() {
-  net::Writer w;
-  w.u8(0);
-  return w.take();
-}
-
-Bytes error_response(const std::string& reason) {
-  net::Writer w;
-  w.u8(1);
-  w.str(reason);
-  return w.take();
-}
-
-net::Reader unwrap(const Bytes& response) {
-  net::Reader r(response);
-  const std::uint8_t status = r.u8();
-  if (status == 0) return r;
-  if (status == 1) {
-    throw ProtocolError("remote error: " + r.str());
-  }
-  throw CodecError("unwrap: unknown status byte");
-}
 
 void write_gf4_vector(net::Writer& w, const gf::GF4Vector& v) {
   w.varint(v.size());
@@ -61,7 +31,8 @@ pir::PirQuery read_pir_query(net::Reader& r) {
     throw CodecError("read_pir_query: implausible count");
   }
   pir::PirQuery q;
-  q.points.reserve(static_cast<std::size_t>(count));
+  q.points.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, r.remaining())));
   for (std::uint64_t i = 0; i < count; ++i) {
     q.points.push_back(read_gf4_vector(r));
   }
@@ -97,7 +68,8 @@ pir::PirResponse read_pir_response(net::Reader& r) {
     throw CodecError("read_pir_response: implausible count");
   }
   pir::PirResponse resp;
-  resp.entries.reserve(static_cast<std::size_t>(count));
+  resp.entries.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, r.remaining())));
   for (std::uint64_t i = 0; i < count; ++i) {
     pir::PirSingleResponse e;
     e.values = read_gf4_vector(r);
@@ -132,7 +104,8 @@ std::vector<bn::BigInt> read_bigint_list(net::Reader& r) {
     throw CodecError("read_bigint_list: implausible length");
   }
   std::vector<bn::BigInt> v;
-  v.reserve(static_cast<std::size_t>(count));
+  v.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, r.remaining())));
   for (std::uint64_t i = 0; i < count; ++i) v.push_back(r.bigint());
   return v;
 }
@@ -148,7 +121,8 @@ std::vector<std::size_t> read_index_list(net::Reader& r) {
     throw CodecError("read_index_list: implausible length");
   }
   std::vector<std::size_t> v;
-  v.reserve(static_cast<std::size_t>(count));
+  v.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, r.remaining())));
   for (std::uint64_t i = 0; i < count; ++i) {
     v.push_back(static_cast<std::size_t>(r.varint()));
   }

@@ -1,8 +1,9 @@
 // RPC method numbering and message codecs for the ICE entities.
 //
-// Responses carry a leading status byte (0 = ok, 1 = error + utf-8 reason)
-// so remote failures surface as ProtocolError at the caller instead of
-// killing the transport.
+// Responses carry the status envelope (net/dispatch.h): a u16 status code,
+// then the reply on kOk or a reason string otherwise, so remote failures
+// surface as typed RemoteError at the caller instead of killing the
+// transport.
 #pragma once
 
 #include <cstdint>
@@ -12,6 +13,7 @@
 #include "bignum/bigint.h"
 #include "common/bytes.h"
 #include "ice/protocol.h"
+#include "net/dispatch.h"
 #include "net/serde.h"
 #include "pir/messages.h"
 
@@ -40,26 +42,17 @@ enum Method : std::uint16_t {
   kTpaSetKey = 300,         // (N, g, coeff_bits, key_bits) -> ()
   kTpaStoreTags = 301,      // ([tag]...) -> ()
   kTpaTagQuery = 302,       // (gamma, [point]...) -> PIR response
-  kTpaStartAudit = 303,     // (edge_id) -> (session_id)
+  kTpaStartAudit = 303,     // (edge_id, session_id) -> ()
   kTpaSubmitRepacked = 304, // (session_id, [tag]...) -> (verdict)
-  kTpaBatchBegin = 305,     // (num_edges) -> (batch_id, g_s)
+  kTpaBatchBegin = 305,     // (batch_id, num_edges) -> (g_s)
   kTpaSubmitProof = 306,    // (batch_id, proof) -> ()
   kTpaBatchFinish = 307,    // (batch_id, [tag]...) -> (verdict)
   kTpaUpdateTag = 308,      // (index, tag) -> (); data dynamics
 };
 
-/// Wraps a successful payload with the ok status byte.
-Bytes ok_response(net::Writer&& payload);
-Bytes ok_empty();
-/// Error response carrying a reason string.
-Bytes error_response(const std::string& reason);
-
-/// Client-side unwrap: returns a reader positioned past the status byte, or
-/// throws ProtocolError carrying the remote reason. The reader views
-/// `response`, so the buffer must stay alive — the rvalue overload is
-/// deleted to make `unwrap(channel.call(...))` a compile error.
-net::Reader unwrap(const Bytes& response);
-net::Reader unwrap(Bytes&& response) = delete;
+// Client stubs unwrap responses with net::unwrap (net/dispatch.h), which
+// throws net::RemoteError on an error envelope.
+using net::unwrap;
 
 /// GF(4) vector list codec shared by PIR queries/responses.
 void write_gf4_vector(net::Writer& w, const gf::GF4Vector& v);

@@ -6,6 +6,7 @@
 // edge-computing topology (fast user<->edge links, slow links to TPAs).
 #pragma once
 
+#include <atomic>
 #include <memory>
 
 #include "net/rpc.h"
@@ -38,29 +39,38 @@ class InMemoryChannel final : public RpcChannel {
   Bytes call(std::uint16_t method, BytesView request) override {
     stats_.calls++;
     stats_.bytes_sent += request.size() + kRpcHeaderBytes;
-    modeled_seconds_ += link_.transfer_seconds(request.size() +
-                                               kRpcHeaderBytes);
+    add_modeled(link_.transfer_seconds(request.size() + kRpcHeaderBytes));
     Bytes response = handler_->handle(method, request);
     stats_.bytes_received += response.size() + kRpcHeaderBytes;
-    modeled_seconds_ +=
-        link_.transfer_seconds(response.size() + kRpcHeaderBytes);
+    add_modeled(link_.transfer_seconds(response.size() + kRpcHeaderBytes));
     return response;
   }
 
   [[nodiscard]] const ChannelStats& stats() const override { return stats_; }
   void reset_stats() override {
     stats_.reset();
-    modeled_seconds_ = 0;
+    modeled_seconds_.store(0, std::memory_order_relaxed);
   }
 
   /// Accumulated modeled link time for all calls so far.
-  [[nodiscard]] double modeled_seconds() const { return modeled_seconds_; }
+  [[nodiscard]] double modeled_seconds() const {
+    return modeled_seconds_.load(std::memory_order_relaxed);
+  }
 
  private:
+  void add_modeled(double seconds) {
+    // fetch_add on atomic<double> is C++20; spell it as a CAS loop so the
+    // oldest supported toolchains (GCC 10/11) stay happy.
+    double cur = modeled_seconds_.load(std::memory_order_relaxed);
+    while (!modeled_seconds_.compare_exchange_weak(
+        cur, cur + seconds, std::memory_order_relaxed)) {
+    }
+  }
+
   RpcHandler* handler_;
   LinkModel link_;
   ChannelStats stats_;
-  double modeled_seconds_ = 0;
+  std::atomic<double> modeled_seconds_{0};
 };
 
 }  // namespace ice::net

@@ -3,26 +3,54 @@
 // A service implements RpcHandler; a client speaks through RpcChannel. Two
 // channel families exist: in-process (channel.h) for simulations and exact
 // byte accounting, and TCP on loopback (tcp.h) for the distributed
-// end-to-end runs. The wire unit is (method id, payload bytes).
+// end-to-end runs. The wire unit is (method id, payload bytes); every
+// response opens with the status envelope (dispatch.h).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "common/bytes.h"
+#include "common/error.h"
 
 namespace ice::net {
 
 /// Traffic counters for one endpoint; the communication-cost experiments
-/// (paper Tab. I, Fig. 8) read these.
+/// (paper Tab. I, Fig. 8) read these. Counters are atomic so concurrent
+/// sessions sharing one channel keep the byte accounting exact (the counts
+/// are identical to the single-threaded ones — atomicity changes nothing
+/// about what is added, only makes the additions race-free).
 struct ChannelStats {
-  std::uint64_t bytes_sent = 0;
-  std::uint64_t bytes_received = 0;
-  std::uint64_t calls = 0;
+  std::atomic<std::uint64_t> bytes_sent{0};
+  std::atomic<std::uint64_t> bytes_received{0};
+  std::atomic<std::uint64_t> calls{0};
 
-  void reset() { *this = ChannelStats{}; }
+  void reset() {
+    bytes_sent.store(0, std::memory_order_relaxed);
+    bytes_received.store(0, std::memory_order_relaxed);
+    calls.store(0, std::memory_order_relaxed);
+  }
 };
+
+/// Wire status codes carried by the response envelope (dispatch.h). The
+/// numeric values are wire format — append, never renumber.
+enum class Status : std::uint16_t {
+  kOk = 0,
+  kUnknownMethod = 1,     // method id not in the service's dispatch table
+  kMalformed = 2,         // request bytes failed to decode (CodecError)
+  kInvalidArgument = 3,   // decoded fine but a value is out of range
+  kFailedPrecondition = 4,// valid request in the wrong service/session state
+  kNotFound = 5,          // unknown session/batch/edge/block
+  kAlreadyExists = 6,     // live session-id reuse refused
+  kResourceExhausted = 7, // session table full
+  kUnavailable = 8,       // an outbound call the handler depends on failed
+  kInternal = 9,          // anything else; the server never crashes
+};
+
+/// Human-readable name for logs and error messages.
+const char* status_name(Status s);
 
 /// Server side: dispatches one method call to a response payload.
 /// Implementations must be thread-safe if served by a concurrent transport.
@@ -49,5 +77,41 @@ class RpcChannel {
 /// counted identically by both channel families so byte accounting is
 /// transport-independent.
 constexpr std::size_t kRpcHeaderBytes = 2 + 4;
+
+/// Status envelope opening every response payload: a u16 status code,
+/// followed by the reply on kOk or a utf-8 reason string otherwise.
+/// Replaced the pre-session-core 1-byte status, so per-response byte
+/// accounting in the Tab. I / Fig. 8 experiments grew by exactly
+/// kStatusEnvelopeBytes - 1 = 1 byte per call.
+constexpr std::size_t kStatusEnvelopeBytes = 2;
+
+/// Raised by a typed handler (dispatch.h) to reject a request with a
+/// specific status code; the dispatcher encodes it into the envelope.
+class ServiceError : public Error {
+ public:
+  ServiceError(Status status, const std::string& reason)
+      : Error(reason), status_(status) {}
+
+  [[nodiscard]] Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// What a client stub throws when the remote replied with an error
+/// envelope. Derives from ProtocolError so pre-envelope catch sites (a
+/// failed precondition is a protocol-state violation) keep working.
+class RemoteError : public ProtocolError {
+ public:
+  RemoteError(Status status, const std::string& reason)
+      : ProtocolError(std::string("remote error [") + status_name(status) +
+                      "]: " + reason),
+        status_(status) {}
+
+  [[nodiscard]] Status status() const { return status_; }
+
+ private:
+  Status status_;
+};
 
 }  // namespace ice::net

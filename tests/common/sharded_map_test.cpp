@@ -1,0 +1,177 @@
+// Tests for the sharded TTL session table.
+#include "common/sharded_map.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace ice {
+namespace {
+
+using Map = ShardedMap<std::uint64_t, std::string>;
+
+ShardedMapConfig tiny(std::size_t max_entries,
+                      std::chrono::steady_clock::duration ttl =
+                          std::chrono::minutes(1)) {
+  ShardedMapConfig c;
+  c.shards = 4;
+  c.ttl = ttl;
+  c.max_entries = max_entries;
+  return c;
+}
+
+TEST(ShardedMapTest, InsertThenWithThenExtract) {
+  Map m(tiny(8));
+  EXPECT_EQ(m.try_emplace(1, "one"), Map::Insert::kInserted);
+  EXPECT_EQ(m.size(), 1u);
+  bool seen = false;
+  EXPECT_TRUE(m.with(1, [&](std::string& v) {
+    seen = (v == "one");
+    v = "uno";
+  }));
+  EXPECT_TRUE(seen);
+  const auto out = m.extract(1);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, "uno");
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_FALSE(m.with(1, [](std::string&) {}));
+}
+
+TEST(ShardedMapTest, LiveKeyCollisionRefused) {
+  Map m(tiny(8));
+  EXPECT_EQ(m.try_emplace(42, "first"), Map::Insert::kInserted);
+  EXPECT_EQ(m.try_emplace(42, "second"), Map::Insert::kExists);
+  // The original value must be untouched.
+  m.with(42, [](std::string& v) { EXPECT_EQ(v, "first"); });
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(ShardedMapTest, CapacityCapRefusesInserts) {
+  Map m(tiny(3));
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    EXPECT_EQ(m.try_emplace(k, "x"), Map::Insert::kInserted);
+  }
+  EXPECT_EQ(m.try_emplace(99, "x"), Map::Insert::kFull);
+  // Removing one frees a slot.
+  EXPECT_TRUE(m.erase(0));
+  EXPECT_EQ(m.try_emplace(99, "x"), Map::Insert::kInserted);
+}
+
+TEST(ShardedMapTest, ExpiredEntriesReadAsAbsent) {
+  Map m(tiny(8, std::chrono::milliseconds(1)));
+  ASSERT_EQ(m.try_emplace(7, "ghost"), Map::Insert::kInserted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(m.with(7, [](std::string&) {}));
+  EXPECT_FALSE(m.extract(7).has_value());
+  // And the slot is reusable.
+  EXPECT_EQ(m.try_emplace(7, "fresh"), Map::Insert::kInserted);
+}
+
+TEST(ShardedMapTest, FullTableReclaimsExpiredEntries) {
+  Map m(tiny(3, std::chrono::milliseconds(1)));
+  for (std::uint64_t k = 0; k < 3; ++k) {
+    ASSERT_EQ(m.try_emplace(k, "old"), Map::Insert::kInserted);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Table is "full" of expired entries; the insert must sweep and succeed.
+  EXPECT_EQ(m.try_emplace(100, "new"), Map::Insert::kInserted);
+}
+
+TEST(ShardedMapTest, PurgeExpiredCounts) {
+  Map m(tiny(8, std::chrono::milliseconds(1)));
+  ASSERT_EQ(m.try_emplace(1, "a"), Map::Insert::kInserted);
+  ASSERT_EQ(m.try_emplace(2, "b"), Map::Insert::kInserted);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(m.purge_expired(), 2u);
+  EXPECT_EQ(m.size(), 0u);
+}
+
+TEST(ShardedMapTest, ExtractIfRejectLeavesEntry) {
+  Map m(tiny(8));
+  ASSERT_EQ(m.try_emplace(5, "pending"), Map::Insert::kInserted);
+  auto [outcome, value] =
+      m.extract_if(5, [](const std::string& v) { return v == "ready"; });
+  EXPECT_EQ(outcome, Map::Extract::kRejected);
+  EXPECT_FALSE(value.has_value());
+  EXPECT_EQ(m.size(), 1u);
+
+  m.with(5, [](std::string& v) { v = "ready"; });
+  auto [outcome2, value2] =
+      m.extract_if(5, [](const std::string& v) { return v == "ready"; });
+  EXPECT_EQ(outcome2, Map::Extract::kExtracted);
+  ASSERT_TRUE(value2.has_value());
+  EXPECT_EQ(*value2, "ready");
+
+  auto [outcome3, value3] =
+      m.extract_if(5, [](const std::string&) { return true; });
+  EXPECT_EQ(outcome3, Map::Extract::kMissing);
+  EXPECT_FALSE(value3.has_value());
+}
+
+TEST(ShardedMapTest, ClearEmptiesAllShards) {
+  Map m(tiny(64));
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    ASSERT_EQ(m.try_emplace(k, "x"), Map::Insert::kInserted);
+  }
+  m.clear();
+  EXPECT_EQ(m.size(), 0u);
+  for (std::uint64_t k = 0; k < 20; ++k) {
+    EXPECT_FALSE(m.with(k, [](std::string&) {}));
+  }
+}
+
+TEST(ShardedMapTest, ConcurrentDistinctKeysKeepCountsConsistent) {
+  // gtest assertions are not thread-safe; worker threads report through
+  // per-thread flags checked after the join.
+  constexpr std::size_t kThreads = 8;
+  constexpr std::uint64_t kPerThread = 200;
+  Map m(tiny(kThreads * kPerThread));
+  std::vector<std::thread> threads;
+  std::vector<char> ok(kThreads, 0);
+  threads.reserve(kThreads);
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&m, &ok, t] {
+      bool good = true;
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        const std::uint64_t key = t * kPerThread + i;
+        good &= m.try_emplace(key, "v") == Map::Insert::kInserted;
+        good &= m.with(key, [](std::string& v) { v += "!"; });
+        if (i % 2 == 0) {
+          const auto out = m.extract(key);
+          good &= out.has_value() && *out == "v!";
+        }
+      }
+      ok[t] = good ? 1 : 0;
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (std::size_t t = 0; t < kThreads; ++t) EXPECT_TRUE(ok[t]) << t;
+  EXPECT_EQ(m.size(), kThreads * kPerThread / 2);
+}
+
+TEST(ShardedMapTest, ConcurrentSameKeyExactlyOneWinner) {
+  constexpr std::size_t kThreads = 8;
+  for (int round = 0; round < 20; ++round) {
+    Map m(tiny(8));
+    std::atomic<int> winners{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&m, &winners, t] {
+        if (m.try_emplace(77, "w" + std::to_string(t)) ==
+            Map::Insert::kInserted) {
+          winners.fetch_add(1);
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    EXPECT_EQ(winners.load(), 1) << "round " << round;
+    EXPECT_EQ(m.size(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace ice

@@ -207,7 +207,7 @@ TEST(E2eTest, TagQueryTrafficIsSublinearInFileSize) {
   d.setup();
   d.tpa0_channel_.reset_stats();
   (void)d.user_->retrieve_tags({7});
-  const auto received = d.tpa0_channel_.stats().bytes_received;
+  const std::uint64_t received = d.tpa0_channel_.stats().bytes_received;
   // All 60 tags at 32 bytes each would be ~1920 B before framing; a single
   // PIR response is (1 + gamma) * K GF4 elements = (1+9)*256/4 = 640 B.
   EXPECT_LT(received, 1000u);

@@ -27,12 +27,14 @@ Bytes random_bytes(SplitMix64& rng, std::size_t max_len) {
 
 /// Response must parse as ok or error envelope; content errors are fine.
 void expect_wellformed(const Bytes& response) {
-  ASSERT_FALSE(response.empty());
-  ASSERT_LE(response[0], 1) << "unknown status byte";
-  if (response[0] == 1) {
-    net::Reader r(response);
-    (void)r.u8();
+  ASSERT_GE(response.size(), net::kStatusEnvelopeBytes);
+  net::Reader r(response);
+  const std::uint16_t code = r.u16();
+  ASSERT_LE(code, static_cast<std::uint16_t>(net::Status::kInternal))
+      << "unknown status code";
+  if (code != 0) {
     EXPECT_NO_THROW((void)r.str());  // reason must decode
+    EXPECT_TRUE(r.done());
   }
 }
 

@@ -17,32 +17,53 @@ gf::GF4Vector random_vec(SplitMix64& rng, std::size_t len) {
 TEST(WireTest, OkEnvelopeRoundTrip) {
   net::Writer payload;
   payload.varint(42);
-  const Bytes resp = ok_response(std::move(payload));
+  const Bytes resp = net::encode_ok(std::move(payload));
+  EXPECT_EQ(resp.size(), net::kStatusEnvelopeBytes + 1);
   net::Reader r = unwrap(resp);
   EXPECT_EQ(r.varint(), 42u);
   EXPECT_TRUE(r.done());
 }
 
 TEST(WireTest, OkEmptyHasNoPayload) {
-  const Bytes resp = ok_empty();
+  const Bytes resp = net::encode_ok_empty();
+  EXPECT_EQ(resp.size(), net::kStatusEnvelopeBytes);
   net::Reader r = unwrap(resp);
   EXPECT_TRUE(r.done());
 }
 
-TEST(WireTest, ErrorEnvelopeThrowsWithReason) {
-  const Bytes resp = error_response("edge exploded");
+TEST(WireTest, ErrorEnvelopeThrowsWithStatusAndReason) {
+  const Bytes resp =
+      net::encode_error(net::Status::kNotFound, "edge exploded");
   try {
     (void)unwrap(resp);
-    FAIL() << "expected ProtocolError";
-  } catch (const ProtocolError& e) {
+    FAIL() << "expected RemoteError";
+  } catch (const net::RemoteError& e) {
+    EXPECT_EQ(e.status(), net::Status::kNotFound);
     EXPECT_NE(std::string(e.what()).find("edge exploded"),
               std::string::npos);
   }
 }
 
-TEST(WireTest, UnknownStatusByteRejected) {
-  const Bytes bogus = {7, 1, 2};
+TEST(WireTest, RemoteErrorIsAProtocolError) {
+  // Pre-envelope catch sites handle remote rejections as ProtocolError;
+  // the typed RemoteError must keep satisfying them.
+  const Bytes resp =
+      net::encode_error(net::Status::kFailedPrecondition, "nope");
+  EXPECT_THROW((void)unwrap(resp), ProtocolError);
+}
+
+TEST(WireTest, UnknownStatusCodeRejected) {
+  net::Writer w;
+  w.u16(999);  // far beyond the last defined Status
+  const Bytes bogus = w.take();
   EXPECT_THROW((void)unwrap(bogus), CodecError);
+}
+
+TEST(WireTest, TruncatedEnvelopeRejected) {
+  const Bytes one_byte = {0};
+  EXPECT_THROW((void)unwrap(one_byte), CodecError);
+  const Bytes empty;
+  EXPECT_THROW((void)unwrap(empty), CodecError);
 }
 
 TEST(WireTest, GF4VectorRoundTrip) {

@@ -1,0 +1,131 @@
+// Tests for the typed dispatch table and the response status envelope.
+#include "net/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+
+namespace ice::net {
+namespace {
+
+Status remote_status(const Bytes& response) {
+  try {
+    (void)unwrap(response);
+  } catch (const RemoteError& e) {
+    return e.status();
+  }
+  return Status::kOk;
+}
+
+TEST(DispatchTest, RoutesToRegisteredHandler) {
+  Dispatcher d("Svc");
+  d.on(7, "double", [](Reader& r, Writer& w) { w.varint(2 * r.varint()); });
+  Writer req;
+  req.varint(21);
+  const Bytes raw = req.take();
+  const Bytes response = d.handle(7, raw);
+  Reader r = unwrap(response);
+  EXPECT_EQ(r.varint(), 42u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(DispatchTest, EnvelopeOverheadIsTheNamedConstant) {
+  Dispatcher d("Svc");
+  d.on(1, "echo", [](Reader& r, Writer& w) { w.bytes(r.bytes()); });
+  Writer req;
+  req.bytes(Bytes{1, 2, 3});
+  const Bytes raw = req.take();
+  const Bytes response = d.handle(1, raw);
+  // Response = status envelope + the reply payload, nothing else.
+  EXPECT_EQ(response.size(), kStatusEnvelopeBytes + raw.size());
+}
+
+TEST(DispatchTest, UnknownMethodId) {
+  const Dispatcher d("Svc");
+  EXPECT_EQ(remote_status(d.handle(999, {})), Status::kUnknownMethod);
+}
+
+TEST(DispatchTest, TrailingRequestBytesAreMalformed) {
+  Dispatcher d("Svc");
+  d.on(1, "one_varint", [](Reader& r, Writer&) { (void)r.varint(); });
+  Writer req;
+  req.varint(5);
+  req.varint(6);  // handler never reads this
+  const Bytes raw = req.take();
+  EXPECT_EQ(remote_status(d.handle(1, raw)), Status::kMalformed);
+}
+
+TEST(DispatchTest, TruncatedRequestIsMalformed) {
+  Dispatcher d("Svc");
+  d.on(1, "wants_u64", [](Reader& r, Writer&) { (void)r.u64(); });
+  const Bytes short_req = {1, 2};
+  EXPECT_EQ(remote_status(d.handle(1, short_req)), Status::kMalformed);
+}
+
+TEST(DispatchTest, ExceptionToStatusMapping) {
+  Dispatcher d("Svc");
+  d.on(1, "svc", [](Reader&, Writer&) {
+    throw ServiceError(Status::kAlreadyExists, "taken");
+  });
+  d.on(2, "codec", [](Reader&, Writer&) { throw CodecError("bad"); });
+  d.on(3, "param", [](Reader&, Writer&) { throw ParamError("bad"); });
+  d.on(4, "proto", [](Reader&, Writer&) { throw ProtocolError("bad"); });
+  d.on(5, "transport", [](Reader&, Writer&) { throw TransportError("bad"); });
+  d.on(6, "other", [](Reader&, Writer&) { throw std::runtime_error("bad"); });
+  EXPECT_EQ(remote_status(d.handle(1, {})), Status::kAlreadyExists);
+  EXPECT_EQ(remote_status(d.handle(2, {})), Status::kMalformed);
+  EXPECT_EQ(remote_status(d.handle(3, {})), Status::kInvalidArgument);
+  EXPECT_EQ(remote_status(d.handle(4, {})), Status::kFailedPrecondition);
+  EXPECT_EQ(remote_status(d.handle(5, {})), Status::kUnavailable);
+  EXPECT_EQ(remote_status(d.handle(6, {})), Status::kInternal);
+}
+
+TEST(DispatchTest, ErrorReasonNamesServiceAndMethod) {
+  Dispatcher d("TpaService");
+  d.on(1, "start_audit",
+       [](Reader&, Writer&) { throw ProtocolError("boom"); });
+  const Bytes response = d.handle(1, {});
+  try {
+    (void)unwrap(response);
+    FAIL() << "expected RemoteError";
+  } catch (const RemoteError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("TpaService.start_audit"), std::string::npos) << what;
+    EXPECT_NE(what.find("boom"), std::string::npos) << what;
+    EXPECT_NE(what.find(status_name(Status::kFailedPrecondition)),
+              std::string::npos)
+        << what;
+  }
+}
+
+TEST(DispatchTest, DuplicateRegistrationRefused) {
+  Dispatcher d("Svc");
+  d.on(1, "a", [](Reader&, Writer&) {});
+  EXPECT_THROW(d.on(1, "b", [](Reader&, Writer&) {}), ParamError);
+}
+
+TEST(DispatchTest, NullHandlerRefused) {
+  Dispatcher d("Svc");
+  EXPECT_THROW(d.on(1, "null", Dispatcher::Handler{}), ParamError);
+}
+
+TEST(DispatchTest, HandlerErrorNeverEscapes) {
+  // The server contract: whatever a handler throws, handle() returns a
+  // well-formed envelope instead of propagating.
+  Dispatcher d("Svc");
+  d.on(1, "throws", [](Reader&, Writer&) { throw std::bad_alloc(); });
+  Bytes response;
+  EXPECT_NO_THROW(response = d.handle(1, {}));
+  EXPECT_EQ(remote_status(response), Status::kInternal);
+}
+
+TEST(DispatchTest, StatusNamesAreDistinct) {
+  EXPECT_STREQ(status_name(Status::kOk), "ok");
+  EXPECT_STREQ(status_name(Status::kUnknownMethod), "unknown_method");
+  EXPECT_STREQ(status_name(Status::kAlreadyExists), "already_exists");
+  EXPECT_STREQ(status_name(Status::kResourceExhausted),
+               "resource_exhausted");
+}
+
+}  // namespace
+}  // namespace ice::net

@@ -2,8 +2,15 @@
 // transport (framing, concurrency, failure handling).
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cstring>
 #include <future>
+#include <thread>
 
 #include "common/error.h"
 #include "net/channel.h"
@@ -181,6 +188,162 @@ TEST(TcpTransportTest, HandlerExceptionDropsConnectionOnly) {
   // Server still serves new connections.
   TcpChannel good("127.0.0.1", server.port());
   EXPECT_EQ(good.call(1, {}), Bytes{1});
+}
+
+// --- Wire-level abuse: raw sockets against the real server/client ---------
+
+/// Blocking connect of a bare socket to the loopback server.
+int raw_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+            0);
+  return fd;
+}
+
+void raw_send(int fd, const Bytes& data) {
+  ASSERT_EQ(::send(fd, data.data(), data.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(data.size()));
+}
+
+Bytes le32(std::uint32_t v) {
+  return {static_cast<std::uint8_t>(v), static_cast<std::uint8_t>(v >> 8),
+          static_cast<std::uint8_t>(v >> 16),
+          static_cast<std::uint8_t>(v >> 24)};
+}
+
+/// The server must answer hostile framing by dropping that connection (recv
+/// sees EOF, never a hang) while continuing to serve honest clients.
+void expect_dropped_then_still_serving(TcpServer& server, const Bytes& abuse,
+                                       EchoHandler& handler) {
+  const int before = handler.calls.load();
+  const int fd = raw_connect(server.port());
+  raw_send(fd, abuse);
+  std::uint8_t byte;
+  // FIN reads as 0; an RST (server closed with bytes still unread) as -1.
+  // Either way the connection died without a reply byte.
+  EXPECT_LE(::recv(fd, &byte, 1, 0), 0) << "server should close, not reply";
+  ::close(fd);
+  TcpChannel good("127.0.0.1", server.port());
+  EXPECT_EQ(good.call(3, Bytes{1}), (Bytes{3, 1}));
+  EXPECT_EQ(handler.calls.load(), before + 1) << "abuse must not reach handler";
+}
+
+TEST(TcpAbuseTest, OversizedLengthPrefixDropsConnection) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  // 4 GiB frame announcement: the server must refuse to allocate and close.
+  expect_dropped_then_still_serving(server, le32(0xffffffffu), handler);
+}
+
+TEST(TcpAbuseTest, UndersizedFrameDropsConnection) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  // Frame length 1 cannot even hold the method id.
+  Bytes abuse = le32(1);
+  abuse.push_back(0x7f);
+  expect_dropped_then_still_serving(server, abuse, handler);
+}
+
+TEST(TcpAbuseTest, TruncatedFrameThenCloseDropsConnection) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  const int before = handler.calls.load();
+  {
+    const int fd = raw_connect(server.port());
+    Bytes partial = le32(100);  // promise 100 bytes...
+    partial.resize(partial.size() + 10);  // ...deliver 10
+    raw_send(fd, partial);
+    ::close(fd);  // peer vanishes mid-frame
+  }
+  // The half-frame never reaches the handler and the server stays up.
+  TcpChannel good("127.0.0.1", server.port());
+  EXPECT_EQ(good.call(9, {}), Bytes{9});
+  EXPECT_EQ(handler.calls.load(), before + 1);
+}
+
+/// One-shot raw server: accepts a single connection and runs `script` on it.
+class RawPeer {
+ public:
+  explicit RawPeer(std::function<void(int fd)> script) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    ::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+    socklen_t len = sizeof addr;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    port_ = ntohs(addr.sin_port);
+    ::listen(listen_fd_, 1);
+    thread_ = std::thread([this, script = std::move(script)] {
+      const int fd = ::accept(listen_fd_, nullptr, nullptr);
+      if (fd >= 0) {
+        script(fd);
+        ::close(fd);
+      }
+    });
+  }
+
+  ~RawPeer() {
+    thread_.join();
+    ::close(listen_fd_);
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+ private:
+  int listen_fd_;
+  std::uint16_t port_;
+  std::thread thread_;
+};
+
+/// Reads and discards one request frame from the channel under test. Runs on
+/// the RawPeer thread, so it reports failure by return instead of gtest
+/// assertions (which are not thread-safe).
+bool drain_request(int fd) {
+  std::uint8_t header[4];
+  if (::recv(fd, header, 4, MSG_WAITALL) != 4) return false;
+  std::uint32_t frame_len = 0;
+  std::memcpy(&frame_len, header, 4);  // little-endian hosts only (x86/arm)
+  Bytes frame(frame_len);
+  return ::recv(fd, frame.data(), frame.size(), MSG_WAITALL) ==
+         static_cast<ssize_t>(frame.size());
+}
+
+TEST(TcpAbuseTest, PeerDisconnectMidCallIsTypedError) {
+  // The peer consumes the request, then vanishes without answering: the
+  // client must surface TransportError, never hang or return garbage.
+  RawPeer peer([](int fd) { (void)drain_request(fd); });
+  TcpChannel ch("127.0.0.1", peer.port());
+  EXPECT_THROW((void)ch.call(1, Bytes{1, 2, 3}), TransportError);
+}
+
+TEST(TcpAbuseTest, TruncatedResponseIsTypedError) {
+  // The peer answers with a frame that promises more bytes than it sends.
+  RawPeer peer([](int fd) {
+    (void)drain_request(fd);
+    Bytes reply = le32(50);
+    reply.push_back(0xab);  // 1 of the 50 promised bytes
+    (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+  });
+  TcpChannel ch("127.0.0.1", peer.port());
+  EXPECT_THROW((void)ch.call(1, {}), TransportError);
+}
+
+TEST(TcpAbuseTest, OversizedResponseLengthIsTypedError) {
+  // A hostile server announcing a 4 GiB response must not cause the client
+  // to allocate or block for it.
+  RawPeer peer([](int fd) {
+    (void)drain_request(fd);
+    const Bytes reply = le32(0xfffffff0u);
+    (void)::send(fd, reply.data(), reply.size(), MSG_NOSIGNAL);
+  });
+  TcpChannel ch("127.0.0.1", peer.port());
+  EXPECT_THROW((void)ch.call(1, {}), TransportError);
 }
 
 }  // namespace

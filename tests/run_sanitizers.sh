@@ -1,11 +1,16 @@
 #!/usr/bin/env bash
 # Builds and runs the test suite under AddressSanitizer(+UBSan) and
 # ThreadSanitizer using the CMake presets. TSan is the gate for the
-# parallel audit paths (common/parallel.h fan-out) and the exponentiation
+# parallel audit paths (common/parallel.h fan-out), the exponentiation
 # engine's shared caches (Montgomery::shared context cache, per-context
-# Lim-Lee comb cache); ASan/UBSan covers the big-integer and PIR kernels,
-# including the multiexp/fixed_base differential tests in bignum_test
-# (MultiExpTest.*, FixedBaseTest.*) that pin the engine to Montgomery::pow.
+# Lim-Lee comb cache), and the session-core concurrency layer: the sharded
+# session tables (ShardedMapTest.Concurrent*), the N-threads-interleaving
+# basic+batch stress over shared services (SessionStressTest at parallelism
+# 1/4/hardware, SessionCollisionTest.RacingStartAuditsOneWinner), and the
+# cross-service smoke under both channel families (stress_bench_sessions).
+# ASan/UBSan covers the big-integer and PIR kernels, including the
+# multiexp/fixed_base differential tests in bignum_test (MultiExpTest.*,
+# FixedBaseTest.*) that pin the engine to Montgomery::pow.
 #
 # Usage: tests/run_sanitizers.sh [asan|tsan] [ctest-filter-regex]
 #   no args      — run both sanitizers over the full suite
