@@ -16,7 +16,7 @@ using u128 = unsigned __int128;
 
 constexpr std::size_t kKaratsubaThreshold = 32;  // limbs
 
-void trim(std::vector<Limb>& v) {
+void trim(LimbBuf& v) {
   while (!v.empty() && v.back() == 0) v.pop_back();
 }
 
@@ -28,7 +28,7 @@ int hex_value(char c) {
 }
 
 // Multiplies magnitude by a small value and adds a small value, in place.
-void mul_add_small(std::vector<Limb>& v, Limb mul, Limb add) {
+void mul_add_small(LimbBuf& v, Limb mul, Limb add) {
   Limb carry = add;
   for (auto& limb : v) {
     u128 t = static_cast<u128>(limb) * mul + carry;
@@ -39,7 +39,7 @@ void mul_add_small(std::vector<Limb>& v, Limb mul, Limb add) {
 }
 
 // Divides magnitude by a small value in place; returns remainder.
-Limb div_small(std::vector<Limb>& v, Limb den) {
+Limb div_small(LimbBuf& v, Limb den) {
   u128 rem = 0;
   for (std::size_t i = v.size(); i-- > 0;) {
     u128 cur = (rem << 64) | v[i];
@@ -72,12 +72,24 @@ void BigInt::normalize() {
   if (limbs_.empty()) sign_ = 0;
 }
 
-BigInt BigInt::from_limbs(std::vector<Limb> limbs) {
+BigInt BigInt::from_limbs(LimbBuf limbs) {
   BigInt r;
   r.limbs_ = std::move(limbs);
   trim(r.limbs_);
   r.sign_ = r.limbs_.empty() ? 0 : 1;
   return r;
+}
+
+BigInt BigInt::from_limbs(const Limb* limbs, std::size_t count) {
+  BigInt r;
+  r.assign_limbs(limbs, count);
+  return r;
+}
+
+void BigInt::assign_limbs(const Limb* limbs, std::size_t count) {
+  limbs_.assign(limbs, count);
+  trim(limbs_);
+  sign_ = limbs_.empty() ? 0 : 1;
 }
 
 BigInt BigInt::from_hex(std::string_view hex) {
@@ -135,19 +147,25 @@ BigInt BigInt::from_dec(std::string_view dec) {
 
 BigInt BigInt::from_bytes_be(BytesView bytes) {
   BigInt r;
+  r.assign_bytes_be(bytes);
+  return r;
+}
+
+void BigInt::assign_bytes_be(BytesView bytes) {
+  limbs_.resize_uninit((bytes.size() + 7) / 8);
   std::size_t pos = bytes.size();
+  std::size_t out = 0;
   while (pos > 0) {
     const std::size_t take = std::min<std::size_t>(8, pos);
     Limb limb = 0;
     for (std::size_t i = pos - take; i < pos; ++i) {
       limb = (limb << 8) | bytes[i];
     }
-    r.limbs_.push_back(limb);
+    limbs_[out++] = limb;
     pos -= take;
   }
-  trim(r.limbs_);
-  r.sign_ = r.limbs_.empty() ? 0 : 1;
-  return r;
+  trim(limbs_);
+  sign_ = limbs_.empty() ? 0 : 1;
 }
 
 std::string BigInt::to_hex() const {
@@ -168,7 +186,7 @@ std::string BigInt::to_hex() const {
 
 std::string BigInt::to_dec() const {
   if (is_zero()) return "0";
-  std::vector<Limb> mag = limbs_;
+  LimbBuf mag = limbs_;
   std::string digits;
   while (!mag.empty()) {
     Limb rem = div_small(mag, 10'000'000'000'000'000'000ULL);
@@ -257,11 +275,11 @@ std::strong_ordering operator<=>(const BigInt& a, const BigInt& b) {
   return r <=> 0;
 }
 
-std::vector<Limb> BigInt::add_mag(const std::vector<Limb>& a,
-                                  const std::vector<Limb>& b) {
+LimbBuf BigInt::add_mag(const LimbBuf& a,
+                                  const LimbBuf& b) {
   const auto& longer = a.size() >= b.size() ? a : b;
   const auto& shorter = a.size() >= b.size() ? b : a;
-  std::vector<Limb> out;
+  LimbBuf out;
   out.reserve(longer.size() + 1);
   Limb carry = 0;
   for (std::size_t i = 0; i < longer.size(); ++i) {
@@ -274,10 +292,10 @@ std::vector<Limb> BigInt::add_mag(const std::vector<Limb>& a,
   return out;
 }
 
-std::vector<Limb> BigInt::sub_mag(const std::vector<Limb>& a,
-                                  const std::vector<Limb>& b) {
+LimbBuf BigInt::sub_mag(const LimbBuf& a,
+                                  const LimbBuf& b) {
   // Precondition: |a| >= |b|.
-  std::vector<Limb> out;
+  LimbBuf out;
   out.reserve(a.size());
   Limb borrow = 0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -294,10 +312,10 @@ std::vector<Limb> BigInt::sub_mag(const std::vector<Limb>& a,
   return out;
 }
 
-std::vector<Limb> BigInt::mul_school(const std::vector<Limb>& a,
-                                     const std::vector<Limb>& b) {
+LimbBuf BigInt::mul_school(const LimbBuf& a,
+                                     const LimbBuf& b) {
   if (a.empty() || b.empty()) return {};
-  std::vector<Limb> out(a.size() + b.size(), 0);
+  LimbBuf out(a.size() + b.size(), 0);
   for (std::size_t i = 0; i < a.size(); ++i) {
     Limb carry = 0;
     const Limb ai = a[i];
@@ -313,23 +331,23 @@ std::vector<Limb> BigInt::mul_school(const std::vector<Limb>& a,
   return out;
 }
 
-std::vector<Limb> BigInt::mul_karatsuba(const std::vector<Limb>& a,
-                                        const std::vector<Limb>& b) {
+LimbBuf BigInt::mul_karatsuba(const LimbBuf& a,
+                                        const LimbBuf& b) {
   const std::size_t n = std::max(a.size(), b.size());
   if (std::min(a.size(), b.size()) < kKaratsubaThreshold) {
     return mul_school(a, b);
   }
   const std::size_t half = n / 2;
-  auto lo = [&](const std::vector<Limb>& v) {
-    std::vector<Limb> r(v.begin(),
+  auto lo = [&](const LimbBuf& v) {
+    LimbBuf r(v.begin(),
                         v.begin() + static_cast<std::ptrdiff_t>(
                                         std::min(half, v.size())));
     trim(r);
     return r;
   };
-  auto hi = [&](const std::vector<Limb>& v) {
-    if (v.size() <= half) return std::vector<Limb>{};
-    std::vector<Limb> r(v.begin() + static_cast<std::ptrdiff_t>(half),
+  auto hi = [&](const LimbBuf& v) {
+    if (v.size() <= half) return LimbBuf{};
+    LimbBuf r(v.begin() + static_cast<std::ptrdiff_t>(half),
                         v.end());
     trim(r);
     return r;
@@ -343,10 +361,10 @@ std::vector<Limb> BigInt::mul_karatsuba(const std::vector<Limb>& a,
   z1 = sub_mag(z1, z0);
   z1 = sub_mag(z1, z2);
   // result = z0 + (z1 << 64*half) + (z2 << 128*half)
-  std::vector<Limb> out(std::max({z0.size(), z1.size() + half,
+  LimbBuf out(std::max({z0.size(), z1.size() + half,
                                   z2.size() + 2 * half}) + 1,
                         0);
-  auto add_at = [&](const std::vector<Limb>& v, std::size_t off) {
+  auto add_at = [&](const LimbBuf& v, std::size_t off) {
     Limb carry = 0;
     std::size_t i = 0;
     for (; i < v.size(); ++i) {
@@ -368,14 +386,14 @@ std::vector<Limb> BigInt::mul_karatsuba(const std::vector<Limb>& a,
   return out;
 }
 
-std::vector<Limb> BigInt::mul_mag(const std::vector<Limb>& a,
-                                  const std::vector<Limb>& b) {
+LimbBuf BigInt::mul_mag(const LimbBuf& a,
+                                  const LimbBuf& b) {
   return mul_karatsuba(a, b);
 }
 
-void BigInt::divmod_mag(const std::vector<Limb>& num,
-                        const std::vector<Limb>& den, std::vector<Limb>& quot,
-                        std::vector<Limb>& rem) {
+void BigInt::divmod_mag(const LimbBuf& num,
+                        const LimbBuf& den, LimbBuf& quot,
+                        LimbBuf& rem) {
   // Knuth TAOCP vol. 2, Algorithm D, base 2^64.
   if (den.empty()) throw ParamError("BigInt: division by zero");
   if (num.size() < den.size()) {
@@ -397,12 +415,12 @@ void BigInt::divmod_mag(const std::vector<Limb>& num,
 
   // Normalized copies: v = den << shift, u = num << shift (u gets an extra
   // high limb).
-  std::vector<Limb> v(n);
+  LimbBuf v(n);
   for (std::size_t i = n; i-- > 0;) {
     v[i] = den[i] << shift;
     if (shift && i > 0) v[i] |= den[i - 1] >> (64 - shift);
   }
-  std::vector<Limb> u(num.size() + 1, 0);
+  LimbBuf u(num.size() + 1, 0);
   for (std::size_t i = num.size(); i-- > 0;) {
     u[i] = num[i] << shift;
     if (shift && i > 0) u[i] |= num[i - 1] >> (64 - shift);
@@ -501,7 +519,7 @@ BigInt& BigInt::operator*=(const BigInt& rhs) {
 void BigInt::divmod(const BigInt& num, const BigInt& den, BigInt& quot,
                     BigInt& rem) {
   if (den.is_zero()) throw ParamError("BigInt: division by zero");
-  std::vector<Limb> q, r;
+  LimbBuf q, r;
   divmod_mag(num.limbs_, den.limbs_, q, r);
   quot.limbs_ = std::move(q);
   rem.limbs_ = std::move(r);
@@ -532,7 +550,7 @@ BigInt& BigInt::operator<<=(std::size_t bits) {
   if (sign_ == 0 || bits == 0) return *this;
   const std::size_t limb_shift = bits / 64;
   const std::size_t bit_shift = bits % 64;
-  std::vector<Limb> out(limbs_.size() + limb_shift + 1, 0);
+  LimbBuf out(limbs_.size() + limb_shift + 1, 0);
   for (std::size_t i = 0; i < limbs_.size(); ++i) {
     out[i + limb_shift] |= bit_shift ? (limbs_[i] << bit_shift) : limbs_[i];
     if (bit_shift) out[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
@@ -547,7 +565,7 @@ BigInt& BigInt::operator>>=(std::size_t bits) {
   const std::size_t limb_shift = bits / 64;
   const std::size_t bit_shift = bits % 64;
   if (limb_shift >= limbs_.size()) return *this = BigInt{};
-  std::vector<Limb> out(limbs_.size() - limb_shift, 0);
+  LimbBuf out(limbs_.size() - limb_shift, 0);
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = bit_shift ? (limbs_[i + limb_shift] >> bit_shift)
                        : limbs_[i + limb_shift];

@@ -5,17 +5,22 @@
 // megabits), so the library needs fast multiplication (Karatsuba), Knuth-D
 // division, and Montgomery exponentiation (bignum/montgomery.h).
 //
-// Representation: sign-magnitude; magnitude is a little-endian vector of
-// 64-bit limbs with no trailing zero limb. Zero has an empty limb vector and
-// sign 0. All operations keep values normalized.
+// Representation: sign-magnitude; magnitude is a little-endian sequence of
+// 64-bit limbs with no trailing zero limb, stored in a small-buffer-optimized
+// LimbBuf (inline up to kInlineLimbs, heap beyond — see limb_buf.h). Zero has
+// an empty limb buffer and sign 0. All operations keep values normalized;
+// a moved-from BigInt is a normalized zero.
 #pragma once
 
 #include <cstdint>
 #include <compare>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <initializer_list>
 #include <vector>
 
+#include "bignum/limb_buf.h"
 #include "common/bytes.h"
 
 namespace ice::bn {
@@ -31,12 +36,26 @@ class BigInt {
   BigInt(std::uint64_t v);  // NOLINT(google-explicit-constructor)
   BigInt(int v) : BigInt(static_cast<std::int64_t>(v)) {}  // NOLINT
 
+  BigInt(const BigInt&) = default;
+  BigInt& operator=(const BigInt&) = default;
+  /// Moved-from value is a normalized zero (LimbBuf resets to empty inline).
+  BigInt(BigInt&& o) noexcept
+      : sign_(std::exchange(o.sign_, 0)), limbs_(std::move(o.limbs_)) {}
+  BigInt& operator=(BigInt&& o) noexcept {
+    sign_ = std::exchange(o.sign_, 0);
+    limbs_ = std::move(o.limbs_);
+    return *this;
+  }
+
   /// Parses an optionally '-'-prefixed hex string (no "0x" prefix).
   static BigInt from_hex(std::string_view hex);
   /// Parses an optionally '-'-prefixed decimal string.
   static BigInt from_dec(std::string_view dec);
   /// Interprets big-endian bytes as a non-negative integer.
   static BigInt from_bytes_be(BytesView bytes);
+  /// In-place from_bytes_be: reuses this value's limb capacity so hot loops
+  /// (per-block TagGen exponents, pooled decode) don't allocate per call.
+  void assign_bytes_be(BytesView bytes);
 
   /// Lowercase hex, '-'-prefixed if negative; "0" for zero.
   [[nodiscard]] std::string to_hex() const;
@@ -100,9 +119,18 @@ class BigInt {
   friend std::strong_ordering operator<=>(const BigInt& a, const BigInt& b);
 
   /// Raw limb access for inner loops (montgomery.h, serde).
-  [[nodiscard]] const std::vector<Limb>& limbs() const { return limbs_; }
+  [[nodiscard]] const LimbBuf& limbs() const { return limbs_; }
   /// Constructs from raw little-endian limbs (normalizes). sign>=0 only.
-  static BigInt from_limbs(std::vector<Limb> limbs);
+  static BigInt from_limbs(LimbBuf limbs);
+  static BigInt from_limbs(const Limb* limbs, std::size_t count);
+  static BigInt from_limbs(const std::vector<Limb>& limbs) {
+    return from_limbs(limbs.data(), limbs.size());
+  }
+  static BigInt from_limbs(std::initializer_list<Limb> limbs) {
+    return from_limbs(limbs.begin(), limbs.size());
+  }
+  /// In-place from_limbs: reuses this value's limb capacity.
+  void assign_limbs(const Limb* limbs, std::size_t count);
 
  private:
   friend class Montgomery;
@@ -111,23 +139,17 @@ class BigInt {
   /// Compares magnitudes only.
   static int cmp_mag(const BigInt& a, const BigInt& b);
   /// Magnitude ops; signs handled by callers.
-  static std::vector<Limb> add_mag(const std::vector<Limb>& a,
-                                   const std::vector<Limb>& b);
+  static LimbBuf add_mag(const LimbBuf& a, const LimbBuf& b);
   /// Requires |a| >= |b|.
-  static std::vector<Limb> sub_mag(const std::vector<Limb>& a,
-                                   const std::vector<Limb>& b);
-  static std::vector<Limb> mul_mag(const std::vector<Limb>& a,
-                                   const std::vector<Limb>& b);
-  static std::vector<Limb> mul_school(const std::vector<Limb>& a,
-                                      const std::vector<Limb>& b);
-  static std::vector<Limb> mul_karatsuba(const std::vector<Limb>& a,
-                                         const std::vector<Limb>& b);
-  static void divmod_mag(const std::vector<Limb>& num,
-                         const std::vector<Limb>& den,
-                         std::vector<Limb>& quot, std::vector<Limb>& rem);
+  static LimbBuf sub_mag(const LimbBuf& a, const LimbBuf& b);
+  static LimbBuf mul_mag(const LimbBuf& a, const LimbBuf& b);
+  static LimbBuf mul_school(const LimbBuf& a, const LimbBuf& b);
+  static LimbBuf mul_karatsuba(const LimbBuf& a, const LimbBuf& b);
+  static void divmod_mag(const LimbBuf& num, const LimbBuf& den,
+                         LimbBuf& quot, LimbBuf& rem);
 
-  int sign_ = 0;                // -1, 0, +1
-  std::vector<Limb> limbs_;     // little-endian magnitude, normalized
+  int sign_ = 0;     // -1, 0, +1
+  LimbBuf limbs_;    // little-endian magnitude, normalized
 };
 
 /// Greatest common divisor of |a| and |b| (binary GCD); gcd(0,0) == 0.

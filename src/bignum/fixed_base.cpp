@@ -1,8 +1,10 @@
 #include "bignum/fixed_base.h"
 
+#include <algorithm>
 #include <mutex>
 
 #include "common/error.h"
+#include "common/scratch.h"
 
 namespace ice::bn {
 
@@ -71,58 +73,95 @@ FixedBase::FixedBase(const Montgomery& mont, const BigInt& base,
 }
 
 BigInt FixedBase::pow(const BigInt& exp) const {
+  BigInt out;
+  pow_into(out, exp);
+  return out;
+}
+
+void FixedBase::pow_into(BigInt& out, const BigInt& exp) const {
   if (exp.is_negative()) {
     throw ParamError("FixedBase::pow: negative exponent");
   }
-  if (exp.is_zero()) return BigInt(1).mod(mont_->modulus());
-  if (exp.bit_length() > cap_bits_) return mont_->pow(base_, exp);
+  if (exp.is_zero()) {
+    out = BigInt(1).mod(mont_->modulus());
+    return;
+  }
+  if (exp.bit_length() > cap_bits_) {
+    mont_->pow_into(out, base_, exp);
+    return;
+  }
 
-  Montgomery::LimbVec scratch(mont_->scratch_limbs());
-  Montgomery::LimbVec acc;
+  const std::size_t k = mont_->limb_count();
+  ScratchArena::Lease lease =
+      ScratchArena::local().take(k + mont_->scratch_limbs());
+  Montgomery::Limb* acc = lease.data();
+  Montgomery::Limb* scratch = acc + k;
   bool started = false;
   for (std::size_t col = cols_; col-- > 0;) {
-    if (started) mont_->sqr_into(acc.data(), acc.data(), scratch.data());
+    if (started) mont_->sqr_into(acc, acc, scratch);
     std::size_t j = 0;
     for (std::size_t tooth = 0; tooth < teeth_; ++tooth) {
       if (exp.bit(tooth * cols_ + col)) j |= std::size_t{1} << tooth;
     }
     if (j == 0) continue;
     if (started) {
-      mont_->mul_into(acc.data(), acc.data(), table_[j].data(),
-                      scratch.data());
+      mont_->mul_into(acc, acc, table_[j].data(), scratch);
     } else {
-      acc = table_[j];
+      std::copy(table_[j].begin(), table_[j].end(), acc);
       started = true;
     }
   }
-  if (!started) return BigInt(1).mod(mont_->modulus());
-  return mont_->from_mont(acc);
+  if (!started) {
+    out = BigInt(1).mod(mont_->modulus());
+    return;
+  }
+  mont_->from_mont_into(out, acc, scratch);
 }
 
 std::shared_ptr<const FixedBase> Montgomery::fixed_base(
     const BigInt& base, std::size_t min_exp_bits) const {
-  constexpr std::size_t kMaxCachedBases = 8;
   const BigInt key = reduce(base);
   {
     std::shared_lock lock(fb_mu_);
-    for (const auto& [b, comb] : fb_cache_) {
-      if (b == key && comb->capacity_bits() >= min_exp_bits) return comb;
+    for (const auto& e : fb_cache_) {
+      if (e.base == key && e.comb->capacity_bits() >= min_exp_bits) {
+        e.last_use.store(
+            fb_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+        return e.comb;
+      }
     }
   }
   auto fresh = std::make_shared<const FixedBase>(*this, key, min_exp_bits);
   std::unique_lock lock(fb_mu_);
-  for (auto& [b, comb] : fb_cache_) {
-    if (b == key) {
-      if (comb->capacity_bits() >= min_exp_bits) return comb;
-      comb = fresh;  // rebuilt bigger: replace the stale entry
+  const std::uint64_t stamp =
+      fb_clock_.fetch_add(1, std::memory_order_relaxed) + 1;
+  for (auto& e : fb_cache_) {
+    if (e.base == key) {
+      e.last_use.store(stamp, std::memory_order_relaxed);
+      if (e.comb->capacity_bits() >= min_exp_bits) return e.comb;
+      e.comb = fresh;  // rebuilt bigger: replace the stale entry
       return fresh;
     }
   }
   if (fb_cache_.size() >= kMaxCachedBases) {
-    fb_cache_.erase(fb_cache_.begin());
+    // LRU eviction: drop the entry with the stalest use stamp.
+    auto stalest = fb_cache_.begin();
+    for (auto it = fb_cache_.begin(); it != fb_cache_.end(); ++it) {
+      if (it->last_use.load(std::memory_order_relaxed) <
+          stalest->last_use.load(std::memory_order_relaxed)) {
+        stalest = it;
+      }
+    }
+    fb_cache_.erase(stalest);
   }
-  fb_cache_.emplace_back(key, fresh);
+  fb_cache_.emplace_back(key, fresh, stamp);
   return fresh;
+}
+
+std::size_t Montgomery::fixed_base_cache_size() const {
+  std::shared_lock lock(fb_mu_);
+  return fb_cache_.size();
 }
 
 }  // namespace ice::bn

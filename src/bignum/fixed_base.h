@@ -38,6 +38,10 @@ class FixedBase {
   /// Exponents longer than capacity_bits() fall back to Montgomery::pow,
   /// so the result is always correct (just not comb-accelerated).
   [[nodiscard]] BigInt pow(const BigInt& exp) const;
+  /// Destination-passing pow: writes into `out`, reusing its limb capacity;
+  /// scratch comes from the calling thread's ScratchArena (zero-allocation
+  /// in steady state — the TagGen per-block loop runs on this).
+  void pow_into(BigInt& out, const BigInt& exp) const;
 
   [[nodiscard]] const BigInt& base() const { return base_; }
   [[nodiscard]] std::size_t capacity_bits() const { return cap_bits_; }

@@ -4,6 +4,7 @@
 #include <mutex>
 
 #include "common/error.h"
+#include "common/scratch.h"
 
 namespace ice::bn {
 
@@ -130,6 +131,8 @@ Montgomery::Montgomery(const BigInt& modulus) : n_big_(modulus) {
   BigInt r1 = (BigInt(1) << (64 * k_)).mod(modulus);
   one_mont_ = r1.limbs();
   one_mont_.resize(k_, 0);
+  one_plain_.assign(k_, 0);
+  one_plain_[0] = 1;
 }
 
 void Montgomery::mul_into(Limb* out, const Limb* a, const Limb* b,
@@ -141,6 +144,15 @@ void Montgomery::mul_into(Limb* out, const Limb* a, const Limb* b,
   const std::size_t k = k_;
   const Limb* n = n_.data();
   Limb* t = scratch;
+
+#ifdef ICE_BN_HAVE_ADX_KERNELS
+  if (have_adx() && k >= 2 && k % 2 == 0 && k <= kAdxMaxLimbs) {
+    std::fill(t, t + 2 * k + 1, Limb{0});
+    mul_into_adx(out, a, b, t);
+    return;
+  }
+#endif
+
   std::fill(t, t + k + 2, Limb{0});
   for (std::size_t i = 0; i < k; ++i) {
     const Limb ai = a[i];
@@ -330,6 +342,37 @@ void Montgomery::sqr_into_adx(Limb* out, const Limb* a, Limb* t) const {
     std::copy(r, r + k, out);
   }
 }
+
+void Montgomery::mul_into_adx(Limb* out, const Limb* a, const Limb* b,
+                              Limb* t) const {
+  // SOS multiply: full 2k-limb product by ADX rows, then the same
+  // row-at-a-time Montgomery reduction as sqr_into_adx. The reduction
+  // multiplier of round i is t[i] * n0inv, identical to the value the fused
+  // CIOS kernel derives at its round i (it depends only on t[i] mod 2^64,
+  // which both orderings agree on), so the result is bit-identical to the
+  // portable kernel. Writes go to `t` first, so out may alias a or b.
+  const std::size_t k = k_;
+  const Limb* n = n_.data();
+  // Caller zeroed t[0 .. 2k]. Product rows: t[i..] += a[i] * b, k limbs
+  // each (k is even, matching the asm loop's stride); the partial sum
+  // through row i fits in t[0 .. i+k], so row carries are zero, but keep
+  // the propagation local to preserve the invariant.
+  for (std::size_t i = 0; i < k; ++i) {
+    const Limb c = mac_row_adx(t + i, a[i], b, k);
+    propagate_carry(t, c, i + k + 1, 2 * k);
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    const Limb m = t[i] * n0inv_;
+    const Limb c = mac_row_adx(t + i, m, n, k);
+    propagate_carry(t, c, i + k + 1, 2 * k);
+  }
+  Limb* r = t + k;
+  if (r[k] != 0 || ge_mod(r, n, k)) {
+    sub_mod(out, r, n, k);
+  } else {
+    std::copy(r, r + k, out);
+  }
+}
 #endif  // ICE_BN_HAVE_ADX_KERNELS
 
 Montgomery::LimbVec Montgomery::mont_mul(const LimbVec& a,
@@ -352,22 +395,41 @@ BigInt Montgomery::reduce(const BigInt& x) const {
   return x.mod(n_big_);
 }
 
+void Montgomery::to_mont_into(Limb* out, const BigInt& x, Limb* scratch) const {
+  if (!x.is_negative() && x < n_big_) {
+    // Already reduced (the common case): no BigInt temporary at all.
+    const LimbBuf& limbs = x.limbs();
+    std::copy(limbs.begin(), limbs.end(), out);
+    std::fill(out + limbs.size(), out + k_, Limb{0});
+  } else {
+    const BigInt red = x.mod(n_big_);  // SBO: stack for protocol widths
+    const LimbBuf& limbs = red.limbs();
+    std::copy(limbs.begin(), limbs.end(), out);
+    std::fill(out + limbs.size(), out + k_, Limb{0});
+  }
+  mul_into(out, out, r2_.data(), scratch);
+}
+
+void Montgomery::from_mont_into(BigInt& out, const Limb* x,
+                                Limb* scratch) const {
+  out.limbs_.resize_uninit(k_);
+  mul_into(out.limbs_.data(), x, one_plain_.data(), scratch);
+  out.sign_ = 1;
+  out.normalize();
+}
+
 Montgomery::LimbVec Montgomery::to_mont(const BigInt& x) const {
-  const BigInt red = reduce(x);
-  LimbVec v = red.limbs();
-  v.resize(k_, 0);
+  LimbVec v(k_);
   LimbVec scratch(scratch_limbs());
-  mul_into(v.data(), v.data(), r2_.data(), scratch.data());
+  to_mont_into(v.data(), x, scratch.data());
   return v;
 }
 
 BigInt Montgomery::from_mont(const LimbVec& x) const {
-  LimbVec one(k_, 0);
-  one[0] = 1;
-  LimbVec v(k_);
+  BigInt out;
   LimbVec scratch(scratch_limbs());
-  mul_into(v.data(), x.data(), one.data(), scratch.data());
-  return BigInt::from_limbs(std::move(v));
+  from_mont_into(out, x.data(), scratch.data());
+  return out;
 }
 
 BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
@@ -375,35 +437,49 @@ BigInt Montgomery::mul(const BigInt& a, const BigInt& b) const {
 }
 
 BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
+  BigInt out;
+  pow_into(out, base, exp);
+  return out;
+}
+
+void Montgomery::pow_into(BigInt& out, const BigInt& base,
+                          const BigInt& exp) const {
   if (exp.is_negative()) throw ParamError("Montgomery::pow: negative exponent");
-  if (exp.is_zero()) return BigInt(1).mod(n_big_);
+  if (exp.is_zero()) {
+    out = BigInt(1).mod(n_big_);
+    return;
+  }
 
   const std::size_t nbits = exp.bit_length();
   const unsigned w = window_bits_for(nbits);
+  const std::size_t k = k_;
+  const std::size_t tsize = std::size_t{1} << (w - 1);
+
+  // One arena lease holds the odd-power table, base^2, the accumulator and
+  // the kernel scratch; every slice is fully written before it is read.
+  ScratchArena::Lease lease =
+      ScratchArena::local().take(tsize * k + 2 * k + scratch_limbs());
+  Limb* table = lease.data();           // tsize entries of k limbs
+  Limb* b2 = table + tsize * k;         // k limbs
+  Limb* acc = b2 + k;                   // k limbs
+  Limb* scratch = acc + k;              // scratch_limbs()
 
   // Odd powers base^1, base^3, ..., base^{2^w - 1} in Montgomery form.
-  const std::size_t k = k_;
-  LimbVec scratch(scratch_limbs());
-  std::vector<LimbVec> table(std::size_t{1} << (w - 1));
-  table[0] = to_mont(base);
-  if (table.size() > 1) {
-    LimbVec b2(k);
-    sqr_into(b2.data(), table[0].data(), scratch.data());
-    for (std::size_t i = 1; i < table.size(); ++i) {
-      table[i].resize(k);
-      mul_into(table[i].data(), table[i - 1].data(), b2.data(),
-               scratch.data());
+  to_mont_into(table, base, scratch);
+  if (tsize > 1) {
+    sqr_into(b2, table, scratch);
+    for (std::size_t i = 1; i < tsize; ++i) {
+      mul_into(table + i * k, table + (i - 1) * k, b2, scratch);
     }
   }
 
   // Sliding odd windows from the top; the chain between windows is pure
   // squarings on the sqr_into specialization.
-  LimbVec acc(k);
   bool started = false;
   std::size_t i = nbits;
   while (i-- > 0) {
     if (!exp.bit(i)) {
-      if (started) sqr_into(acc.data(), acc.data(), scratch.data());
+      if (started) sqr_into(acc, acc, scratch);
       continue;
     }
     std::size_t j = i >= w - 1 ? i - (w - 1) : 0;
@@ -414,46 +490,96 @@ BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
     }
     if (started) {
       for (std::size_t s = 0; s <= i - j; ++s) {
-        sqr_into(acc.data(), acc.data(), scratch.data());
+        sqr_into(acc, acc, scratch);
       }
-      mul_into(acc.data(), acc.data(), table[digit >> 1].data(),
-               scratch.data());
+      mul_into(acc, acc, table + (digit >> 1) * k, scratch);
     } else {
-      acc = table[digit >> 1];
+      std::copy(table + (digit >> 1) * k, table + (digit >> 1) * k + k, acc);
       started = true;
     }
     if (j == 0) break;
     i = j;  // loop decrement moves to bit j - 1
   }
-  return from_mont(acc);
+  from_mont_into(out, acc, scratch);
 }
 
+namespace {
+
+// Process-wide shared() cache. LRU without hot-path exclusive locking:
+// lookups under the shared lock stamp the entry's atomic use counter, and
+// eviction (under the exclusive lock) drops the entry with the stalest
+// stamp. Evicted contexts stay alive through outstanding shared_ptrs.
+struct SharedEntry {
+  BigInt modulus;
+  std::shared_ptr<const Montgomery> ctx;
+  mutable std::atomic<std::uint64_t> last_use{0};
+
+  SharedEntry(BigInt m, std::shared_ptr<const Montgomery> c,
+              std::uint64_t stamp)
+      : modulus(std::move(m)), ctx(std::move(c)), last_use(stamp) {}
+  SharedEntry(SharedEntry&& o) noexcept
+      : modulus(std::move(o.modulus)),
+        ctx(std::move(o.ctx)),
+        last_use(o.last_use.load(std::memory_order_relaxed)) {}
+  SharedEntry& operator=(SharedEntry&& o) noexcept {
+    modulus = std::move(o.modulus);
+    ctx = std::move(o.ctx);
+    last_use.store(o.last_use.load(std::memory_order_relaxed),
+                   std::memory_order_relaxed);
+    return *this;
+  }
+};
+
+struct SharedCache {
+  std::shared_mutex mu;
+  std::vector<SharedEntry> entries;
+  std::atomic<std::uint64_t> clock{0};
+};
+
+SharedCache& shared_cache() {
+  static SharedCache& cache = *new SharedCache;  // leaked: static teardown
+  return cache;
+}
+
+}  // namespace
+
 std::shared_ptr<const Montgomery> Montgomery::shared(const BigInt& modulus) {
-  // Process-wide double-checked cache: shared-lock lookup on the hot path,
-  // exclusive-lock insert with a re-check. Bounded FIFO eviction; evicted
-  // contexts stay alive through the returned shared_ptr.
-  constexpr std::size_t kMaxCachedContexts = 64;
-  struct Cache {
-    std::shared_mutex mu;
-    std::vector<std::pair<BigInt, std::shared_ptr<const Montgomery>>> entries;
-  };
-  static Cache& cache = *new Cache;  // leaked: usable during static teardown
+  SharedCache& cache = shared_cache();
   {
     std::shared_lock lock(cache.mu);
-    for (const auto& [m, ctx] : cache.entries) {
-      if (m == modulus) return ctx;
+    for (const auto& e : cache.entries) {
+      if (e.modulus == modulus) {
+        e.last_use.store(
+            cache.clock.fetch_add(1, std::memory_order_relaxed) + 1,
+            std::memory_order_relaxed);
+        return e.ctx;
+      }
     }
   }
   auto fresh = std::make_shared<const Montgomery>(modulus);
   std::unique_lock lock(cache.mu);
-  for (const auto& [m, ctx] : cache.entries) {
-    if (m == modulus) return ctx;
+  for (const auto& e : cache.entries) {
+    if (e.modulus == modulus) return e.ctx;
   }
-  if (cache.entries.size() >= kMaxCachedContexts) {
-    cache.entries.erase(cache.entries.begin());
+  if (cache.entries.size() >= kMaxSharedContexts) {
+    auto stalest = cache.entries.begin();
+    for (auto it = cache.entries.begin(); it != cache.entries.end(); ++it) {
+      if (it->last_use.load(std::memory_order_relaxed) <
+          stalest->last_use.load(std::memory_order_relaxed)) {
+        stalest = it;
+      }
+    }
+    cache.entries.erase(stalest);
   }
-  cache.entries.emplace_back(modulus, fresh);
+  cache.entries.emplace_back(
+      modulus, fresh, cache.clock.fetch_add(1, std::memory_order_relaxed) + 1);
   return fresh;
+}
+
+std::size_t Montgomery::shared_cache_size() {
+  SharedCache& cache = shared_cache();
+  std::shared_lock lock(cache.mu);
+  return cache.entries.size();
 }
 
 BigInt mod_pow(const BigInt& base, const BigInt& exp, const BigInt& m) {

@@ -16,6 +16,7 @@
 //     discipline as pir::TagDatabase::plane).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <shared_mutex>
@@ -36,7 +37,9 @@ class Montgomery {
   using Limb = BigInt::Limb;
   /// A k-limb residue (k = limb_count()), little-endian, in Montgomery form
   /// (value * R mod N with R = 2^{64 k}). The unit of the engine-level API.
-  using LimbVec = std::vector<Limb>;
+  /// Small-buffer-optimized: residues up to LimbBuf::kInlineLimbs live on
+  /// the stack, so passing/returning them does not touch the allocator.
+  using LimbVec = LimbBuf;
 
   /// Throws ParamError unless `modulus` is odd and > 1.
   explicit Montgomery(const BigInt& modulus);
@@ -44,9 +47,14 @@ class Montgomery {
   /// Process-wide per-modulus context cache. Returns the same immutable
   /// context for repeated calls with the same modulus, so R^2 / -N^{-1} /
   /// comb tables are derived once per process instead of once per call.
-  /// Bounded (LRU-ish FIFO eviction) so hostile inputs cannot exhaust
+  /// Bounded LRU (hits stamp an atomic use counter under the shared lock;
+  /// eviction drops the stalest entry) so hostile inputs cannot exhaust
   /// memory; an evicted context stays alive while callers hold the pointer.
   static std::shared_ptr<const Montgomery> shared(const BigInt& modulus);
+  /// Current entry count of the shared() cache (for cache-bound tests).
+  static std::size_t shared_cache_size();
+  /// Capacity bound of the shared() cache.
+  static constexpr std::size_t kMaxSharedContexts = 64;
 
   [[nodiscard]] const BigInt& modulus() const { return n_big_; }
   /// Limb count k of the modulus; every Montgomery residue has k limbs.
@@ -59,6 +67,10 @@ class Montgomery {
   /// Sliding odd-window chain over Montgomery residues with a squaring
   /// specialization; window width adapts to the exponent length.
   [[nodiscard]] BigInt pow(const BigInt& base, const BigInt& exp) const;
+  /// Destination-passing pow: writes base^exp mod N into `out`, reusing
+  /// out's limb capacity. Window tables and scratch come from the calling
+  /// thread's ScratchArena, so steady-state calls are allocation-free.
+  void pow_into(BigInt& out, const BigInt& base, const BigInt& exp) const;
 
   /// Canonical residue of x in [0, N); skips the division when x is
   /// already reduced (the common case for wire-validated proof values).
@@ -70,6 +82,12 @@ class Montgomery {
 
   [[nodiscard]] LimbVec to_mont(const BigInt& x) const;
   [[nodiscard]] BigInt from_mont(const LimbVec& x) const;
+  /// Destination-passing conversions for arena-managed inner loops.
+  /// `out` is a k-limb buffer; `scratch` has scratch_limbs() limbs.
+  void to_mont_into(Limb* out, const BigInt& x, Limb* scratch) const;
+  /// Writes the canonical value of the k-limb residue `x` into `out`,
+  /// reusing out's limb capacity (normalized, non-negative).
+  void from_mont_into(BigInt& out, const Limb* x, Limb* scratch) const;
   /// R mod N: the Montgomery residue of 1 (multiplicative identity).
   [[nodiscard]] const LimbVec& one_mont() const { return one_mont_; }
 
@@ -93,15 +111,21 @@ class Montgomery {
   /// `min_exp_bits` bits. Built lazily (and rebuilt bigger when a longer
   /// exponent shows up); the handle stays valid after eviction. The comb
   /// borrows this context, so it must not outlive it — handles obtained
-  /// from a `shared()` context live for the whole process.
+  /// from a `shared()` context live for the whole process. Bounded LRU,
+  /// same discipline as shared().
   [[nodiscard]] std::shared_ptr<const FixedBase> fixed_base(
       const BigInt& base, std::size_t min_exp_bits) const;
+  /// Current entry count of the comb cache (for cache-bound tests).
+  [[nodiscard]] std::size_t fixed_base_cache_size() const;
+  /// Capacity bound of the per-context comb cache.
+  static constexpr std::size_t kMaxCachedBases = 8;
 
  private:
-  // x86-64 ADX/BMI2 squaring path (mulx + dual adcx/adox carry chains),
-  // selected at runtime by sqr_into when the CPU supports it. Bit-identical
-  // to the portable kernel. Defined only on x86-64 GNU toolchains.
+  // x86-64 ADX/BMI2 paths (mulx + dual adcx/adox carry chains), selected at
+  // runtime by sqr_into / mul_into when the CPU supports them. Bit-identical
+  // to the portable kernels. Defined only on x86-64 GNU toolchains.
   void sqr_into_adx(Limb* out, const Limb* a, Limb* t) const;
+  void mul_into_adx(Limb* out, const Limb* a, const Limb* b, Limb* t) const;
 
   std::size_t k_;      // limb count of modulus
   LimbVec n_;          // modulus limbs, length k_
@@ -109,12 +133,33 @@ class Montgomery {
   Limb n0inv_;         // -N^{-1} mod 2^64
   LimbVec r2_;         // R^2 mod N (R = 2^{64 k_}), length k_
   LimbVec one_mont_;   // R mod N
+  LimbVec one_plain_;  // the k-limb constant 1 (from_mont multiplies by it)
 
   // Small per-context comb cache keyed by base value (linear scan; there
-  // are only ever a handful of long-lived bases per modulus).
+  // are only ever a handful of long-lived bases per modulus). Hits bump the
+  // entry's use stamp under the shared lock; eviction drops the stalest.
+  struct FbEntry {
+    BigInt base;
+    std::shared_ptr<const FixedBase> comb;
+    mutable std::atomic<std::uint64_t> last_use{0};
+
+    FbEntry(BigInt b, std::shared_ptr<const FixedBase> c, std::uint64_t stamp)
+        : base(std::move(b)), comb(std::move(c)), last_use(stamp) {}
+    FbEntry(FbEntry&& o) noexcept
+        : base(std::move(o.base)),
+          comb(std::move(o.comb)),
+          last_use(o.last_use.load(std::memory_order_relaxed)) {}
+    FbEntry& operator=(FbEntry&& o) noexcept {
+      base = std::move(o.base);
+      comb = std::move(o.comb);
+      last_use.store(o.last_use.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+      return *this;
+    }
+  };
   mutable std::shared_mutex fb_mu_;
-  mutable std::vector<std::pair<BigInt, std::shared_ptr<const FixedBase>>>
-      fb_cache_;
+  mutable std::vector<FbEntry> fb_cache_;
+  mutable std::atomic<std::uint64_t> fb_clock_{0};
 };
 
 }  // namespace ice::bn

@@ -1,15 +1,17 @@
 #include "bignum/multiexp.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "common/error.h"
 #include "common/parallel.h"
+#include "common/scratch.h"
 
 namespace ice::bn {
 
 namespace {
 
-using LimbVec = Montgomery::LimbVec;
+using Limb = Montgomery::Limb;
 
 // Sliding-window width for Straus: per-base tables cost 2^{w-1} products,
 // windows cost ~bits/(w+1) products per base.
@@ -28,29 +30,36 @@ struct WindowEvent {
   std::uint32_t digit;  // odd
 };
 
-// prod bases[i]^{exps[i]} over [begin, end) with one shared squaring chain.
-LimbVec straus_range(const Montgomery& mont, const std::vector<BigInt>& bases,
-                     const std::vector<BigInt>& exps, std::size_t begin,
-                     std::size_t end) {
+// prod bases[i]^{exps[i]} over [begin, end) with one shared squaring chain,
+// written into the k-limb buffer `out` (Montgomery form). Table limbs come
+// from the calling thread's arena; the window schedule reuses thread-local
+// capacity — steady-state calls are allocation-free.
+void straus_range(const Montgomery& mont, const std::vector<BigInt>& bases,
+                  const std::vector<BigInt>& exps, std::size_t begin,
+                  std::size_t end, Limb* out) {
+  const std::size_t k = mont.limb_count();
   std::size_t max_bits = 0;
   for (std::size_t i = begin; i < end; ++i) {
     max_bits = std::max(max_bits, exps[i].bit_length());
   }
-  if (max_bits == 0) return mont.one_mont();
+  if (max_bits == 0) {
+    std::copy(mont.one_mont().begin(), mont.one_mont().end(), out);
+    return;
+  }
   const unsigned w = straus_window(max_bits);
 
-  const std::size_t k = mont.limb_count();
-  LimbVec scratch(mont.scratch_limbs());
-  // Per-base odd-power tables (skipping zero exponents entirely) and the
-  // window schedule, sorted so the main loop replays it top-down.
-  std::vector<std::vector<LimbVec>> tables(end - begin);
-  std::vector<WindowEvent> events;
+  // Window schedule and per-base table extents (offs is a prefix sum of
+  // table entry counts; zero-exponent bases get no table at all).
+  static thread_local std::vector<WindowEvent> events;
+  static thread_local std::vector<std::size_t> offs;
+  events.clear();
+  offs.assign(end - begin + 1, 0);
   for (std::size_t i = begin; i < end; ++i) {
     const BigInt& e = exps[i];
     const std::size_t nbits = e.bit_length();
     if (nbits == 0) continue;
     std::size_t top = nbits;
-    std::size_t windows_before = events.size();
+    std::uint32_t max_digit = 1;
     while (top-- > 0) {
       if (!e.bit(top)) continue;
       std::size_t j = top >= w - 1 ? top - (w - 1) : 0;
@@ -60,85 +69,109 @@ LimbVec straus_range(const Montgomery& mont, const std::vector<BigInt>& bases,
         digit |= static_cast<std::uint32_t>(e.bit(b)) << (b - j);
       }
       events.push_back({j, static_cast<std::uint32_t>(i - begin), digit});
+      max_digit = std::max(max_digit, digit);
       if (j == 0) break;
       top = j;  // loop decrement continues from bit j - 1
     }
-    // Table of odd powers up to the largest digit this base actually uses.
-    std::uint32_t max_digit = 1;
-    for (std::size_t v = windows_before; v < events.size(); ++v) {
-      max_digit = std::max(max_digit, events[v].digit);
-    }
-    auto& table = tables[i - begin];
-    table.resize((max_digit >> 1) + 1);
-    table[0] = mont.to_mont(bases[i]);
-    if (table.size() > 1) {
-      LimbVec b2(k);
-      mont.sqr_into(b2.data(), table[0].data(), scratch.data());
-      for (std::size_t d = 1; d < table.size(); ++d) {
-        table[d].resize(k);
-        mont.mul_into(table[d].data(), table[d - 1].data(), b2.data(),
-                      scratch.data());
+    offs[i - begin + 1] = (max_digit >> 1) + 1;
+  }
+  if (events.empty()) {
+    std::copy(mont.one_mont().begin(), mont.one_mont().end(), out);
+    return;
+  }
+  for (std::size_t i = 1; i < offs.size(); ++i) offs[i] += offs[i - 1];
+
+  // One arena lease: all per-base odd-power tables laid out flat, plus
+  // base^2 staging and kernel scratch.
+  const std::size_t total = offs.back();
+  ScratchArena::Lease lease =
+      ScratchArena::local().take(total * k + k + mont.scratch_limbs());
+  Limb* tables = lease.data();
+  Limb* b2 = tables + total * k;
+  Limb* scratch = b2 + k;
+  for (std::size_t i = begin; i < end; ++i) {
+    const std::size_t ts = offs[i - begin + 1] - offs[i - begin];
+    if (ts == 0) continue;
+    Limb* table = tables + offs[i - begin] * k;
+    mont.to_mont_into(table, bases[i], scratch);
+    if (ts > 1) {
+      mont.sqr_into(b2, table, scratch);
+      for (std::size_t d = 1; d < ts; ++d) {
+        mont.mul_into(table + d * k, table + (d - 1) * k, b2, scratch);
       }
     }
   }
-  if (events.empty()) return mont.one_mont();
-  std::stable_sort(events.begin(), events.end(),
-                   [](const WindowEvent& a, const WindowEvent& b) {
-                     return a.pos > b.pos;
-                   });
+  // Replay top-down. (pos, base) pairs are unique — one window per base per
+  // position — so this plain sort reproduces the insertion order for equal
+  // positions (base-ascending) that a stable sort by pos would give, without
+  // stable_sort's temporary buffer.
+  std::sort(events.begin(), events.end(),
+            [](const WindowEvent& a, const WindowEvent& b) {
+              return a.pos != b.pos ? a.pos > b.pos : a.base < b.base;
+            });
 
-  LimbVec acc;
+  Limb* acc = out;
   bool started = false;
   std::size_t next = 0;
   for (std::size_t pos = events.front().pos + 1; pos-- > 0;) {
-    if (started) mont.sqr_into(acc.data(), acc.data(), scratch.data());
+    if (started) mont.sqr_into(acc, acc, scratch);
     while (next < events.size() && events[next].pos == pos) {
-      const LimbVec& entry =
-          tables[events[next].base][events[next].digit >> 1];
+      const Limb* entry =
+          tables +
+          (offs[events[next].base] + (events[next].digit >> 1)) * k;
       if (started) {
-        mont.mul_into(acc.data(), acc.data(), entry.data(), scratch.data());
+        mont.mul_into(acc, acc, entry, scratch);
       } else {
-        acc = entry;
+        std::copy(entry, entry + k, acc);
         started = true;
       }
       ++next;
     }
   }
-  return acc;
 }
 
 // Pippenger-style bucket method over [begin, end): fixed c-bit windows,
 // each window accumulates bases into digit buckets and combines them with
 // the running-product trick (prod_d bucket[d]^d in 2 * 2^c multiplies).
-LimbVec pippenger_range(const Montgomery& mont,
-                        const std::vector<BigInt>& bases,
-                        const std::vector<BigInt>& exps, std::size_t begin,
-                        std::size_t end, unsigned c) {
+// Result goes into the k-limb buffer `out` (Montgomery form).
+void pippenger_range(const Montgomery& mont, const std::vector<BigInt>& bases,
+                     const std::vector<BigInt>& exps, std::size_t begin,
+                     std::size_t end, unsigned c, Limb* out) {
+  const std::size_t k = mont.limb_count();
   std::size_t max_bits = 0;
   for (std::size_t i = begin; i < end; ++i) {
     max_bits = std::max(max_bits, exps[i].bit_length());
   }
-  if (max_bits == 0) return mont.one_mont();
-
-  const std::size_t k = mont.limb_count();
-  LimbVec scratch(mont.scratch_limbs());
-  std::vector<LimbVec> base_m(end - begin);
-  for (std::size_t i = begin; i < end; ++i) {
-    if (!exps[i].is_zero()) base_m[i - begin] = mont.to_mont(bases[i]);
+  if (max_bits == 0) {
+    std::copy(mont.one_mont().begin(), mont.one_mont().end(), out);
+    return;
   }
 
+  // Flat arena layout: per-base residues, 2^c buckets, suffix products.
+  const std::size_t m = end - begin;
+  const std::size_t nbuckets = std::size_t{1} << c;
+  ScratchArena::Lease lease = ScratchArena::local().take(
+      (m + nbuckets + 2) * k + mont.scratch_limbs());
+  Limb* base_m = lease.data();
+  Limb* bucket = base_m + m * k;
+  Limb* running = bucket + nbuckets * k;
+  Limb* total = running + k;
+  Limb* scratch = total + k;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!exps[i].is_zero()) {
+      mont.to_mont_into(base_m + (i - begin) * k, bases[i], scratch);
+    }
+  }
+
+  static thread_local std::vector<std::uint8_t> used;
   const std::size_t windows = (max_bits + c - 1) / c;
-  std::vector<LimbVec> bucket(std::size_t{1} << c);
-  std::vector<bool> used(bucket.size());
-  LimbVec acc;
+  Limb* acc = out;
   bool started = false;
   for (std::size_t win = windows; win-- > 0;) {
     if (started) {
-      for (unsigned s = 0; s < c; ++s) {
-        mont.sqr_into(acc.data(), acc.data(), scratch.data());
-      }
+      for (unsigned s = 0; s < c; ++s) mont.sqr_into(acc, acc, scratch);
     }
-    std::fill(used.begin(), used.end(), false);
+    used.assign(nbuckets, 0);
     for (std::size_t i = begin; i < end; ++i) {
       const BigInt& e = exps[i];
       std::uint32_t digit = 0;
@@ -146,49 +179,47 @@ LimbVec pippenger_range(const Montgomery& mont,
         digit |= static_cast<std::uint32_t>(e.bit(win * c + b)) << b;
       }
       if (digit == 0) continue;
-      LimbVec& slot = bucket[digit];
+      Limb* slot = bucket + digit * k;
       if (!used[digit]) {
-        slot = base_m[i - begin];
-        used[digit] = true;
+        std::copy(base_m + (i - begin) * k, base_m + (i - begin + 1) * k,
+                  slot);
+        used[digit] = 1;
       } else {
-        mont.mul_into(slot.data(), slot.data(), base_m[i - begin].data(),
-                      scratch.data());
+        mont.mul_into(slot, slot, base_m + (i - begin) * k, scratch);
       }
     }
     // prod_d bucket[d]^d via suffix products: running = prod_{d' >= d},
     // total accumulates running once per d.
-    LimbVec running(k);
-    LimbVec total(k);
     bool have_running = false;
     bool have_total = false;
-    for (std::size_t d = bucket.size(); d-- > 1;) {
+    for (std::size_t d = nbuckets; d-- > 1;) {
       if (used[d]) {
         if (have_running) {
-          mont.mul_into(running.data(), running.data(), bucket[d].data(),
-                        scratch.data());
+          mont.mul_into(running, running, bucket + d * k, scratch);
         } else {
-          running = bucket[d];
+          std::copy(bucket + d * k, bucket + (d + 1) * k, running);
           have_running = true;
         }
       }
       if (!have_running) continue;
       if (have_total) {
-        mont.mul_into(total.data(), total.data(), running.data(),
-                      scratch.data());
+        mont.mul_into(total, total, running, scratch);
       } else {
-        total = running;
+        std::copy(running, running + k, total);
         have_total = true;
       }
     }
     if (!have_total) continue;
     if (started) {
-      mont.mul_into(acc.data(), acc.data(), total.data(), scratch.data());
+      mont.mul_into(acc, acc, total, scratch);
     } else {
-      acc = total;
+      std::copy(total, total + k, acc);
       started = true;
     }
   }
-  return started ? acc : mont.one_mont();
+  if (!started) {
+    std::copy(mont.one_mont().begin(), mont.one_mont().end(), out);
+  }
 }
 
 // Rough product counts used to pick the algorithm and the Pippenger window.
@@ -208,10 +239,9 @@ double pippenger_cost(std::size_t k, std::size_t bits, unsigned c) {
                     2.0 * static_cast<double>(std::size_t{1} << c));
 }
 
-LimbVec multi_exp_range(const Montgomery& mont,
-                        const std::vector<BigInt>& bases,
-                        const std::vector<BigInt>& exps, std::size_t begin,
-                        std::size_t end, MultiExpAlgo algo) {
+void multi_exp_range(const Montgomery& mont, const std::vector<BigInt>& bases,
+                     const std::vector<BigInt>& exps, std::size_t begin,
+                     std::size_t end, MultiExpAlgo algo, Limb* out) {
   const std::size_t k = end - begin;
   std::size_t max_bits = 0;
   for (std::size_t i = begin; i < end; ++i) {
@@ -233,9 +263,10 @@ LimbVec multi_exp_range(const Montgomery& mont,
     }
   }
   if (algo == MultiExpAlgo::kStraus || max_bits == 0) {
-    return straus_range(mont, bases, exps, begin, end);
+    straus_range(mont, bases, exps, begin, end, out);
+    return;
   }
-  return pippenger_range(mont, bases, exps, begin, end, best_c);
+  pippenger_range(mont, bases, exps, begin, end, best_c, out);
 }
 
 }  // namespace
@@ -251,44 +282,58 @@ BigInt multi_exp(const Montgomery& mont, const std::vector<BigInt>& bases,
   }
   if (bases.empty()) return BigInt(1).mod(mont.modulus());
 
-  std::vector<LimbVec> partials(
-      partition_range(bases.size(), resolve_parallelism(parallelism)).size());
+  const std::size_t k = mont.limb_count();
+  const std::size_t chunks =
+      chunk_count(bases.size(), resolve_parallelism(parallelism));
+  // Partials live in one caller-held lease; pool workers write disjoint
+  // k-limb slices (the lease is taken and dropped on this thread).
+  ScratchArena::Lease lease =
+      ScratchArena::local().take(chunks * k + mont.scratch_limbs());
+  Limb* partials = lease.data();
+  Limb* scratch = partials + chunks * k;
   parallel_chunks(bases.size(), parallelism,
                   [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-                    partials[chunk] =
-                        multi_exp_range(mont, bases, exps, begin, end, algo);
+                    multi_exp_range(mont, bases, exps, begin, end, algo,
+                                    partials + chunk * k);
                   });
-  LimbVec acc = std::move(partials[0]);
-  LimbVec scratch(mont.scratch_limbs());
-  for (std::size_t c = 1; c < partials.size(); ++c) {
-    mont.mul_into(acc.data(), acc.data(), partials[c].data(), scratch.data());
+  for (std::size_t c = 1; c < chunks; ++c) {
+    mont.mul_into(partials, partials, partials + c * k, scratch);
   }
-  return mont.from_mont(acc);
+  BigInt result;
+  mont.from_mont_into(result, partials, scratch);
+  return result;
 }
 
 BigInt mont_product(const Montgomery& mont, const std::vector<BigInt>& values,
                     std::size_t parallelism) {
   if (values.empty()) return BigInt(1).mod(mont.modulus());
-  std::vector<LimbVec> partials(
-      partition_range(values.size(), resolve_parallelism(parallelism))
-          .size());
-  parallel_chunks(values.size(), parallelism,
-                  [&](std::size_t chunk, std::size_t begin, std::size_t end) {
-                    LimbVec scratch(mont.scratch_limbs());
-                    LimbVec acc = mont.to_mont(values[begin]);
-                    for (std::size_t i = begin + 1; i < end; ++i) {
-                      const LimbVec v = mont.to_mont(values[i]);
-                      mont.mul_into(acc.data(), acc.data(), v.data(),
-                                    scratch.data());
-                    }
-                    partials[chunk] = std::move(acc);
-                  });
-  LimbVec acc = std::move(partials[0]);
-  LimbVec scratch(mont.scratch_limbs());
-  for (std::size_t c = 1; c < partials.size(); ++c) {
-    mont.mul_into(acc.data(), acc.data(), partials[c].data(), scratch.data());
+  const std::size_t k = mont.limb_count();
+  const std::size_t chunks =
+      chunk_count(values.size(), resolve_parallelism(parallelism));
+  ScratchArena::Lease lease =
+      ScratchArena::local().take(chunks * k + mont.scratch_limbs());
+  Limb* partials = lease.data();
+  Limb* scratch = partials + chunks * k;
+  parallel_chunks(
+      values.size(), parallelism,
+      [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+        ScratchArena::Lease worker_lease =
+            ScratchArena::local().take(k + mont.scratch_limbs());
+        Limb* v = worker_lease.data();
+        Limb* wscratch = v + k;
+        Limb* acc = partials + chunk * k;
+        mont.to_mont_into(acc, values[begin], wscratch);
+        for (std::size_t i = begin + 1; i < end; ++i) {
+          mont.to_mont_into(v, values[i], wscratch);
+          mont.mul_into(acc, acc, v, wscratch);
+        }
+      });
+  for (std::size_t c = 1; c < chunks; ++c) {
+    mont.mul_into(partials, partials, partials + c * k, scratch);
   }
-  return mont.from_mont(acc);
+  BigInt result;
+  mont.from_mont_into(result, partials, scratch);
+  return result;
 }
 
 }  // namespace ice::bn

@@ -7,7 +7,7 @@ namespace ice::bn {
 BigInt random_bits(Rng64& rng, std::size_t bits) {
   if (bits == 0) throw ParamError("random_bits: bits must be >= 1");
   const std::size_t limbs = (bits + 63) / 64;
-  std::vector<BigInt::Limb> v(limbs);
+  LimbBuf v(limbs);
   for (auto& limb : v) limb = rng.next_u64();
   const std::size_t top_bits = bits - (limbs - 1) * 64;  // 1..64
   if (top_bits < 64) v.back() &= (BigInt::Limb{1} << top_bits) - 1;
@@ -21,7 +21,7 @@ BigInt random_below(Rng64& rng, const BigInt& bound) {
   const std::size_t limbs = (bits + 63) / 64;
   const std::size_t top_bits = bits - (limbs - 1) * 64;
   for (;;) {
-    std::vector<BigInt::Limb> v(limbs);
+    LimbBuf v(limbs);
     for (auto& limb : v) limb = rng.next_u64();
     if (top_bits < 64) v.back() &= (BigInt::Limb{1} << top_bits) - 1;
     BigInt candidate = BigInt::from_limbs(std::move(v));

@@ -15,9 +15,9 @@
 //   t  — at most t chunks.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <exception>
-#include <future>
 #include <utility>
 #include <vector>
 
@@ -40,51 +40,56 @@ struct ChunkRange {
   std::size_t end;
 };
 
+/// Number of chunks a balanced partition of [0, n) into at most max_chunks
+/// non-empty contiguous ranges produces: min(max_chunks, n), 0 for n == 0.
+/// Pure arithmetic — callers size their partial buffers with this instead
+/// of materializing the partition.
+[[nodiscard]] inline std::size_t chunk_count(std::size_t n,
+                                             std::size_t max_chunks) {
+  if (n == 0) return 0;
+  return std::min(std::max<std::size_t>(1, max_chunks), n);
+}
+
+/// Bounds of chunk c of the balanced partition of [0, n) into `chunks`
+/// ranges (front chunks take the remainder; identical layout to
+/// partition_range).
+[[nodiscard]] inline ChunkRange chunk_bounds(std::size_t n, std::size_t chunks,
+                                             std::size_t c) {
+  const std::size_t base = n / chunks;
+  const std::size_t extra = n % chunks;
+  const std::size_t begin = c * base + std::min(c, extra);
+  return {begin, begin + base + (c < extra ? 1 : 0)};
+}
+
 /// Balanced partition of [0, n) into min(max_chunks, n) non-empty
 /// contiguous ranges (front chunks take the remainder). Empty for n == 0.
+/// Allocates; hot paths use chunk_count/chunk_bounds arithmetic instead.
 [[nodiscard]] std::vector<ChunkRange> partition_range(std::size_t n,
                                                       std::size_t max_chunks);
 
 /// Invokes fn(chunk_index, begin, end) for every chunk of [0, n), with the
 /// chunk budget resolved from `threads` as described above. Runs inline
 /// (sequential, in chunk order) when only one chunk results or when the
-/// caller is itself a pool worker; otherwise chunk 0 runs on the caller
-/// while the rest run on the shared pool. Blocks until every chunk is done;
-/// rethrows the first chunk exception after all chunks have finished.
+/// caller is itself a pool worker; otherwise the chunks are broadcast over
+/// the shared pool with the caller participating (ThreadPool::run_chunks:
+/// stack job descriptor + atomic claim counter, no allocation). Blocks
+/// until every chunk is done; rethrows the first chunk exception after all
+/// chunks have finished.
 template <typename Fn>
 void parallel_chunks(std::size_t n, std::size_t threads, Fn&& fn) {
-  const std::vector<ChunkRange> chunks =
-      partition_range(n, resolve_parallelism(threads));
-  if (chunks.size() <= 1 || ThreadPool::on_pool_thread()) {
-    for (std::size_t c = 0; c < chunks.size(); ++c) {
-      fn(c, chunks[c].begin, chunks[c].end);
+  const std::size_t chunks = chunk_count(n, resolve_parallelism(threads));
+  if (chunks <= 1 || ThreadPool::on_pool_thread()) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const ChunkRange r = chunk_bounds(n, chunks, c);
+      fn(c, r.begin, r.end);
     }
     return;
   }
-  ThreadPool& pool = shared_pool();
-  std::vector<std::future<void>> pending;
-  pending.reserve(chunks.size() - 1);
-  for (std::size_t c = 1; c < chunks.size(); ++c) {
-    pending.push_back(pool.submit(
-        [&fn, c, range = chunks[c]] { fn(c, range.begin, range.end); }));
-  }
-  // The caller is one of the workers; even if its chunk throws, every
-  // submitted chunk must be joined before unwinding (tasks capture fn and
-  // caller-owned state by reference).
-  std::exception_ptr first_error;
-  try {
-    fn(0, chunks[0].begin, chunks[0].end);
-  } catch (...) {
-    first_error = std::current_exception();
-  }
-  for (auto& f : pending) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  auto body = [&fn, n, chunks](std::size_t c) {
+    const ChunkRange r = chunk_bounds(n, chunks, c);
+    fn(c, r.begin, r.end);
+  };
+  shared_pool().run_chunks(chunks, body);
 }
 
 }  // namespace ice

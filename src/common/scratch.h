@@ -22,6 +22,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/stats.h"
+
 namespace ice {
 
 class ScratchArena {
@@ -61,11 +63,27 @@ class ScratchArena {
 
   /// Borrows a buffer with the first `words` words zeroed.
   [[nodiscard]] Lease take_zeroed(std::size_t words) {
+    Lease lease = take(words);
+    std::memset(lease.data(), 0, words * sizeof(std::uint64_t));
+    return lease;
+  }
+
+  /// Borrows a buffer with at least `words` words of UNINITIALIZED storage.
+  /// For destination-passing kernels that overwrite the whole span (pow
+  /// tables, multiexp partials) — skips the memset take_zeroed pays.
+  [[nodiscard]] Lease take(std::size_t words) {
     std::vector<std::uint64_t> buf = pop();
-    if (buf.size() < words) buf.resize(words);
-    std::memset(buf.data(), 0, words * sizeof(std::uint64_t));
+    const bool hit = buf.size() >= words;
+    stats_.record(hit);
+    if (!hit) buf.resize(words);
     return Lease(this, std::move(buf), words);
   }
+
+  /// Reuse/miss tally for this thread's arena since thread start (a miss is
+  /// a take() that had to allocate or grow a buffer). Steady-state hot paths
+  /// should show misses flat across iterations; tests pin exactly that.
+  [[nodiscard]] const HitCounter& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
 
  private:
   std::vector<std::uint64_t> pop() {
@@ -80,6 +98,7 @@ class ScratchArena {
   }
 
   std::vector<std::vector<std::uint64_t>> free_;
+  HitCounter stats_;
 };
 
 }  // namespace ice

@@ -5,9 +5,26 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace ice {
+
+/// Hit/miss tally for caches and buffer pools (scratch arena reuse, wire
+/// buffer pools). Single-threaded by design: each counter instance belongs
+/// to one thread-local structure; aggregate across threads at report time.
+struct HitCounter {
+  std::uint64_t hits = 0;    // request served from pooled capacity
+  std::uint64_t misses = 0;  // request needed fresh/grown storage
+
+  void record(bool hit) { hit ? ++hits : ++misses; }
+  [[nodiscard]] std::uint64_t total() const { return hits + misses; }
+  [[nodiscard]] double hit_rate() const {
+    return total() == 0 ? 0.0 : static_cast<double>(hits) /
+                                    static_cast<double>(total());
+  }
+  void reset() { hits = misses = 0; }
+};
 
 /// Accumulates double-valued samples and reports summary statistics.
 /// Percentile queries sort a copy; intended for offline analysis, not hot

@@ -5,9 +5,11 @@
 // concurrent requests served by such a pool.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -17,8 +19,9 @@
 
 namespace ice {
 
-/// A fixed pool of worker threads draining a FIFO task queue.
-/// Destruction waits for already-submitted tasks to finish.
+/// A fixed pool of worker threads draining a FIFO task queue, plus an
+/// allocation-free chunk-broadcast path (run_chunks) for the audit hot
+/// loops. Destruction waits for already-submitted tasks to finish.
 class ThreadPool {
  public:
   explicit ThreadPool(std::size_t num_threads);
@@ -27,7 +30,8 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Submits a callable; returns a future for its result.
+  /// Submits a callable; returns a future for its result. Allocates (shared
+  /// task state + queue node); use run_chunks for allocation-free fan-out.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -45,6 +49,22 @@ class ThreadPool {
     return fut;
   }
 
+  /// Runs fn(chunk) for every chunk in [0, num_chunks) across the pool
+  /// WITHOUT allocating: the job descriptor lives on the caller's stack,
+  /// workers claim chunk indices from an atomic counter, and the caller
+  /// participates until every chunk is done. Blocks until completion and
+  /// rethrows the first chunk exception. If another broadcast is already in
+  /// flight (the pool has one job slot), the chunks run inline on the
+  /// caller — still correct, just not overlapped.
+  template <typename F>
+  void run_chunks(std::size_t num_chunks, F&& fn) {
+    using Fn = std::remove_reference_t<F>;
+    run_chunks_erased(
+        num_chunks,
+        [](void* ctx, std::size_t chunk) { (*static_cast<Fn*>(ctx))(chunk); },
+        const_cast<Fn*>(&fn));
+  }
+
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
   /// True when the calling thread is a worker of ANY ThreadPool. The
@@ -54,11 +74,32 @@ class ThreadPool {
   [[nodiscard]] static bool on_pool_thread();
 
  private:
+  /// One chunk-broadcast job. Lives on the posting thread's stack for the
+  /// duration of run_chunks; workers only touch it between incrementing
+  /// `entered` and `exited` (both under mu_), and the poster does not
+  /// return until every enterer has exited.
+  struct ChunkJob {
+    void (*invoke)(void* ctx, std::size_t chunk);
+    void* ctx;
+    std::size_t num_chunks;
+    std::atomic<std::size_t> next{0};  // next unclaimed chunk index
+    std::size_t done = 0;              // executed chunks (guarded by mu_)
+    std::size_t workers = 0;           // workers inside the job (mu_)
+    std::exception_ptr error;          // first failure (guarded by mu_)
+  };
+
+  void run_chunks_erased(std::size_t num_chunks,
+                         void (*invoke)(void*, std::size_t), void* ctx);
+  /// Claims and executes chunks of `job` until none remain; returns the
+  /// number executed and records the first exception in job->error.
+  std::size_t drain_job(ChunkJob* job);
   void worker_loop();
 
   std::mutex mu_;
   std::condition_variable cv_;
+  std::condition_variable job_cv_;  // poster waits for job completion
   std::deque<std::function<void()>> queue_;
+  ChunkJob* job_ = nullptr;  // active broadcast, if any (guarded by mu_)
   bool stopping_ = false;
   std::vector<std::thread> workers_;
 };

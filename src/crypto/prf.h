@@ -25,10 +25,20 @@ class CoefficientPrf {
   /// corrupted block escape the aggregate; the PRF resamples on zero).
   bn::BigInt next();
 
+  /// In-place next(): draws keystream into a stack buffer and reuses `out`'s
+  /// limb capacity — no heap traffic per coefficient.
+  void next_into(bn::BigInt& out);
+
   /// First `count` coefficients from a fresh expansion of `key`.
   static std::vector<bn::BigInt> expand(const bn::BigInt& key,
                                         std::size_t coeff_bits,
                                         std::size_t count);
+
+  /// In-place expand(): resizes `out` to `count` and overwrites each slot,
+  /// reusing vector and per-element limb capacity across calls. Steady-state
+  /// audit loops pass a warm thread-local vector and allocate nothing.
+  static void expand_into(const bn::BigInt& key, std::size_t coeff_bits,
+                          std::size_t count, std::vector<bn::BigInt>& out);
 
   [[nodiscard]] std::size_t coeff_bits() const { return coeff_bits_; }
 

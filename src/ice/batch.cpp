@@ -51,8 +51,7 @@ Proof make_batch_proof(const PublicKey& pk, const ProtocolParams& params,
   const std::vector<bn::BigInt> coeffs =
       crypto::CoefficientPrf::expand(e_j, params.coeff_bits, blocks.size());
   std::vector<bn::BigInt> partials(
-      partition_range(blocks.size(), resolve_parallelism(params.parallelism))
-          .size());
+      chunk_count(blocks.size(), resolve_parallelism(params.parallelism)));
   parallel_chunks(blocks.size(), params.parallelism,
                   [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                     bn::BigInt sum(0);

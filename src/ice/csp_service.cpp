@@ -103,7 +103,7 @@ void CspService::on_challenge(net::Reader& r, net::Writer& w) {
 }
 
 CspClient::Info CspClient::info() const {
-  const Bytes raw = channel_->call(kCspInfo, {});
+  const net::PooledBytes raw = net::call_pooled(*channel_, kCspInfo);
   net::Reader r = unwrap(raw);
   Info out;
   out.n = static_cast<std::size_t>(r.varint());
@@ -114,7 +114,7 @@ CspClient::Info CspClient::info() const {
 Bytes CspClient::fetch(std::size_t index) const {
   net::Writer w;
   w.varint(index);
-  const Bytes raw = channel_->call(kCspFetch, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kCspFetch, std::move(w));
   net::Reader r = unwrap(raw);
   return r.bytes();
 }
@@ -127,7 +127,7 @@ void CspClient::write_back(
     w.varint(index);
     w.bytes(data);
   }
-  const Bytes raw = channel_->call(kCspWriteBack, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kCspWriteBack, std::move(w));
   unwrap(raw);
 }
 
@@ -138,7 +138,7 @@ void CspClient::set_key(const PublicKey& pk,
   w.bigint(pk.g);
   w.varint(params.coeff_bits);
   w.varint(params.challenge_key_bits);
-  const Bytes raw = channel_->call(kCspSetKey, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kCspSetKey, std::move(w));
   unwrap(raw);
 }
 
@@ -148,7 +148,7 @@ Proof CspClient::challenge(const bn::BigInt& e, const bn::BigInt& g_s,
   w.bigint(e);
   w.bigint(g_s);
   write_index_list(w, sample);
-  const Bytes raw = channel_->call(kCspChallenge, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kCspChallenge, std::move(w));
   net::Reader r = unwrap(raw);
   Proof proof;
   proof.p = r.bigint();

@@ -202,7 +202,7 @@ void EdgeService::pre_download(const std::vector<std::size_t>& indices) {
 Bytes EdgeClient::read(std::size_t index) const {
   net::Writer w;
   w.varint(index);
-  const Bytes raw = channel_->call(kEdgeRead, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kEdgeRead, std::move(w));
   net::Reader r = unwrap(raw);
   return r.bytes();
 }
@@ -211,12 +211,12 @@ void EdgeClient::write(std::size_t index, BytesView data) const {
   net::Writer w;
   w.varint(index);
   w.bytes(data);
-  const Bytes raw = channel_->call(kEdgeWrite, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kEdgeWrite, std::move(w));
   unwrap(raw);
 }
 
 std::vector<std::size_t> EdgeClient::index_query() const {
-  const Bytes raw = channel_->call(kEdgeIndexQuery, {});
+  const net::PooledBytes raw = net::call_pooled(*channel_, kEdgeIndexQuery);
   net::Reader r = unwrap(raw);
   return read_index_list(r);
 }
@@ -226,7 +226,7 @@ void EdgeClient::share_blinding(std::uint64_t session_id,
   net::Writer w;
   w.u64(session_id);
   w.bigint(s_tilde);
-  const Bytes raw = channel_->call(kEdgeShareBlind, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kEdgeShareBlind, std::move(w));
   unwrap(raw);
 }
 
@@ -236,7 +236,7 @@ Proof EdgeClient::challenge(std::uint64_t session_id,
   w.u64(session_id);
   w.bigint(chal.e);
   w.bigint(chal.g_s);
-  const Bytes raw = channel_->call(kEdgeChallenge, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kEdgeChallenge, std::move(w));
   net::Reader r = unwrap(raw);
   Proof proof;
   proof.p = r.bigint();
@@ -249,7 +249,7 @@ void EdgeClient::batch_challenge(std::uint64_t batch_id, const bn::BigInt& e_j,
   w.u64(batch_id);
   w.bigint(e_j);
   w.bigint(g_s);
-  const Bytes raw = channel_->call(kEdgeBatchChallenge, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kEdgeBatchChallenge, std::move(w));
   unwrap(raw);
 }
 
@@ -259,7 +259,7 @@ Proof EdgeClient::subset_proof(const bn::BigInt& e, const bn::BigInt& g_s,
   w.bigint(e);
   w.bigint(g_s);
   write_index_list(w, subset);
-  const Bytes raw = channel_->call(kEdgeSubsetProof, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kEdgeSubsetProof, std::move(w));
   net::Reader r = unwrap(raw);
   Proof proof;
   proof.p = r.bigint();
@@ -267,7 +267,7 @@ Proof EdgeClient::subset_proof(const bn::BigInt& e, const bn::BigInt& g_s,
 }
 
 std::size_t EdgeClient::flush() const {
-  const Bytes raw = channel_->call(kEdgeFlush, {});
+  const net::PooledBytes raw = net::call_pooled(*channel_, kEdgeFlush);
   net::Reader r = unwrap(raw);
   return static_cast<std::size_t>(r.varint());
 }

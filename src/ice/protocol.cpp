@@ -45,8 +45,7 @@ Proof make_proof(const PublicKey& pk, const ProtocolParams& params,
   const std::vector<bn::BigInt> coeffs = crypto::CoefficientPrf::expand(
       challenge.e, params.coeff_bits, blocks.size());
   std::vector<bn::BigInt> partials(
-      partition_range(blocks.size(), resolve_parallelism(params.parallelism))
-          .size());
+      chunk_count(blocks.size(), resolve_parallelism(params.parallelism)));
   parallel_chunks(blocks.size(), params.parallelism,
                   [&](std::size_t chunk, std::size_t begin, std::size_t end) {
                     bn::BigInt sum(0);
@@ -69,17 +68,25 @@ std::vector<bn::BigInt> repack_tags(const PublicKey& pk,
                                     const std::vector<bn::BigInt>& tags,
                                     const bn::BigInt& s_tilde,
                                     std::size_t parallelism) {
+  std::vector<bn::BigInt> out;
+  repack_tags_into(pk, tags, s_tilde, parallelism, out);
+  return out;
+}
+
+void repack_tags_into(const PublicKey& pk, const std::vector<bn::BigInt>& tags,
+                      const bn::BigInt& s_tilde, std::size_t parallelism,
+                      std::vector<bn::BigInt>& out) {
   const auto mont = bn::Montgomery::shared(pk.n);
-  std::vector<bn::BigInt> out(tags.size());
+  out.resize(tags.size());
   // Independent modexps into disjoint slots; the Montgomery context (and
-  // its precomputed R^2, -N^{-1}) is shared read-only across chunks.
+  // its precomputed R^2, -N^{-1}) is shared read-only across chunks, and
+  // pow_into reuses each slot's limb storage plus arena scratch.
   parallel_chunks(tags.size(), parallelism,
                   [&](std::size_t, std::size_t begin, std::size_t end) {
                     for (std::size_t k = begin; k < end; ++k) {
-                      out[k] = mont->pow(tags[k], s_tilde);
+                      mont->pow_into(out[k], tags[k], s_tilde);
                     }
                   });
-  return out;
 }
 
 bool verify_proof(const PublicKey& pk, const ProtocolParams& params,
@@ -94,11 +101,16 @@ bool verify_proof(const PublicKey& pk, const ProtocolParams& params,
   // sharing a single squaring chain across all |S_j| tags (multiexp.h),
   // chunked over the pool with partials combined in chunk order — the
   // canonical result is bit-identical to per-tag pow at every thread count.
-  const std::vector<bn::BigInt> coeffs = crypto::CoefficientPrf::expand(
-      challenge.e, params.coeff_bits, repacked_tags.size());
+  // Coefficients land in a warm thread-local vector (expand_into reuses
+  // vector and limb capacity), the aggregate and the expected value live in
+  // SBO limb storage: the steady-state verify allocates nothing.
+  static thread_local std::vector<bn::BigInt> coeffs;
+  crypto::CoefficientPrf::expand_into(challenge.e, params.coeff_bits,
+                                      repacked_tags.size(), coeffs);
   const bn::BigInt r =
       bn::multi_exp(*mont, repacked_tags, coeffs, params.parallelism);
-  const bn::BigInt expected = mont->pow(r, secret.s);
+  bn::BigInt expected;
+  mont->pow_into(expected, r, secret.s);
   // One canonical reduction of the claimed proof (a no-op for wire-valid
   // proofs, which deserialization already range-checks).
   return expected == mont->reduce(proof.p);

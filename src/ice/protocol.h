@@ -60,6 +60,13 @@ std::vector<bn::BigInt> repack_tags(const PublicKey& pk,
                                     const bn::BigInt& s_tilde,
                                     std::size_t parallelism = 0);
 
+/// In-place repack_tags: resizes `out` to tags.size() and overwrites each
+/// slot via Montgomery::pow_into. A warm `out` (same size, limbs within
+/// their SBO/heap capacity) makes the steady-state call allocation-free.
+void repack_tags_into(const PublicKey& pk, const std::vector<bn::BigInt>& tags,
+                      const bn::BigInt& s_tilde, std::size_t parallelism,
+                      std::vector<bn::BigInt>& out);
+
 /// TPA side: recomputes the coefficients from e, aggregates the repacked
 /// tags, raises to s, and compares with the edge's proof.
 /// Returns true iff the audit passes (a normal outcome, not an error).

@@ -22,6 +22,14 @@ bn::BigInt TagGenerator::tag(BytesView block) const {
 
 std::vector<bn::BigInt> TagGenerator::tag_all(
     const std::vector<Bytes>& blocks, std::size_t parallelism) const {
+  std::vector<bn::BigInt> tags;
+  tag_all_into(blocks, parallelism, tags);
+  return tags;
+}
+
+void TagGenerator::tag_all_into(const std::vector<Bytes>& blocks,
+                                std::size_t parallelism,
+                                std::vector<bn::BigInt>& out) const {
   // Build (or fetch) one comb sized for the largest block before fanning
   // out, so worker chunks share a read-only table instead of racing to
   // construct it.
@@ -30,15 +38,18 @@ std::vector<bn::BigInt> TagGenerator::tag_all(
     max_bits = std::max(max_bits, b.size() * 8);
   }
   const auto comb = mont_->fixed_base(pk_.g, std::max<std::size_t>(max_bits, 1));
-  std::vector<bn::BigInt> tags(blocks.size());
+  out.resize(blocks.size());
   parallel_chunks(blocks.size(), parallelism,
                   [&](std::size_t, std::size_t begin, std::size_t end) {
+                    // One reused exponent per worker: assign_bytes_be keeps
+                    // the limb capacity of the largest block seen, so the
+                    // per-tag loop performs no heap traffic once warm.
+                    static thread_local bn::BigInt m;
                     for (std::size_t i = begin; i < end; ++i) {
-                      tags[i] =
-                          comb->pow(bn::BigInt::from_bytes_be(blocks[i]));
+                      m.assign_bytes_be(blocks[i]);
+                      comb->pow_into(out[i], m);
                     }
                   });
-  return tags;
 }
 
 bn::BigInt TagGenerator::updated_tag(BytesView block,

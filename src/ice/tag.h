@@ -35,6 +35,13 @@ class TagGenerator {
   [[nodiscard]] std::vector<bn::BigInt> tag_all(
       const std::vector<Bytes>& blocks, std::size_t parallelism = 0) const;
 
+  /// In-place tag_all: resizes `out` to blocks.size() and overwrites each
+  /// slot. With a warm `out`, the per-tag loop allocates nothing — block
+  /// exponents land in a reused thread-local BigInt and comb evaluation
+  /// runs on arena scratch.
+  void tag_all_into(const std::vector<Bytes>& blocks, std::size_t parallelism,
+                    std::vector<bn::BigInt>& out) const;
+
   /// g^{m * s_tilde} mod N — the re-tag of an updated block used in
   /// VerifyEdge step 2 (the user substitutes this for the stored tag).
   [[nodiscard]] bn::BigInt updated_tag(BytesView block,

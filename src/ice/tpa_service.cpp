@@ -288,21 +288,21 @@ void TpaClient::set_key(const PublicKey& pk,
   w.bigint(pk.g);
   w.varint(params.coeff_bits);
   w.varint(params.challenge_key_bits);
-  const Bytes raw = channel_->call(kTpaSetKey, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kTpaSetKey, std::move(w));
   unwrap(raw);
 }
 
 void TpaClient::store_tags(const std::vector<bn::BigInt>& tags) const {
   net::Writer w;
   write_bigint_list(w, tags);
-  const Bytes raw = channel_->call(kTpaStoreTags, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kTpaStoreTags, std::move(w));
   unwrap(raw);
 }
 
 pir::PirResponse TpaClient::tag_query(const pir::PirQuery& query) const {
   net::Writer w;
   write_pir_query(w, query);
-  const Bytes raw = channel_->call(kTpaTagQuery, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kTpaTagQuery, std::move(w));
   net::Reader r = unwrap(raw);
   return read_pir_response(r);
 }
@@ -312,7 +312,7 @@ void TpaClient::start_audit(std::uint32_t edge_id,
   net::Writer w;
   w.varint(edge_id);
   w.u64(session_id);
-  const Bytes raw = channel_->call(kTpaStartAudit, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kTpaStartAudit, std::move(w));
   unwrap(raw);
 }
 
@@ -321,7 +321,7 @@ bool TpaClient::submit_repacked(std::uint64_t session_id,
   net::Writer w;
   w.u64(session_id);
   write_bigint_list(w, tags);
-  const Bytes raw = channel_->call(kTpaSubmitRepacked, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kTpaSubmitRepacked, std::move(w));
   net::Reader r = unwrap(raw);
   return r.u8() == 1;
 }
@@ -331,7 +331,7 @@ bn::BigInt TpaClient::batch_begin(std::uint64_t batch_id,
   net::Writer w;
   w.u64(batch_id);
   w.varint(num_edges);
-  const Bytes raw = channel_->call(kTpaBatchBegin, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kTpaBatchBegin, std::move(w));
   net::Reader r = unwrap(raw);
   return r.bigint();
 }
@@ -340,7 +340,7 @@ void TpaClient::update_tag(std::size_t index, const bn::BigInt& tag) const {
   net::Writer w;
   w.varint(index);
   w.bigint(tag);
-  const Bytes raw = channel_->call(kTpaUpdateTag, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kTpaUpdateTag, std::move(w));
   unwrap(raw);
 }
 
@@ -349,7 +349,7 @@ bool TpaClient::batch_finish(std::uint64_t batch_id,
   net::Writer w;
   w.u64(batch_id);
   write_bigint_list(w, tags);
-  const Bytes raw = channel_->call(kTpaBatchFinish, w.take());
+  const net::PooledBytes raw = net::call_pooled(*channel_, kTpaBatchFinish, std::move(w));
   net::Reader r = unwrap(raw);
   return r.u8() == 1;
 }

@@ -7,8 +7,12 @@
 namespace ice::proto {
 
 void write_gf4_vector(net::Writer& w, const gf::GF4Vector& v) {
+  // The packed scratch is thread-local: steady-state response encoding
+  // reuses one byte buffer instead of allocating per vector.
+  static thread_local Bytes packed;
+  pir::pack_gf4_into(v, packed);
   w.varint(v.size());
-  w.bytes(pir::pack_gf4(v));
+  w.bytes(packed);
 }
 
 gf::GF4Vector read_gf4_vector(net::Reader& r) {
@@ -16,8 +20,8 @@ gf::GF4Vector read_gf4_vector(net::Reader& r) {
   if (count > (std::uint64_t{1} << 24)) {
     throw CodecError("read_gf4_vector: implausible length");
   }
-  const Bytes packed = r.bytes();
-  return pir::unpack_gf4(packed, static_cast<std::size_t>(count));
+  // Unpack straight from the frame view — no intermediate copy.
+  return pir::unpack_gf4(r.bytes_view(), static_cast<std::size_t>(count));
 }
 
 void write_pir_query(net::Writer& w, const pir::PirQuery& q) {
@@ -50,7 +54,8 @@ void write_pir_response(net::Writer& w, const pir::PirResponse& resp) {
     const std::size_t inner =
         e.gradients.empty() ? 0 : e.gradients.front().size();
     w.varint(inner);
-    gf::GF4Vector flat;
+    static thread_local gf::GF4Vector flat;
+    flat.clear();
     flat.reserve(e.gradients.size() * inner);
     for (const auto& g : e.gradients) {
       if (g.size() != inner) {

@@ -1,0 +1,31 @@
+#include "net/buffer_pool.h"
+
+#include <utility>
+
+namespace ice::net {
+
+BufferPool& BufferPool::local() {
+  static thread_local BufferPool pool;
+  return pool;
+}
+
+Bytes BufferPool::acquire() {
+  const bool hit = !free_.empty();
+  stats_.record(hit);
+  if (!hit) return {};
+  Bytes buf = std::move(free_.back());
+  free_.pop_back();
+  buf.clear();  // keeps capacity
+  return buf;
+}
+
+void BufferPool::release(Bytes&& buf) {
+  if (buf.capacity() == 0 || buf.capacity() > kMaxPooledCapacity ||
+      free_.size() >= kMaxPooled) {
+    return;  // dropped; the vector frees on destruction
+  }
+  buf.clear();
+  free_.push_back(std::move(buf));
+}
+
+}  // namespace ice::net

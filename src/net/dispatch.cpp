@@ -50,13 +50,26 @@ Reader unwrap(const Bytes& response) {
   throw RemoteError(static_cast<Status>(code), r.str());
 }
 
+PooledBytes call_pooled(RpcChannel& channel, std::uint16_t method,
+                        Writer&& request) {
+  Bytes frame = request.take();
+  Bytes response = channel.call(method, frame);
+  BufferPool::local().release(std::move(frame));
+  return PooledBytes(std::move(response));
+}
+
+PooledBytes call_pooled(RpcChannel& channel, std::uint16_t method) {
+  return PooledBytes(channel.call(method, {}));
+}
+
 void Dispatcher::on(std::uint16_t method, std::string_view name,
                     Handler handler) {
   if (!handler) {
     throw ParamError("Dispatcher: null handler for " + std::string(name));
   }
-  const auto [it, inserted] =
-      methods_.emplace(method, Entry{std::string(name), std::move(handler)});
+  const auto [it, inserted] = methods_.emplace(
+      method, Entry{std::string(name), service_ + "." + std::string(name),
+                    std::move(handler)});
   if (!inserted) {
     throw ParamError("Dispatcher: duplicate method id " +
                      std::to_string(method));
@@ -70,13 +83,17 @@ Bytes Dispatcher::handle(std::uint16_t method, BytesView request) const {
                         service_ + ": unknown method " +
                             std::to_string(method));
   }
-  const std::string where = service_ + "." + it->second.name;
+  const std::string& where = it->second.where;
   try {
+    // The kOk envelope is written into the SAME pooled frame the handler
+    // appends its payload to — one buffer per response, no stitching copy.
+    // Error paths below rebuild the frame from scratch; they are cold.
     Reader r(request);
     Writer w;
+    w.u16(static_cast<std::uint16_t>(Status::kOk));
     it->second.handler(r, w);
     r.expect_done();  // a handler that leaves trailing bytes mis-parsed
-    return encode_ok(std::move(w));
+    return w.take();
   } catch (const ServiceError& e) {
     return encode_error(e.status(), where + ": " + e.what());
   } catch (const CodecError& e) {

@@ -14,6 +14,7 @@
 #include <string_view>
 #include <unordered_map>
 
+#include "net/buffer_pool.h"
 #include "net/rpc.h"
 #include "net/serde.h"
 
@@ -33,6 +34,20 @@ Bytes encode_error(Status status, std::string_view reason);
 /// `unwrap(channel.call(...))` a compile error.
 Reader unwrap(const Bytes& response);
 Reader unwrap(Bytes&& response) = delete;
+/// PooledBytes overload: the usual holder a stub keeps a response in.
+inline Reader unwrap(const PooledBytes& response) {
+  return unwrap(response.get());
+}
+
+/// One pooled request/response round trip: sends the writer's frame,
+/// returns the request buffer's capacity to the thread's BufferPool, and
+/// hands back the response in a PooledBytes so its storage is recycled when
+/// the stub finishes decoding. Steady-state stub calls allocate nothing on
+/// the client side.
+PooledBytes call_pooled(RpcChannel& channel, std::uint16_t method,
+                        Writer&& request);
+/// Empty-request variant.
+PooledBytes call_pooled(RpcChannel& channel, std::uint16_t method);
 
 /// Method table for one service. Built once at service construction, then
 /// immutable — handle() is const and safe to call from any number of
@@ -65,6 +80,7 @@ class Dispatcher {
  private:
   struct Entry {
     std::string name;
+    std::string where;  // "Service.method", built once at registration
     Handler handler;
   };
 

@@ -1,6 +1,12 @@
 #include "net/serde.h"
 
+#include "net/buffer_pool.h"
+
 namespace ice::net {
+
+Writer::Writer() : buf_(BufferPool::local().acquire()) {}
+
+Writer::~Writer() { BufferPool::local().release(std::move(buf_)); }
 
 void Writer::u16(std::uint16_t v) {
   u8(static_cast<std::uint8_t>(v));
@@ -36,8 +42,18 @@ void Writer::str(std::string_view s) {
 }
 
 void Writer::bigint(const bn::BigInt& v) {
+  // Direct limb -> big-endian encode with ONE reserve: no abs() copy, no
+  // temporary byte string. Wire format is unchanged (sign byte + varint
+  // length + minimal big-endian magnitude).
   u8(static_cast<std::uint8_t>(v.sign() < 0 ? 1 : 0));
-  bytes(v.abs().to_bytes_be());
+  const std::size_t nbytes = (v.bit_length() + 7) / 8;
+  varint(nbytes);
+  buf_.reserve(buf_.size() + nbytes);
+  const auto& limbs = v.limbs();
+  for (std::size_t i = nbytes; i-- > 0;) {
+    const std::size_t bit = i * 8;
+    buf_.push_back(static_cast<std::uint8_t>(limbs[bit / 64] >> (bit % 64)));
+  }
 }
 
 BytesView Reader::take(std::size_t n) {
@@ -79,21 +95,28 @@ std::uint64_t Reader::varint() {
 }
 
 Bytes Reader::bytes() {
-  const std::uint64_t len = varint();
-  if (len > remaining()) throw CodecError("Reader: byte string truncated");
-  const auto b = take(static_cast<std::size_t>(len));
+  const BytesView b = bytes_view();
   return Bytes(b.begin(), b.end());
 }
 
+BytesView Reader::bytes_view() {
+  const std::uint64_t len = varint();
+  if (len > remaining()) throw CodecError("Reader: byte string truncated");
+  return take(static_cast<std::size_t>(len));
+}
+
 std::string Reader::str() {
-  const Bytes raw = bytes();
+  const BytesView raw = bytes_view();
   return std::string(raw.begin(), raw.end());
 }
 
 bn::BigInt Reader::bigint() {
+  // Decode straight from the frame view. The declared magnitude length is
+  // clamped against remaining() BEFORE any buffer is sized, so a hostile
+  // length prefix cannot force a large reserve — it throws CodecError.
   const std::uint8_t negative = u8();
   if (negative > 1) throw CodecError("Reader: bad bigint sign byte");
-  bn::BigInt v = bn::BigInt::from_bytes_be(bytes());
+  bn::BigInt v = bn::BigInt::from_bytes_be(bytes_view());
   return negative ? v.negated() : v;
 }
 

@@ -18,6 +18,14 @@ namespace ice::net {
 
 class Writer {
  public:
+  /// Leases the backing buffer from the thread's BufferPool; a destroyed or
+  /// taken-and-released writer returns its capacity there, so steady-state
+  /// frame construction reuses storage instead of allocating.
+  Writer();
+  ~Writer();
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
   void u8(std::uint8_t v) { buf_.push_back(v); }
   void u16(std::uint16_t v);
   void u32(std::uint32_t v);
@@ -50,6 +58,10 @@ class Reader {
   std::uint64_t u64();
   std::uint64_t varint();
   Bytes bytes();
+  /// Length-prefixed bytes as a view into the underlying buffer (no copy).
+  /// Same truncation check as bytes(); the view lives as long as the data
+  /// the Reader was constructed over.
+  BytesView bytes_view();
   std::string str();
   bn::BigInt bigint();
 

@@ -10,6 +10,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "net/buffer_pool.h"
 
 namespace ice::net {
 
@@ -135,6 +136,11 @@ void TcpServer::accept_loop() {
 }
 
 void TcpServer::serve_connection(int fd) {
+  // frame/out persist across iterations and the response buffer goes back
+  // to the thread's BufferPool, so a long-lived connection settles into
+  // zero allocations per request once buffers reach their working size.
+  Bytes frame;
+  Bytes out;
   try {
     for (;;) {
       std::uint8_t header[4];
@@ -143,17 +149,17 @@ void TcpServer::serve_connection(int fd) {
       if (frame_len < 2 || frame_len > kMaxFrame) {
         throw TransportError("TcpServer: bad frame length");
       }
-      Bytes frame(frame_len);
+      frame.resize(frame_len);
       if (!read_all(fd, frame.data(), frame.size())) {
         throw TransportError("TcpServer: truncated frame");
       }
       const std::uint16_t method =
           static_cast<std::uint16_t>(frame[0] | (frame[1] << 8));
-      const Bytes response =
-          handler_->handle(method, BytesView(frame).subspan(2));
-      Bytes out(4 + response.size());
+      Bytes response = handler_->handle(method, BytesView(frame).subspan(2));
+      out.resize(4 + response.size());
       encode_u32(out.data(), static_cast<std::uint32_t>(response.size()));
       std::copy(response.begin(), response.end(), out.begin() + 4);
+      BufferPool::local().release(std::move(response));
       write_all(fd, out.data(), out.size());
     }
   } catch (const std::exception&) {
@@ -192,7 +198,8 @@ TcpChannel::~TcpChannel() {
 
 Bytes TcpChannel::call(std::uint16_t method, BytesView request) {
   std::lock_guard lock(mu_);
-  Bytes frame(4 + 2 + request.size());
+  Bytes frame = BufferPool::local().acquire();
+  frame.resize(4 + 2 + request.size());
   encode_u32(frame.data(), static_cast<std::uint32_t>(2 + request.size()));
   frame[4] = static_cast<std::uint8_t>(method);
   frame[5] = static_cast<std::uint8_t>(method >> 8);
@@ -200,6 +207,7 @@ Bytes TcpChannel::call(std::uint16_t method, BytesView request) {
   write_all(fd_, frame.data(), frame.size());
   stats_.calls++;
   stats_.bytes_sent += frame.size();
+  BufferPool::local().release(std::move(frame));
 
   std::uint8_t header[4];
   if (!read_all(fd_, header, 4)) {

@@ -1,6 +1,7 @@
 #include "net/tenant.h"
 
 #include "common/error.h"
+#include "net/buffer_pool.h"
 
 namespace ice::net {
 
@@ -60,7 +61,10 @@ Bytes MultiTenantHandler::handle(std::uint16_t method, BytesView request) {
 }
 
 Bytes TenantChannel::call(std::uint16_t method, BytesView request) {
-  Bytes prefixed(8 + request.size());
+  // The prefixed frame is leased from the thread's BufferPool: steady-state
+  // tenant calls reuse one buffer instead of allocating per call.
+  Bytes prefixed = BufferPool::local().acquire();
+  prefixed.resize(8 + request.size());
   for (int i = 0; i < 8; ++i) {
     prefixed[static_cast<std::size_t>(i)] =
         static_cast<std::uint8_t>(tenant_id_ >> (8 * i));
@@ -70,6 +74,7 @@ Bytes TenantChannel::call(std::uint16_t method, BytesView request) {
   stats_.calls++;
   stats_.bytes_sent += prefixed.size() + kRpcHeaderBytes;
   stats_.bytes_received += response.size() + kRpcHeaderBytes;
+  BufferPool::local().release(std::move(prefixed));
   return response;
 }
 

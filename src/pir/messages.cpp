@@ -20,23 +20,33 @@ std::size_t wire_bits(const PirResponse& r) {
 }
 
 Bytes pack_gf4(const gf::GF4Vector& v) {
-  Bytes out((v.size() + 3) / 4, 0);
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    out[i / 4] |= static_cast<std::uint8_t>(v[i].value() << (2 * (i % 4)));
-  }
+  Bytes out;
+  pack_gf4_into(v, out);
   return out;
 }
 
+void pack_gf4_into(const gf::GF4Vector& v, Bytes& out) {
+  out.assign((v.size() + 3) / 4, 0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out[i / 4] |= static_cast<std::uint8_t>(v[i].value() << (2 * (i % 4)));
+  }
+}
+
 gf::GF4Vector unpack_gf4(BytesView data, std::size_t count) {
+  gf::GF4Vector out;
+  unpack_gf4_into(data, count, out);
+  return out;
+}
+
+void unpack_gf4_into(BytesView data, std::size_t count, gf::GF4Vector& out) {
   if (data.size() < (count + 3) / 4) {
     throw CodecError("unpack_gf4: buffer too short");
   }
-  gf::GF4Vector out(count);
+  out.resize(count);
   for (std::size_t i = 0; i < count; ++i) {
     out[i] =
         gf::GF4(static_cast<std::uint8_t>(data[i / 4] >> (2 * (i % 4))));
   }
-  return out;
 }
 
 }  // namespace ice::pir

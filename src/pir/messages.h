@@ -49,7 +49,11 @@ std::size_t wire_bits(const PirResponse& r);
 
 /// Packs a GF(4) vector, 4 elements per byte.
 Bytes pack_gf4(const gf::GF4Vector& v);
+/// Destination-passing pack: overwrites `out`, reusing its capacity.
+void pack_gf4_into(const gf::GF4Vector& v, Bytes& out);
 /// Unpacks `count` GF(4) elements.
 gf::GF4Vector unpack_gf4(BytesView data, std::size_t count);
+/// Destination-passing unpack: overwrites `out`, reusing its capacity.
+void unpack_gf4_into(BytesView data, std::size_t count, gf::GF4Vector& out);
 
 }  // namespace ice::pir

@@ -71,6 +71,18 @@ constexpr std::array<std::uint8_t, 64> make_coeff_lut() {
 }
 constexpr std::array<std::uint8_t, 64> kCoeffLut = make_coeff_lut();
 
+// Reshapes one response entry to (k planes, gamma gradients) and zeroes the
+// planes WITHOUT discarding capacity: resize + assign reuse the existing
+// buffers, unlike gradients.assign(gamma, GF4Vector(k)) which re-copies a
+// fresh k-element temporary into every slot. A warm entry costs no heap
+// traffic to reshape.
+void reshape_zeroed(PirSingleResponse& entry, std::size_t k,
+                    std::size_t gamma) {
+  entry.values.assign(k, GF4::zero());
+  entry.gradients.resize(gamma);
+  for (auto& g : entry.gradients) g.assign(k, GF4::zero());
+}
+
 // Expands k elements of a lo/hi bit-plane pair into GF(4) bytes
 // (lo | hi << 1 per element) through the dispatched spread kernel. GF4 is
 // one trivially-copyable byte whose representation IS the 2-bit element
@@ -95,19 +107,28 @@ PirServer::PirServer(const TagDatabase& db, const Embedding& embedding,
 }
 
 PirResponse PirServer::respond(const PirQuery& query) const {
+  PirResponse out;
+  respond_into(query, out);
+  return out;
+}
+
+void PirServer::respond_into(const PirQuery& query, PirResponse& out) const {
   for (const auto& q : query.points) {
     if (q.size() != embedding_->gamma()) {
       throw ParamError("PirServer: query point has wrong dimension");
     }
   }
-  if (query.points.empty()) return {};
+  if (query.points.empty()) {
+    out.entries.clear();
+    return;
+  }
   switch (strategy_) {
     case EvalStrategy::kNaive:
-      return eval_naive_batch(query.points);
+      return eval_naive_batch(query.points, out);
     case EvalStrategy::kMatrix:
-      return eval_matrix_batch(query.points);
+      return eval_matrix_batch(query.points, out);
     case EvalStrategy::kBitsliced:
-      return eval_bitsliced_batch(query.points);
+      return eval_bitsliced_batch(query.points, out);
   }
   throw ParamError("PirServer: unknown strategy");
 }
@@ -221,7 +242,7 @@ PirSingleResponse PirServer::eval_bitsliced(const GF4Vector& q) const {
   // serial planes bit for bit.
   const std::size_t stride = 2 * w + 2 * gamma * w;
   const std::size_t num_shards =
-      partition_range(n, resolve_parallelism(parallelism_)).size();
+      chunk_count(n, resolve_parallelism(parallelism_));
   auto lease = ScratchArena::local().take_zeroed(
       std::max<std::size_t>(num_shards, 1) * stride);
   std::uint64_t* const acc = lease.data();
@@ -273,8 +294,8 @@ PirSingleResponse PirServer::eval_bitsliced(const GF4Vector& q) const {
 // Fused batch engine: one pass over the tag database for the whole query.
 // ------------------------------------------------------------------------
 
-PirResponse PirServer::eval_naive_batch(
-    const std::vector<GF4Vector>& qs) const {
+void PirServer::eval_naive_batch(const std::vector<GF4Vector>& qs,
+                                 PirResponse& out) const {
   const std::size_t n = db_->size();
   const std::size_t k = db_->tag_bits();
   const std::size_t gamma = embedding_->gamma();
@@ -283,12 +304,8 @@ PirResponse PirServer::eval_naive_batch(
   const Embedding::Triple* const triples = embedding_->triples().data();
   const std::uint64_t* const rows = db_->rows_data();
 
-  PirResponse out;
   out.entries.resize(m);
-  for (auto& entry : out.entries) {
-    entry.values.assign(k, GF4::zero());
-    entry.gradients.assign(gamma, GF4Vector(k));
-  }
+  for (auto& entry : out.entries) reshape_zeroed(entry, k, gamma);
   // Naive still multiplies every monomial by its 0/1 coefficient, but the
   // batch sweep hoists the per-point monomial evaluations out of the plane
   // loop: per plane-chunk, each row is visited once and its m evaluations
@@ -319,11 +336,10 @@ PirResponse PirServer::eval_naive_batch(
       }
     }
   });
-  return out;
 }
 
-PirResponse PirServer::eval_matrix_batch(
-    const std::vector<GF4Vector>& qs) const {
+void PirServer::eval_matrix_batch(const std::vector<GF4Vector>& qs,
+                                  PirResponse& out) const {
   const std::size_t n = db_->size();
   const std::size_t k = db_->tag_bits();
   const std::size_t gamma = embedding_->gamma();
@@ -347,13 +363,11 @@ PirResponse PirServer::eval_matrix_batch(
                     }
                   });
 
-  PirResponse out;
   out.entries.resize(m);
   parallel_chunks(m, parallelism_,
                   [&](std::size_t, std::size_t begin, std::size_t end) {
                     for (std::size_t p = begin; p < end; ++p) {
-                      out.entries[p].values.assign(k, GF4::zero());
-                      out.entries[p].gradients.assign(gamma, GF4Vector(k));
+                      reshape_zeroed(out.entries[p], k, gamma);
                     }
                   });
 
@@ -381,11 +395,10 @@ PirResponse PirServer::eval_matrix_batch(
       }
     }
   });
-  return out;
 }
 
-PirResponse PirServer::eval_bitsliced_batch(
-    const std::vector<GF4Vector>& qs) const {
+void PirServer::eval_bitsliced_batch(const std::vector<GF4Vector>& qs,
+                                     PirResponse& out) const {
   const std::size_t n = db_->size();
   const std::size_t k = db_->tag_bits();
   const std::size_t gamma = embedding_->gamma();
@@ -404,7 +417,7 @@ PirResponse PirServer::eval_bitsliced_batch(
   const std::size_t pair = 2 * w;
   const std::size_t stride = pair * (1 + gamma);
   const std::size_t num_shards =
-      partition_range(n, resolve_parallelism(parallelism_)).size();
+      chunk_count(n, resolve_parallelism(parallelism_));
   auto lease = ScratchArena::local().take_zeroed(
       std::max<std::size_t>(num_shards, 1) * m * stride);
   std::uint64_t* const acc = lease.data();
@@ -527,24 +540,25 @@ PirResponse PirServer::eval_bitsliced_batch(
   // Unpack the component planes into per-point responses; the
   // coordinate-major gradient layout mirrors the accumulator, so every
   // output vector expands from one contiguous pair. Points are disjoint
-  // output slots, so they shard over the pool.
-  PirResponse out;
+  // output slots, so they shard over the pool. resize (not assign) keeps a
+  // warm entry's buffers — unpack_pair overwrites every element, so no
+  // zeroing is needed.
   out.entries.resize(m);
   parallel_chunks(m, parallelism_, [&](std::size_t, std::size_t begin,
                                        std::size_t end) {
     for (std::size_t p = begin; p < end; ++p) {
       const std::uint64_t* const pacc = acc + p * stride;
       PirSingleResponse& entry = out.entries[p];
-      entry.values.assign(k, GF4::zero());
-      entry.gradients.assign(gamma, GF4Vector(k));
+      entry.values.resize(k);
+      entry.gradients.resize(gamma);
       unpack_pair(kern, pacc, pacc + w, k, entry.values.data());
       for (std::size_t j = 0; j < gamma; ++j) {
         const std::uint64_t* const g = pacc + pair * (1 + j);
+        entry.gradients[j].resize(k);
         unpack_pair(kern, g, g + w, k, entry.gradients[j].data());
       }
     }
   });
-  return out;
 }
 
 }  // namespace ice::pir

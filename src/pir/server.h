@@ -50,6 +50,11 @@ class PirServer {
   /// points, at every strategy and parallelism setting.
   [[nodiscard]] PirResponse respond(const PirQuery& query) const;
 
+  /// In-place respond(): reshapes `out` without discarding its entry and
+  /// plane-vector capacity, so a warm response object (same m, k, gamma as
+  /// the previous call) makes the steady-state batch sweep allocation-free.
+  void respond_into(const PirQuery& query, PirResponse& out) const;
+
   [[nodiscard]] EvalStrategy strategy() const { return strategy_; }
 
  private:
@@ -58,12 +63,12 @@ class PirServer {
   [[nodiscard]] PirSingleResponse eval_bitsliced(
       const gf::GF4Vector& q) const;
 
-  [[nodiscard]] PirResponse eval_naive_batch(
-      const std::vector<gf::GF4Vector>& qs) const;
-  [[nodiscard]] PirResponse eval_matrix_batch(
-      const std::vector<gf::GF4Vector>& qs) const;
-  [[nodiscard]] PirResponse eval_bitsliced_batch(
-      const std::vector<gf::GF4Vector>& qs) const;
+  void eval_naive_batch(const std::vector<gf::GF4Vector>& qs,
+                        PirResponse& out) const;
+  void eval_matrix_batch(const std::vector<gf::GF4Vector>& qs,
+                         PirResponse& out) const;
+  void eval_bitsliced_batch(const std::vector<gf::GF4Vector>& qs,
+                            PirResponse& out) const;
 
   const TagDatabase* db_;
   const Embedding* embedding_;

@@ -44,7 +44,7 @@ bool TagDatabase::bit(std::size_t i, std::size_t pi) const {
 bn::BigInt TagDatabase::tag(std::size_t i) const {
   if (i >= n_) throw ParamError("TagDatabase::tag: bad index");
   const std::uint64_t* r = row(i);
-  return bn::BigInt::from_limbs({r, r + words_per_tag_});
+  return bn::BigInt::from_limbs(r, words_per_tag_);
 }
 
 double TagDatabase::build_planes() const {

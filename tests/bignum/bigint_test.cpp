@@ -257,10 +257,11 @@ TEST(BigIntTest, ModInverseNotInvertibleThrows) {
 }
 
 TEST(BigIntTest, FromLimbsNormalizes) {
-  const BigInt v = BigInt::from_limbs({5, 0, 0});
+  const std::vector<BigInt::Limb> raw = {5, 0, 0};
+  const BigInt v = BigInt::from_limbs(raw);
   EXPECT_EQ(v, BigInt(5));
   EXPECT_EQ(v.limbs().size(), 1u);
-  EXPECT_TRUE(BigInt::from_limbs({}).is_zero());
+  EXPECT_TRUE(BigInt::from_limbs(nullptr, 0).is_zero());
 }
 
 }  // namespace

@@ -1,0 +1,64 @@
+// Regression tests for the bounded context caches: a stream of distinct
+// moduli (or bases) must not grow the shared Montgomery cache or a context's
+// fixed-base comb cache past their LRU capacity, and handles obtained before
+// an eviction must stay usable afterwards.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "bignum/fixed_base.h"
+#include "bignum/montgomery.h"
+
+namespace ice::bn {
+namespace {
+
+TEST(CacheBoundTest, SharedCacheIsBoundedUnderDistinctModuli) {
+  // 200 distinct odd moduli — over 3x the capacity. The cache must stay at
+  // or under its bound the whole time (this is the "hostile tenant cannot
+  // exhaust memory" property).
+  std::shared_ptr<const Montgomery> first;
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const BigInt n(1000003 + 2 * i);  // odd, > 1
+    auto ctx = Montgomery::shared(n);
+    ASSERT_NE(ctx, nullptr);
+    if (i == 0) first = ctx;
+    ASSERT_LE(Montgomery::shared_cache_size(), Montgomery::kMaxSharedContexts);
+  }
+
+  // The first context was evicted long ago, but the held pointer keeps it
+  // alive and fully functional.
+  const BigInt x(999983);
+  EXPECT_EQ(first->mul(x, x), (x * x) % first->modulus());
+}
+
+TEST(CacheBoundTest, SharedCacheReturnsSameContextOnRepeat) {
+  const BigInt n = (BigInt(1) << 61) - BigInt(1);  // Mersenne, odd
+  const auto a = Montgomery::shared(n);
+  const auto b = Montgomery::shared(n);
+  EXPECT_EQ(a.get(), b.get());
+}
+
+TEST(CacheBoundTest, FixedBaseCacheIsBoundedUnderDistinctBases) {
+  const BigInt n(1000000007);
+  const Montgomery mont(n);
+
+  // Grab a handle for the first base, then churn through 3x the capacity.
+  const auto first = mont.fixed_base(BigInt(2), 64);
+  const BigInt exp(12345);
+  const BigInt expect_first = mont.pow(BigInt(2), exp);
+
+  for (std::uint64_t b = 3; b < 3 + 24; ++b) {
+    const auto comb = mont.fixed_base(BigInt(b), 64);
+    ASSERT_NE(comb, nullptr);
+    ASSERT_LE(mont.fixed_base_cache_size(), Montgomery::kMaxCachedBases);
+    EXPECT_EQ(comb->pow(exp), mont.pow(BigInt(b), exp));
+  }
+
+  // The evicted comb handle still computes correctly.
+  EXPECT_EQ(first->pow(exp), expect_first);
+}
+
+}  // namespace
+}  // namespace ice::bn

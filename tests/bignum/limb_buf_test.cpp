@@ -1,0 +1,156 @@
+// Boundary tests for the small-buffer-optimized limb storage: the
+// inline->heap straddle, carries that outgrow the inline capacity, shrinking
+// back below the boundary, moved-from state, and value equality across
+// storage modes. The widths that matter are kInlineLimbs +/- 1.
+#include "bignum/limb_buf.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "bignum/bigint.h"
+
+namespace ice::bn {
+namespace {
+
+constexpr std::size_t kInline = LimbBuf::kInlineLimbs;
+
+TEST(LimbBufTest, DefaultIsEmptyInline) {
+  LimbBuf b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.is_inline());
+  EXPECT_EQ(b.capacity(), kInline);
+}
+
+TEST(LimbBufTest, InlineToHeapStraddle) {
+  LimbBuf b;
+  for (std::size_t i = 0; i < kInline; ++i) b.push_back(i + 1);
+  EXPECT_TRUE(b.is_inline());
+  EXPECT_EQ(b.size(), kInline);
+
+  // The straddling push spills to the heap; every limb must survive.
+  b.push_back(0xdead);
+  EXPECT_FALSE(b.is_inline());
+  EXPECT_EQ(b.size(), kInline + 1);
+  for (std::size_t i = 0; i < kInline; ++i) EXPECT_EQ(b[i], i + 1);
+  EXPECT_EQ(b.back(), 0xdeadu);
+}
+
+TEST(LimbBufTest, CarryOutOfInlineCapacity) {
+  // (2^{64*kInline} - 1) + 1 = 2^{64*kInline}: the widest all-inline value,
+  // incremented, needs one limb past the inline capacity.
+  std::vector<BigInt::Limb> ones(kInline, ~BigInt::Limb{0});
+  const BigInt x = BigInt::from_limbs(ones.data(), ones.size());
+  ASSERT_TRUE(x.limbs().is_inline());
+
+  const BigInt y = x + BigInt(1);
+  EXPECT_FALSE(y.limbs().is_inline());
+  EXPECT_EQ(y.limbs().size(), kInline + 1);
+  EXPECT_EQ(y.bit_length(), 64 * kInline + 1);
+  EXPECT_EQ(y - BigInt(1), x);  // round-trips through the wide width
+}
+
+TEST(LimbBufTest, ShrinkBackRetainsCapacityAndMode) {
+  LimbBuf b;
+  b.resize(kInline + 8, 7);
+  ASSERT_FALSE(b.is_inline());
+  const std::size_t cap = b.capacity();
+
+  // Shrinking drops the tail but never the storage: capacity (and the heap
+  // block) are retained so regrowing is allocation-free.
+  b.resize(2);
+  EXPECT_EQ(b.size(), 2u);
+  EXPECT_FALSE(b.is_inline());
+  EXPECT_EQ(b.capacity(), cap);
+  EXPECT_EQ(b[0], 7u);
+  EXPECT_EQ(b[1], 7u);
+}
+
+TEST(LimbBufTest, MovedFromIsEmptyInline) {
+  // Heap case: the block transfers, the source resets to empty inline.
+  LimbBuf heap(kInline + 4, 3);
+  LimbBuf taken = std::move(heap);
+  EXPECT_FALSE(taken.is_inline());
+  EXPECT_EQ(taken.size(), kInline + 4);
+  EXPECT_TRUE(heap.empty());          // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(heap.is_inline());      // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(heap.capacity(), kInline);
+
+  // Inline case: limbs are copied, the source still resets.
+  LimbBuf small(3, 9);
+  LimbBuf taken2 = std::move(small);
+  EXPECT_EQ(taken2.size(), 3u);
+  EXPECT_TRUE(small.empty());         // NOLINT(bugprone-use-after-move)
+  EXPECT_TRUE(small.is_inline());     // NOLINT(bugprone-use-after-move)
+
+  // A moved-from buffer is reusable.
+  small.push_back(42);
+  EXPECT_EQ(small.size(), 1u);
+  EXPECT_EQ(small[0], 42u);
+}
+
+TEST(LimbBufTest, MovedFromBigIntIsZero) {
+  BigInt a(12345);
+  const BigInt b = std::move(a);
+  EXPECT_EQ(b, BigInt(12345));
+  EXPECT_EQ(a, BigInt(0));  // NOLINT(bugprone-use-after-move)
+}
+
+TEST(LimbBufTest, EqualityIgnoresStorageMode) {
+  LimbBuf inline_buf;
+  inline_buf.push_back(11);
+  inline_buf.push_back(22);
+
+  LimbBuf heap_buf;
+  heap_buf.reserve(kInline + 1);  // force the heap
+  ASSERT_FALSE(heap_buf.is_inline());
+  heap_buf.push_back(11);
+  heap_buf.push_back(22);
+
+  EXPECT_TRUE(inline_buf == heap_buf);
+  EXPECT_TRUE(heap_buf == inline_buf);
+
+  heap_buf.push_back(33);
+  EXPECT_FALSE(inline_buf == heap_buf);
+}
+
+TEST(LimbBufTest, MoveAssignInlineIntoHeapKeepsStorage) {
+  LimbBuf dst(kInline + 2, 1);  // heap
+  const std::size_t cap = dst.capacity();
+  LimbBuf src(2, 5);            // inline
+  dst = std::move(src);
+  EXPECT_EQ(dst.size(), 2u);
+  EXPECT_EQ(dst[0], 5u);
+  EXPECT_EQ(dst.capacity(), cap);  // kept its (bigger) heap block
+  EXPECT_TRUE(src.empty());        // NOLINT(bugprone-use-after-move)
+}
+
+TEST(LimbBufTest, CopySemanticsAcrossBoundary) {
+  LimbBuf wide(kInline + 5, 4);
+  LimbBuf copy(wide);
+  EXPECT_TRUE(copy == wide);
+  copy[0] = 99;
+  EXPECT_EQ(wide[0], 4u);  // deep copy
+
+  LimbBuf narrow(2, 8);
+  copy = narrow;
+  EXPECT_TRUE(copy == narrow);
+}
+
+TEST(LimbBufTest, BigIntBoundaryWidthArithmeticRoundTrip) {
+  // Multiply two values straddling the boundary and divide back: the
+  // product (~2*kInline limbs) exceeds the inline capacity, the quotient
+  // returns below it.
+  std::vector<BigInt::Limb> a_limbs(kInline, 0x5555555555555555ULL);
+  std::vector<BigInt::Limb> b_limbs(kInline - 1, 0x3333333333333333ULL);
+  const BigInt a = BigInt::from_limbs(a_limbs.data(), a_limbs.size());
+  const BigInt b = BigInt::from_limbs(b_limbs.data(), b_limbs.size());
+  const BigInt p = a * b;
+  EXPECT_FALSE(p.limbs().is_inline());
+  EXPECT_EQ(p / b, a);
+  EXPECT_EQ(p % b, BigInt(0));
+}
+
+}  // namespace
+}  // namespace ice::bn

@@ -1,0 +1,114 @@
+// BufferPool behavior: capacity recycling, bounds (entry count and per-buffer
+// size), hit/miss accounting, PooledBytes RAII, and Writer's lease round trip.
+#include "net/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "net/serde.h"
+
+namespace ice::net {
+namespace {
+
+// The pool is thread-local and shared with everything else on this thread
+// (including Writer), so each test starts by draining it to a known state.
+void drain_pool() {
+  BufferPool& pool = BufferPool::local();
+  for (;;) {
+    Bytes b = pool.acquire();
+    if (b.capacity() == 0) break;  // miss: the free list is empty
+  }
+  pool.reset_stats();
+}
+
+TEST(BufferPoolTest, AcquireReusesReleasedCapacity) {
+  drain_pool();
+  BufferPool& pool = BufferPool::local();
+
+  Bytes b = pool.acquire();
+  EXPECT_EQ(pool.stats().misses, 1u);
+  b.resize(1000);
+  const std::uint8_t* data = b.data();
+  pool.release(std::move(b));
+
+  Bytes again = pool.acquire();
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_TRUE(again.empty());          // recycled buffers come back cleared
+  EXPECT_GE(again.capacity(), 1000u);  // ... with their capacity intact
+  EXPECT_EQ(again.data(), data);       // same storage, no allocation
+}
+
+TEST(BufferPoolTest, ZeroCapacityAndOversizedBuffersAreDropped) {
+  drain_pool();
+  BufferPool& pool = BufferPool::local();
+
+  pool.release(Bytes{});  // nothing to recycle
+  Bytes b1 = pool.acquire();
+  EXPECT_EQ(b1.capacity(), 0u);  // the empty release was not pooled
+
+  Bytes huge;
+  huge.reserve(BufferPool::kMaxPooledCapacity + 1);
+  pool.release(std::move(huge));
+  Bytes b2 = pool.acquire();
+  EXPECT_LT(b2.capacity(), BufferPool::kMaxPooledCapacity + 1);
+}
+
+TEST(BufferPoolTest, PoolEntryCountIsBounded) {
+  drain_pool();
+  BufferPool& pool = BufferPool::local();
+
+  // Release far more buffers than the pool keeps...
+  for (std::size_t i = 0; i < 3 * BufferPool::kMaxPooled; ++i) {
+    Bytes b;
+    b.reserve(64);
+    pool.release(std::move(b));
+  }
+  // ...then count how many come back as hits: at most kMaxPooled.
+  pool.reset_stats();
+  std::size_t recovered = 0;
+  for (;;) {
+    Bytes b = pool.acquire();
+    if (b.capacity() == 0) break;
+    ++recovered;
+  }
+  EXPECT_LE(recovered, BufferPool::kMaxPooled);
+  EXPECT_EQ(recovered, BufferPool::kMaxPooled);
+}
+
+TEST(BufferPoolTest, PooledBytesReturnsStorageAtScopeExit) {
+  drain_pool();
+  BufferPool& pool = BufferPool::local();
+
+  const std::uint8_t* data = nullptr;
+  {
+    Bytes b;
+    b.resize(256, 0x7f);
+    data = b.data();
+    PooledBytes holder(std::move(b));
+    EXPECT_EQ(holder.get().size(), 256u);
+    EXPECT_EQ(BytesView(holder).size(), 256u);
+  }
+  Bytes recycled = pool.acquire();
+  EXPECT_EQ(recycled.data(), data);
+}
+
+TEST(BufferPoolTest, WriterLeasesAndReturnsItsFrame) {
+  drain_pool();
+  BufferPool& pool = BufferPool::local();
+
+  {
+    Writer w;
+    for (int i = 0; i < 300; ++i) w.u8(static_cast<std::uint8_t>(i));
+    Bytes frame = w.take();
+    pool.release(std::move(frame));
+  }
+  // The released frame's capacity is back in the pool; the next Writer
+  // leases it instead of allocating.
+  pool.reset_stats();
+  Writer w2;
+  w2.u8(2);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().misses, 0u);
+}
+
+}  // namespace
+}  // namespace ice::net

@@ -141,5 +141,57 @@ TEST(SerdeTest, RandomizedMixedRoundTrip) {
   }
 }
 
+TEST(SerdeTest, HostileBigIntLengthCannotForceLargeReserve) {
+  // A frame whose bigint declares an enormous magnitude width but carries
+  // only a few bytes: the declared length must be clamped against the bytes
+  // actually present BEFORE any buffer is sized, so this throws instead of
+  // attempting a multi-exabyte (or even multi-kilobyte) allocation.
+  for (const std::uint64_t declared :
+       {std::uint64_t{1} << 60, std::uint64_t{1} << 32,
+        std::uint64_t{1} << 16}) {
+    Writer w;
+    w.u8(0);  // sign: non-negative
+    w.varint(declared);
+    w.u32(0xabcdef01);  // only 4 bytes of payload follow
+    const Bytes buf = w.take();
+    Reader r(buf);
+    EXPECT_THROW(r.bigint(), CodecError) << declared;
+  }
+}
+
+TEST(SerdeTest, HostileBigIntListLengthIsClamped) {
+  // Same property one level up: a list header declaring 2^24 - 1 bigints
+  // backed by a 3-byte frame must throw, not reserve by the declared count.
+  Writer w;
+  w.varint((std::uint64_t{1} << 24) - 1);
+  w.u8(0);
+  const Bytes buf = w.take();
+  Reader r(buf);
+  EXPECT_THROW(
+      {
+        for (;;) (void)r.bigint();
+      },
+      CodecError);
+}
+
+TEST(SerdeTest, BigIntRoundTripAtSboBoundaryWidths) {
+  // Widths straddling LimbBuf::kInlineLimbs: one limb under, exactly at,
+  // and one limb over the inline capacity (plus off-by-one-bit variants).
+  const std::size_t boundary = 64 * bn::LimbBuf::kInlineLimbs;
+  for (const std::size_t bits :
+       {boundary - 64, boundary - 1, boundary, boundary + 1, boundary + 64}) {
+    bn::BigInt v = bn::BigInt(1) << (bits - 1);  // exact bit_length == bits
+    v = v + bn::BigInt(0x1234567);
+    Writer w;
+    w.bigint(v);
+    w.bigint(v.negated());
+    const Bytes buf = w.take();
+    Reader r(buf);
+    EXPECT_EQ(r.bigint(), v) << bits;
+    EXPECT_EQ(r.bigint(), v.negated()) << bits;
+    EXPECT_TRUE(r.done());
+  }
+}
+
 }  // namespace
 }  // namespace ice::net
