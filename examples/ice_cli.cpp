@@ -127,6 +127,11 @@ int cmd_flipbit(int argc, char** argv) {
   f.seekg(offset);
   char c = 0;
   f.read(&c, 1);
+  if (!f) {
+    std::fprintf(stderr, "offset %ld is past the end of %s\n", offset,
+                 argv[2]);
+    return 2;
+  }
   c = static_cast<char>(c ^ 0x01);
   f.seekp(offset);
   f.write(&c, 1);

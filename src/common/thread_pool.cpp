@@ -114,7 +114,12 @@ void ThreadPool::worker_loop() {
         job_cv_.notify_all();
         continue;  // re-check queue / next job
       }
-      if (queue_.empty()) return;  // stopping_ and drained
+      // `job_has_work()` reads the lock-free chunk counter, which other
+      // workers advance without holding mu_: the wait predicate can pass and
+      // the re-check above fail. That raced wake must loop back into wait —
+      // only a stopping_ pool may retire the thread.
+      if (stopping_ && queue_.empty()) return;
+      if (queue_.empty()) continue;
       task = std::move(queue_.front());
       queue_.pop_front();
     }

@@ -57,6 +57,9 @@ class PooledBytes {
   PooledBytes& operator=(PooledBytes&&) = delete;
 
   [[nodiscard]] const Bytes& get() const { return b_; }
+  /// Mutable access, for callers that build a frame in place and need the
+  /// storage recycled even when sending it throws.
+  [[nodiscard]] Bytes& mut() { return b_; }
   operator BytesView() const { return b_; }  // NOLINT implicit view
 
  private:

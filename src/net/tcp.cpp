@@ -87,7 +87,9 @@ TcpServer::TcpServer(RpcHandler& handler, std::uint16_t port)
   }
   port_ = ntohs(addr.sin_port);
   if (::listen(listen_fd_, 64) < 0) fail("listen");
-  acceptor_ = std::thread([this] { accept_loop(); });
+  // The acceptor gets its own copy of the fd: stop() overwrites the member
+  // concurrently, and accept() on the copy fails once stop() closes it.
+  acceptor_ = std::thread([this, fd = listen_fd_] { accept_loop(fd); });
 }
 
 TcpServer::~TcpServer() { stop(); }
@@ -112,11 +114,7 @@ void TcpServer::stop() {
   for (auto& w : workers) w.join();
 }
 
-void TcpServer::accept_loop() {
-  // Snapshot before looping: listen_fd_ was set before this thread started
-  // (synchronized by thread creation), while stop() overwrites the member
-  // concurrently. accept() on the snapshot fails once stop() closes the fd.
-  const int listen_fd = listen_fd_;
+void TcpServer::accept_loop(int listen_fd) {
   for (;;) {
     const int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
@@ -198,7 +196,10 @@ TcpChannel::~TcpChannel() {
 
 Bytes TcpChannel::call(std::uint16_t method, BytesView request) {
   std::lock_guard lock(mu_);
-  Bytes frame = BufferPool::local().acquire();
+  // RAII holder: the frame's capacity goes back to the pool even when
+  // write_all throws, so transient send errors don't degrade pooling.
+  PooledBytes holder(BufferPool::local().acquire());
+  Bytes& frame = holder.mut();
   frame.resize(4 + 2 + request.size());
   encode_u32(frame.data(), static_cast<std::uint32_t>(2 + request.size()));
   frame[4] = static_cast<std::uint8_t>(method);
@@ -207,7 +208,6 @@ Bytes TcpChannel::call(std::uint16_t method, BytesView request) {
   write_all(fd_, frame.data(), frame.size());
   stats_.calls++;
   stats_.bytes_sent += frame.size();
-  BufferPool::local().release(std::move(frame));
 
   std::uint8_t header[4];
   if (!read_all(fd_, header, 4)) {

@@ -36,7 +36,7 @@ class TcpServer {
   void stop();
 
  private:
-  void accept_loop();
+  void accept_loop(int listen_fd);
   void serve_connection(int fd);
 
   RpcHandler* handler_;

@@ -62,8 +62,10 @@ Bytes MultiTenantHandler::handle(std::uint16_t method, BytesView request) {
 
 Bytes TenantChannel::call(std::uint16_t method, BytesView request) {
   // The prefixed frame is leased from the thread's BufferPool: steady-state
-  // tenant calls reuse one buffer instead of allocating per call.
-  Bytes prefixed = BufferPool::local().acquire();
+  // tenant calls reuse one buffer instead of allocating per call. The RAII
+  // holder returns the capacity even when the inner call throws.
+  PooledBytes holder(BufferPool::local().acquire());
+  Bytes& prefixed = holder.mut();
   prefixed.resize(8 + request.size());
   for (int i = 0; i < 8; ++i) {
     prefixed[static_cast<std::size_t>(i)] =
@@ -74,7 +76,6 @@ Bytes TenantChannel::call(std::uint16_t method, BytesView request) {
   stats_.calls++;
   stats_.bytes_sent += prefixed.size() + kRpcHeaderBytes;
   stats_.bytes_received += response.size() + kRpcHeaderBytes;
-  BufferPool::local().release(std::move(prefixed));
   return response;
 }
 

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -94,6 +96,34 @@ TEST(ThreadPoolTest, ManySmallTasksStress) {
   }
   for (auto& f : futs) f.get();
   EXPECT_EQ(sum.load(), static_cast<long>(kTasks) * (kTasks - 1) / 2);
+}
+
+TEST(ThreadPoolTest, WorkersSurviveRacedBroadcastWakeups) {
+  // Regression: a worker woken for a broadcast job whose chunks were all
+  // claimed before its post-wait re-check used to fall through the
+  // queue-empty check and retire with the pool still running. Hammer tiny
+  // broadcasts so woken workers routinely lose the claim race, then prove
+  // every worker is still alive by making them all rendezvous at once.
+  ThreadPool pool(4);
+  std::atomic<int> hits{0};
+  for (int i = 0; i < 10000; ++i) {
+    pool.run_chunks(2, [&hits](std::size_t) { hits.fetch_add(1); });
+  }
+  EXPECT_EQ(hits.load(), 20000);
+  std::mutex m;
+  std::condition_variable cv;
+  std::size_t arrived = 0;
+  std::vector<std::future<bool>> futs;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    futs.push_back(pool.submit([&] {
+      std::unique_lock lock(m);
+      ++arrived;
+      cv.notify_all();
+      return cv.wait_for(lock, std::chrono::seconds(10),
+                         [&] { return arrived == pool.size(); });
+    }));
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get());
 }
 
 TEST(ThreadPoolTest, OnPoolThreadFlagTracksWorkerContext) {

@@ -7,6 +7,7 @@
 #include <future>
 
 #include "common/error.h"
+#include "net/buffer_pool.h"
 #include "net/channel.h"
 #include "net/tcp.h"
 
@@ -104,6 +105,36 @@ TEST(TenantTest, StatsCountPrefixedBytes) {
   (void)ch.call(1, Bytes(10, 0));
   EXPECT_EQ(ch.stats().calls, 1u);
   EXPECT_EQ(ch.stats().bytes_sent, 10u + 8 + kRpcHeaderBytes);
+}
+
+TEST(TenantTest, FrameRecycledWhenInnerCallThrows) {
+  class ThrowingChannel : public RpcChannel {
+   public:
+    Bytes call(std::uint16_t, BytesView) override {
+      throw TransportError("link down");
+    }
+    [[nodiscard]] const ChannelStats& stats() const override { return stats_; }
+    void reset_stats() override { stats_.reset(); }
+
+   private:
+    ChannelStats stats_;
+  };
+  ThrowingChannel raw;
+  TenantChannel ch(raw, 1);
+  // Warm the pool, then fail repeatedly: the prefixed frame's capacity must
+  // come back to the pool on the throw path, so every retry after the first
+  // is a pool hit rather than a fresh buffer.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_THROW((void)ch.call(1, Bytes(64, 0)), TransportError);
+  }
+  auto& pool = BufferPool::local();
+  const std::uint64_t misses_before = pool.stats().misses;
+  const std::uint64_t hits_before = pool.stats().hits;
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_THROW((void)ch.call(1, Bytes(64, 0)), TransportError);
+  }
+  EXPECT_EQ(pool.stats().misses, misses_before);
+  EXPECT_EQ(pool.stats().hits, hits_before + 8);
 }
 
 TEST(TenantTest, ConcurrentTenantsOverTcp) {
