@@ -24,9 +24,11 @@
 //
 // Writes BENCH_sessions.json. `--smoke` shrinks everything to seconds and
 // skips the JSON (this is the ctest `stress` label entry).
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <fstream>
+#include <memory>
 #include <thread>
 
 #include "net/tcp.h"
@@ -280,6 +282,205 @@ class TcpArm {
   proto::UserClient owner_;
 };
 
+/// Sleeps a modeled per-request service time before delegating. The scale
+/// sweep injects this on every server so the transport topology — not raw
+/// handler CPU — dominates: a blocking server parks its whole connection
+/// thread for the sleep (serializing pipelined requests on shared
+/// connections), while the reactor overlaps the sleeps across its worker
+/// pool.
+class ServiceDelay final : public net::RpcHandler {
+ public:
+  ServiceDelay(net::RpcHandler& inner, double seconds)
+      : inner_(&inner),
+        delay_(std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::duration<double>(seconds))) {}
+
+  Bytes handle(std::uint16_t method, BytesView request) override {
+    std::this_thread::sleep_for(delay_);
+    return inner_->handle(method, request);
+  }
+
+ private:
+  net::RpcHandler* inner_;
+  std::chrono::nanoseconds delay_;
+};
+
+/// Fleet-scale arm: K logical sessions multiplexed over a bounded lane pool
+/// of client threads, comparing the thread-per-connection blocking server
+/// against the epoll reactor on one shared deployment. In blocking mode
+/// every lane owns a private channel triple (the classic
+/// one-connection-per-client topology); in reactor mode lanes share a small
+/// pool of pipelined channel triples, so 10,000 sessions ride on a few
+/// hundred sockets. Every session is a live UserClient with an attached
+/// file for the whole measurement.
+class ScaleArm {
+ public:
+  /// Client threads actually driving audits; sessions beyond this interleave
+  /// round-major so all of them stay active across the run. Bounded so the
+  /// 10k-session point respects fd/thread limits on small hosts.
+  static constexpr std::size_t kMaxLanes = 256;
+  /// Channel triples shared by the reactor-mode lanes.
+  static constexpr std::size_t kSharedTriples = 64;
+
+  ScaleArm(bool use_reactor, const Cfg& cfg)
+      : use_reactor_(use_reactor),
+        cfg_(cfg),
+        params_(Arm::make_params(cfg)),
+        keys_(bench_keypair(cfg.modulus_bits)),
+        csp_(mec::BlockStore::synthetic(cfg.n_blocks, kBlockBytes, 7)),
+        csp_wrap_(csp_, cfg.one_way_latency_s),
+        tpa0_wrap_(tpa0_, cfg.one_way_latency_s),
+        tpa1_wrap_(tpa1_, cfg.one_way_latency_s) {
+    net::TcpServerOptions options;
+    options.use_reactor = use_reactor;
+    if (use_reactor) {
+      // The TPA handler parks a worker across its nested edge-challenge
+      // call, so provision the base pool for a full lane fleet in flight
+      // and let deep pipelines through the shared connections.
+      options.limits.base_workers = kMaxLanes + 32;
+      options.limits.max_workers = 4 * kMaxLanes;
+      options.limits.max_pipeline = 2 * kMaxLanes;
+    }
+    csp_srv_ = std::make_unique<net::TcpServer>(csp_wrap_, 0, options);
+    tpa0_srv_ = std::make_unique<net::TcpServer>(tpa0_wrap_, 0, options);
+    tpa1_srv_ = std::make_unique<net::TcpServer>(tpa1_wrap_, 0, options);
+    edge_csp_ =
+        std::make_unique<net::TcpChannel>("127.0.0.1", csp_srv_->port());
+    edge_tpa_ =
+        std::make_unique<net::TcpChannel>("127.0.0.1", tpa0_srv_->port());
+    edge_ = std::make_unique<proto::EdgeService>(
+        0, params_, keys_.pk,
+        mec::EdgeCache(cfg.n_blocks, mec::EvictionPolicy::kLru), *edge_csp_,
+        edge_tpa_.get());
+    edge_wrap_ = std::make_unique<ServiceDelay>(*edge_, cfg.one_way_latency_s);
+    edge_srv_ = std::make_unique<net::TcpServer>(*edge_wrap_, 0, options);
+    tpa_edge_ =
+        std::make_unique<net::TcpChannel>("127.0.0.1", edge_srv_->port());
+    tpa0_.register_edge(0, *tpa_edge_);
+    owner_tpa0_ =
+        std::make_unique<net::TcpChannel>("127.0.0.1", tpa0_srv_->port());
+    owner_tpa1_ =
+        std::make_unique<net::TcpChannel>("127.0.0.1", tpa1_srv_->port());
+    owner_ = std::make_unique<proto::UserClient>(params_, keys_, *owner_tpa0_,
+                                                 *owner_tpa1_);
+    std::vector<Bytes> blocks;
+    for (std::size_t i = 0; i < cfg.n_blocks; ++i) {
+      blocks.push_back(csp_.store().block(i));
+    }
+    owner_->setup_file(blocks);
+    std::vector<std::size_t> warm;
+    for (std::size_t i = 0; i < cfg.n_blocks / 2; ++i) warm.push_back(i);
+    edge_->pre_download(warm);
+  }
+
+  double run(std::size_t sessions, int audits_per_session) {
+    const std::size_t lanes = std::min(sessions, kMaxLanes);
+    const std::size_t triples =
+        use_reactor_ ? std::min(sessions, kSharedTriples) : lanes;
+    struct Triple {
+      std::unique_ptr<net::TcpChannel> tpa0, tpa1, edge;
+    };
+    std::vector<Triple> chans(triples);
+    for (auto& t : chans) {
+      t.tpa0 =
+          std::make_unique<net::TcpChannel>("127.0.0.1", tpa0_srv_->port());
+      t.tpa1 =
+          std::make_unique<net::TcpChannel>("127.0.0.1", tpa1_srv_->port());
+      t.edge =
+          std::make_unique<net::TcpChannel>("127.0.0.1", edge_srv_->port());
+    }
+    struct Session {
+      std::unique_ptr<proto::UserClient> user;
+      std::size_t triple;
+    };
+    std::vector<std::vector<Session>> lane_sessions(lanes);
+    for (std::size_t s = 0; s < sessions; ++s) {
+      const std::size_t lane = s % lanes;
+      const std::size_t triple = lane % triples;
+      auto user = std::make_unique<proto::UserClient>(
+          params_, keys_, *chans[triple].tpa0, *chans[triple].tpa1);
+      user->attach_file(cfg_.n_blocks);
+      lane_sessions[lane].push_back(Session{std::move(user), triple});
+    }
+    std::atomic<int> failures{0};
+    std::vector<std::thread> threads;
+    threads.reserve(lanes);
+    Stopwatch sw;
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      threads.emplace_back([&failures, &chans, &lane_sessions, lane,
+                            audits_per_session] {
+        try {
+          // Round-major: all of the lane's sessions stay concurrently
+          // active across the run instead of completing one by one.
+          for (int round = 0; round < audits_per_session; ++round) {
+            for (auto& session : lane_sessions[lane]) {
+              if (!session.user->audit_edge(*chans[session.triple].edge, 0)) {
+                failures.fetch_add(1);
+              }
+            }
+          }
+        } catch (const std::exception&) {
+          failures.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    const double wall = sw.seconds();
+    if (failures.load() != 0) {
+      std::fprintf(stderr, "bench_sessions(scale): %d failures\n",
+                   failures.load());
+      std::exit(1);
+    }
+    return static_cast<double>(sessions) * audits_per_session / wall;
+  }
+
+ private:
+  bool use_reactor_;
+  Cfg cfg_;
+  proto::ProtocolParams params_;
+  proto::KeyPair keys_;
+  proto::CspService csp_;
+  proto::TpaService tpa0_;
+  proto::TpaService tpa1_;
+  ServiceDelay csp_wrap_;
+  ServiceDelay tpa0_wrap_;
+  ServiceDelay tpa1_wrap_;
+  std::unique_ptr<net::TcpServer> csp_srv_;
+  std::unique_ptr<net::TcpServer> tpa0_srv_;
+  std::unique_ptr<net::TcpServer> tpa1_srv_;
+  std::unique_ptr<net::TcpChannel> edge_csp_;
+  std::unique_ptr<net::TcpChannel> edge_tpa_;
+  std::unique_ptr<proto::EdgeService> edge_;
+  std::unique_ptr<ServiceDelay> edge_wrap_;
+  std::unique_ptr<net::TcpServer> edge_srv_;
+  std::unique_ptr<net::TcpChannel> tpa_edge_;
+  std::unique_ptr<net::TcpChannel> owner_tpa0_;
+  std::unique_ptr<net::TcpChannel> owner_tpa1_;
+  std::unique_ptr<proto::UserClient> owner_;
+};
+
+/// Audits per session for a scale point: fewer at the big counts so wall
+/// time stays bounded while every session still runs at least one audit.
+int scale_audits(std::size_t sessions) {
+  if (sessions <= 300) return 3;
+  if (sessions <= 1000) return 2;
+  return 1;
+}
+
+void scale_sweep(bool use_reactor, const Cfg& cfg,
+                 const std::vector<std::size_t>& counts,
+                 std::vector<double>& out) {
+  const char* mode = use_reactor ? "reactor" : "blocking";
+  for (const std::size_t k : counts) {
+    // Fresh deployment per point so session tables and caches start equal.
+    ScaleArm arm(use_reactor, cfg);
+    const double thr = arm.run(k, scale_audits(k));
+    out.push_back(thr);
+    std::printf("scale      K=%-5zu %-8s %10.2f audits/s\n", k, mode, thr);
+    std::fflush(stdout);
+  }
+}
+
 template <typename ArmT>
 void sweep(const char* family, const Cfg& cfg, std::vector<double>& ser_thr,
            std::vector<double>& shard_thr) {
@@ -346,6 +547,45 @@ int main(int argc, char** argv) {
   std::printf("\nin-process speedup at K=%zu: %.2fx\n",
               cfg.session_counts.back(), last_speedup);
 
+  // Scale sweep: thread-per-connection blocking baseline vs the epoll
+  // reactor. Lighter crypto than the lock-scope sweep — the transport
+  // plane, not bignum arithmetic, is what this arm measures.
+  Cfg scale_cfg = cfg;
+  std::vector<std::size_t> blocking_counts;
+  std::vector<std::size_t> reactor_counts;
+  if (smoke) {
+    blocking_counts = {2};
+    reactor_counts = {2, 4};
+  } else {
+    scale_cfg.modulus_bits = 256;
+    scale_cfg.n_blocks = 16;
+    blocking_counts = {100, 300, 1000};
+    reactor_counts = {100, 300, 1000, 3000, 10000};
+  }
+  print_header("session scale: thread-per-connection vs epoll reactor");
+  std::printf("modulus %zu bits, %zu blocks, %.1f ms modeled service time, "
+              "lanes <= %zu, reactor shares %zu channel triples\n",
+              scale_cfg.modulus_bits, scale_cfg.n_blocks,
+              scale_cfg.one_way_latency_s * 1e3, ScaleArm::kMaxLanes,
+              ScaleArm::kSharedTriples);
+  std::vector<double> scale_blocking, scale_reactor;
+  scale_sweep(/*use_reactor=*/false, scale_cfg, blocking_counts,
+              scale_blocking);
+  scale_sweep(/*use_reactor=*/true, scale_cfg, reactor_counts, scale_reactor);
+
+  const double blocking_peak =
+      *std::max_element(scale_blocking.begin(), scale_blocking.end());
+  double reactor_at_scale = 0;
+  for (std::size_t i = 0; i < reactor_counts.size(); ++i) {
+    if (reactor_counts[i] >= 1000 || smoke) {
+      reactor_at_scale = std::max(reactor_at_scale, scale_reactor[i]);
+    }
+  }
+  std::printf("\nblocking saturation %.2f audits/s, reactor at scale %.2f "
+              "audits/s (%.2fx)\n",
+              blocking_peak, reactor_at_scale,
+              reactor_at_scale / blocking_peak);
+
   if (!smoke) {
     std::ofstream out("BENCH_sessions.json", std::ios::trunc);
     out << "{\n"
@@ -363,6 +603,16 @@ int main(int argc, char** argv) {
         << "  \"tcp_serialized_audits_per_s\": " << json_array(tcp_ser)
         << ",\n"
         << "  \"tcp_sharded_audits_per_s\": " << json_array(tcp_shard)
+        << ",\n"
+        << "  \"scale_modulus_bits\": " << scale_cfg.modulus_bits << ",\n"
+        << "  \"scale_lanes\": " << ScaleArm::kMaxLanes << ",\n"
+        << "  \"scale_blocking_sessions\": " << json_array(blocking_counts)
+        << ",\n"
+        << "  \"scale_blocking_audits_per_s\": " << json_array(scale_blocking)
+        << ",\n"
+        << "  \"scale_reactor_sessions\": " << json_array(reactor_counts)
+        << ",\n"
+        << "  \"scale_reactor_audits_per_s\": " << json_array(scale_reactor)
         << "\n}\n";
     std::printf("[wrote BENCH_sessions.json]\n");
   }

@@ -3,14 +3,19 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <limits>
+#include <optional>
 
 #include "common/error.h"
 #include "net/buffer_pool.h"
+#include "net/reactor.h"
 
 namespace ice::net {
 
@@ -18,16 +23,50 @@ namespace {
 
 constexpr std::uint32_t kMaxFrame = 256u << 20;  // 256 MiB sanity cap
 
+using Clock = std::chrono::steady_clock;
+using Deadline = std::optional<Clock::time_point>;
+
 [[noreturn]] void fail(const std::string& what) {
   throw TransportError(what + ": " + std::strerror(errno));
 }
 
-void write_all(int fd, const std::uint8_t* data, std::size_t len) {
+/// Blocks until `fd` is ready for `events` or the deadline passes (throws).
+void io_wait(int fd, short events, const Deadline& deadline) {
+  for (;;) {
+    int timeout = -1;
+    if (deadline) {
+      const auto left = std::chrono::ceil<std::chrono::milliseconds>(
+                            *deadline - Clock::now())
+                            .count();
+      if (left <= 0) {
+        throw TransportError("TcpChannel: call deadline exceeded");
+      }
+      timeout = static_cast<int>(std::min<std::int64_t>(
+          left, std::numeric_limits<int>::max()));
+    }
+    pollfd p{fd, events, 0};
+    const int r = ::poll(&p, 1, timeout);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      fail("poll");
+    }
+    if (r == 0) throw TransportError("TcpChannel: call deadline exceeded");
+    return;
+  }
+}
+
+void write_all(int fd, const std::uint8_t* data, std::size_t len,
+               const Deadline& deadline = {}) {
   std::size_t done = 0;
   while (done < len) {
-    const ssize_t n = ::send(fd, data + done, len - done, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd, data + done, len - done,
+                             MSG_NOSIGNAL | MSG_DONTWAIT);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        io_wait(fd, POLLOUT, deadline);
+        continue;
+      }
       fail("send");
     }
     done += static_cast<std::size_t>(n);
@@ -35,12 +74,17 @@ void write_all(int fd, const std::uint8_t* data, std::size_t len) {
 }
 
 /// Returns false on clean EOF at the first byte; throws on errors/short read.
-bool read_all(int fd, std::uint8_t* data, std::size_t len) {
+bool read_all(int fd, std::uint8_t* data, std::size_t len,
+              const Deadline& deadline = {}) {
   std::size_t done = 0;
   while (done < len) {
-    const ssize_t n = ::recv(fd, data + done, len - done, 0);
+    const ssize_t n = ::recv(fd, data + done, len - done, MSG_DONTWAIT);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        io_wait(fd, POLLIN, deadline);
+        continue;
+      }
       fail("recv");
     }
     if (n == 0) {
@@ -66,7 +110,8 @@ void encode_u32(std::uint8_t* b, std::uint32_t v) {
 
 }  // namespace
 
-TcpServer::TcpServer(RpcHandler& handler, std::uint16_t port)
+TcpServer::TcpServer(RpcHandler& handler, std::uint16_t port,
+                     TcpServerOptions options)
     : handler_(&handler) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) fail("socket");
@@ -86,16 +131,27 @@ TcpServer::TcpServer(RpcHandler& handler, std::uint16_t port)
     fail("getsockname");
   }
   port_ = ntohs(addr.sin_port);
-  if (::listen(listen_fd_, 64) < 0) fail("listen");
-  // The acceptor gets its own copy of the fd: stop() overwrites the member
-  // concurrently, and accept() on the copy fails once stop() closes it.
-  acceptor_ = std::thread([this, fd = listen_fd_] { accept_loop(fd); });
+  if (::listen(listen_fd_, 256) < 0) fail("listen");
+  if (options.use_reactor) {
+    reactor_ = std::make_unique<Reactor>(handler, options.limits);
+    reactor_->listen(listen_fd_);  // the reactor owns the fd from here
+  } else {
+    // The acceptor gets its own copy of the fd: stop() overwrites the
+    // member concurrently, and accept() on the copy fails once stop()
+    // closes it.
+    acceptor_ = std::thread([this, fd = listen_fd_] { accept_loop(fd); });
+  }
 }
 
 TcpServer::~TcpServer() { stop(); }
 
 void TcpServer::stop() {
   if (stopping_.exchange(true)) {
+    return;
+  }
+  if (reactor_) {
+    reactor_->stop();  // closes the listen fd it owns
+    listen_fd_ = -1;
     return;
   }
   if (listen_fd_ >= 0) {
@@ -194,31 +250,113 @@ TcpChannel::~TcpChannel() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Bytes TcpChannel::call(std::uint16_t method, BytesView request) {
-  std::lock_guard lock(mu_);
-  // RAII holder: the frame's capacity goes back to the pool even when
-  // write_all throws, so transient send errors don't degrade pooling.
-  PooledBytes holder(BufferPool::local().acquire());
-  Bytes& frame = holder.mut();
-  frame.resize(4 + 2 + request.size());
-  encode_u32(frame.data(), static_cast<std::uint32_t>(2 + request.size()));
-  frame[4] = static_cast<std::uint8_t>(method);
-  frame[5] = static_cast<std::uint8_t>(method >> 8);
-  std::copy(request.begin(), request.end(), frame.begin() + 6);
-  write_all(fd_, frame.data(), frame.size());
-  stats_.calls++;
-  stats_.bytes_sent += frame.size();
+void TcpChannel::poison(const std::string& reason) {
+  {
+    std::lock_guard lock(recv_mu_);
+    if (!broken_) {
+      broken_ = true;
+      broken_reason_ = reason;
+    }
+  }
+  recv_cv_.notify_all();
+}
 
-  std::uint8_t header[4];
-  if (!read_all(fd_, header, 4)) {
-    throw TransportError("TcpChannel: server closed connection");
+Bytes TcpChannel::call(std::uint16_t method, BytesView request) {
+  const auto ms = deadline_ms_.load(std::memory_order_relaxed);
+  Deadline deadline;
+  if (ms > 0) deadline = Clock::now() + std::chrono::milliseconds(ms);
+
+  // Send phase: sends are serialized and assign the wire-order ticket the
+  // response will arrive under.
+  std::uint64_t ticket = 0;
+  {
+    std::lock_guard lock(send_mu_);
+    {
+      std::lock_guard rlock(recv_mu_);
+      if (broken_) {
+        throw TransportError("TcpChannel: channel poisoned: " +
+                             broken_reason_);
+      }
+    }
+    // RAII holder: the frame's capacity goes back to the pool even when
+    // write_all throws, so transient send errors don't degrade pooling.
+    PooledBytes holder(BufferPool::local().acquire());
+    Bytes& frame = holder.mut();
+    frame.resize(4 + 2 + request.size());
+    encode_u32(frame.data(), static_cast<std::uint32_t>(2 + request.size()));
+    frame[4] = static_cast<std::uint8_t>(method);
+    frame[5] = static_cast<std::uint8_t>(method >> 8);
+    std::copy(request.begin(), request.end(), frame.begin() + 6);
+    try {
+      write_all(fd_, frame.data(), frame.size(), deadline);
+    } catch (const std::exception& e) {
+      poison(e.what());
+      throw;
+    }
+    ticket = next_ticket_++;
+    stats_.calls++;
+    stats_.bytes_sent += frame.size();
   }
-  const std::uint32_t len = decode_u32(header);
-  if (len > kMaxFrame) throw TransportError("TcpChannel: bad frame length");
-  Bytes response(len);
-  if (len > 0 && !read_all(fd_, response.data(), response.size())) {
-    throw TransportError("TcpChannel: truncated response");
+
+  // Receive phase: wait for this ticket's turn, then read with recv_mu_
+  // released so pipelined senders aren't blocked behind the head reader.
+  std::unique_lock lock(recv_mu_);
+  const auto my_turn = [&] {
+    return broken_ || (recv_next_ == ticket && !reading_);
+  };
+  if (deadline) {
+    if (!recv_cv_.wait_until(lock, *deadline, my_turn)) {
+      // Our turn never came: an earlier response is stalled. A late reply
+      // would desynchronise every ticket behind it, so poison.
+      if (!broken_) {
+        broken_ = true;
+        broken_reason_ = "call deadline exceeded";
+      }
+      lock.unlock();
+      recv_cv_.notify_all();
+      throw TransportError("TcpChannel: call deadline exceeded");
+    }
+  } else {
+    recv_cv_.wait(lock, my_turn);
   }
+  if (broken_) {
+    throw TransportError("TcpChannel: channel poisoned: " + broken_reason_);
+  }
+  reading_ = true;
+  lock.unlock();
+
+  Bytes response;
+  std::string err;
+  bool ok = true;
+  try {
+    std::uint8_t header[4];
+    if (!read_all(fd_, header, 4, deadline)) {
+      throw TransportError("TcpChannel: server closed connection");
+    }
+    const std::uint32_t len = decode_u32(header);
+    if (len > kMaxFrame) {
+      throw TransportError("TcpChannel: bad frame length");
+    }
+    response.resize(len);
+    if (len > 0 && !read_all(fd_, response.data(), len, deadline)) {
+      throw TransportError("TcpChannel: truncated response");
+    }
+  } catch (const std::exception& e) {
+    ok = false;
+    err = e.what();
+  }
+
+  lock.lock();
+  reading_ = false;
+  ++recv_next_;
+  if (!ok && !broken_) {
+    broken_ = true;
+    broken_reason_ = err;
+  }
+  lock.unlock();
+  recv_cv_.notify_all();
+  if (!ok) throw TransportError(err);
+
   stats_.bytes_received += 4 + response.size();
   return response;
 }

@@ -1,29 +1,48 @@
 // TCP transport (loopback or LAN) for the RPC layer.
 //
 // Frames are length-prefixed: a request is [u32 frame_len][u16 method]
-// [payload]; a response is [u32 frame_len][payload]. The server accepts
-// concurrent connections, one dispatcher thread per connection, so a TPA can
-// serve several users at once (the paper's multi-user experiment, Fig. 4).
+// [payload]; a response is [u32 frame_len][payload]. The server defaults to
+// the epoll reactor (net/reactor.h): one I/O thread multiplexes every
+// connection, requests pipeline per connection, and responses come back in
+// request order — so a TPA serves thousands of concurrent sessions (the
+// paper's multi-user experiment, Fig. 4) without a thread per client. The
+// legacy blocking thread-per-connection loop stays available behind
+// TcpServerOptions::use_reactor = false for differential testing.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "net/conn_state.h"
 #include "net/rpc.h"
 
 namespace ice::net {
 
+class Reactor;
+
+struct TcpServerOptions {
+  /// Serve with the epoll reactor. When false, the legacy blocking
+  /// accept/handle loop runs instead (one thread per connection).
+  bool use_reactor = true;
+  /// Reactor tuning and admission control; ignored by the blocking path.
+  ReactorLimits limits;
+};
+
 /// RPC server listening on a TCP port. Lifetime: construct (binds and starts
-/// the accept loop) -> serve -> destroy (stops and joins all threads).
+/// serving) -> serve -> destroy (stops and joins all threads).
 class TcpServer {
  public:
   /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts serving
   /// `handler` (non-owning; must outlive the server). Throws TransportError.
-  TcpServer(RpcHandler& handler, std::uint16_t port = 0);
+  TcpServer(RpcHandler& handler, std::uint16_t port = 0,
+            TcpServerOptions options = {});
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
@@ -31,6 +50,9 @@ class TcpServer {
 
   /// The port actually bound.
   [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// The serving reactor, or nullptr in blocking mode.
+  [[nodiscard]] Reactor* reactor() { return reactor_.get(); }
 
   /// Stops accepting, closes connections, joins threads (idempotent).
   void stop();
@@ -43,14 +65,19 @@ class TcpServer {
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
-  std::thread acceptor_;
+  std::unique_ptr<Reactor> reactor_;  // reactor mode
+  std::thread acceptor_;              // blocking mode
   std::mutex workers_mu_;
   std::vector<std::thread> workers_;
   std::vector<int> live_fds_;  // open connection sockets, for stop()
 };
 
-/// RPC client over one TCP connection. Calls are serialized internally, so
-/// one channel may be shared by multiple threads.
+/// RPC client over one TCP connection. Thread-safe and pipelining: when
+/// several threads call concurrently, requests are sent back-to-back on the
+/// wire and each caller collects its own response in send order (the server
+/// replies strictly in request order, so no request ids are needed). Any
+/// transport failure — including a deadline expiry — poisons the channel;
+/// every subsequent call throws TransportError.
 class TcpChannel final : public RpcChannel {
  public:
   /// Connects to host:port. Throws TransportError on failure.
@@ -62,12 +89,38 @@ class TcpChannel final : public RpcChannel {
 
   Bytes call(std::uint16_t method, BytesView request) override;
 
+  /// Per-call deadline covering the send and the response wait
+  /// (0 = no deadline, the default). Applies to calls issued after the
+  /// change. A dead or stalling peer then surfaces as a TransportError
+  /// instead of hanging the caller forever; the expired channel is
+  /// poisoned, since a late response would desynchronise the stream.
+  void set_deadline(std::chrono::milliseconds deadline) {
+    deadline_ms_.store(deadline.count(), std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::chrono::milliseconds deadline() const {
+    return std::chrono::milliseconds(
+        deadline_ms_.load(std::memory_order_relaxed));
+  }
+
   [[nodiscard]] const ChannelStats& stats() const override { return stats_; }
   void reset_stats() override { stats_.reset(); }
 
  private:
+  void poison(const std::string& reason);
+
   int fd_ = -1;
-  std::mutex mu_;
+  std::atomic<std::int64_t> deadline_ms_{0};
+
+  std::mutex send_mu_;          // serializes sends; assigns tickets
+  std::uint64_t next_ticket_ = 0;
+
+  std::mutex recv_mu_;          // guards the turn-taking state below
+  std::condition_variable recv_cv_;
+  std::uint64_t recv_next_ = 0;  // ticket whose response is next on the wire
+  bool reading_ = false;         // a caller is in recv() with recv_mu_ free
+  bool broken_ = false;
+  std::string broken_reason_;
+
   ChannelStats stats_;
 };
 

@@ -1,0 +1,280 @@
+// Deterministic coverage for the reactor's framing state machine: every
+// split point, stalls, truncation, pipelining, response ordering and
+// backpressure — all pure state, no sockets, no threads, no timing.
+#include "net/conn_state.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "net/buffer_pool.h"
+#include "support/fake_transport.h"
+
+namespace ice::net {
+namespace {
+
+using testing::frame_request;
+using testing::le32;
+
+Bytes bytes_of(std::initializer_list<std::uint8_t> b) { return Bytes(b); }
+
+Bytes concat(const Bytes& a, const Bytes& b) {
+  Bytes out = a;
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// Drains every sendable byte as one flat vector, consuming `step` bytes
+/// per advance() to exercise boundary crossings.
+Bytes drain_writable(ConnState& state, std::size_t step) {
+  Bytes out;
+  while (state.has_writable()) {
+    BytesView spans[4];
+    const std::size_t k = state.gather(spans, 4);
+    Bytes round;
+    for (std::size_t i = 0; i < k; ++i) {
+      round.insert(round.end(), spans[i].begin(), spans[i].end());
+    }
+    const std::size_t take = std::min(step, round.size());
+    out.insert(out.end(), round.begin(), round.begin() + take);
+    state.advance(take);
+  }
+  return out;
+}
+
+TEST(ConnStateTest, ParsesWholeFrameInOneChunk) {
+  ConnState state{ReactorLimits{}};
+  const Bytes payload = bytes_of({0xde, 0xad, 0xbe, 0xef});
+  ASSERT_TRUE(state.feed(frame_request(7, payload)));
+  RequestFrame rf;
+  ASSERT_TRUE(state.take_request(rf));
+  EXPECT_EQ(rf.seq, 0u);
+  EXPECT_EQ(rf.method, 7u);
+  EXPECT_EQ(rf.payload, payload);
+  EXPECT_FALSE(state.take_request(rf));
+  EXPECT_FALSE(state.mid_frame());
+}
+
+TEST(ConnStateTest, EveryByteSplitPointParsesIdentically) {
+  const Bytes payload = bytes_of({1, 2, 3, 4, 5, 6, 7});
+  const Bytes wire = frame_request(0x1234, payload);
+  // Split the frame at every byte position; each half-fed state machine
+  // must produce the identical request.
+  for (std::size_t split = 0; split <= wire.size(); ++split) {
+    ConnState state{ReactorLimits{}};
+    ASSERT_TRUE(state.feed(BytesView(wire).first(split)));
+    if (split > 0 && split < wire.size()) {
+      EXPECT_TRUE(state.mid_frame());
+    }
+    ASSERT_TRUE(state.feed(BytesView(wire).subspan(split)));
+    RequestFrame rf;
+    ASSERT_TRUE(state.take_request(rf)) << "split at " << split;
+    EXPECT_EQ(rf.method, 0x1234u);
+    EXPECT_EQ(rf.payload, payload);
+    EXPECT_FALSE(state.mid_frame());
+  }
+}
+
+TEST(ConnStateTest, OneBytePerFeedSlowLoris) {
+  const Bytes wire = frame_request(9, bytes_of({0xaa, 0xbb}));
+  ConnState state{ReactorLimits{}};
+  for (std::size_t i = 0; i < wire.size(); ++i) {
+    EXPECT_EQ(state.pending_requests(), 0u);
+    ASSERT_TRUE(state.feed(BytesView(&wire[i], 1)));
+  }
+  RequestFrame rf;
+  ASSERT_TRUE(state.take_request(rf));
+  EXPECT_EQ(rf.payload, bytes_of({0xaa, 0xbb}));
+}
+
+TEST(ConnStateTest, EmptyPayloadFrameCompletesAtChunkBoundary) {
+  ConnState state{ReactorLimits{}};
+  ASSERT_TRUE(state.feed(frame_request(3, {})));
+  RequestFrame rf;
+  ASSERT_TRUE(state.take_request(rf));
+  EXPECT_EQ(rf.method, 3u);
+  EXPECT_TRUE(rf.payload.empty());
+  EXPECT_FALSE(state.mid_frame());
+}
+
+TEST(ConnStateTest, StallMidFrameIsVisible) {
+  ConnState state{ReactorLimits{}};
+  const Bytes wire = frame_request(1, bytes_of({1, 2, 3}));
+  ASSERT_TRUE(state.feed(BytesView(wire).first(5)));  // len + 1 byte
+  EXPECT_TRUE(state.mid_frame());
+  EXPECT_EQ(state.pending_requests(), 0u);
+  // An EOF here would be a truncation; feeding the rest completes it.
+  ASSERT_TRUE(state.feed(BytesView(wire).subspan(5)));
+  EXPECT_FALSE(state.mid_frame());
+  EXPECT_EQ(state.pending_requests(), 1u);
+}
+
+TEST(ConnStateTest, PipelinedBurstInOneChunk) {
+  ConnState state{ReactorLimits{}};
+  Bytes wire;
+  for (std::uint16_t m = 0; m < 5; ++m) {
+    wire = concat(wire, frame_request(m, bytes_of({std::uint8_t(m)})));
+  }
+  ASSERT_TRUE(state.feed(wire));
+  EXPECT_EQ(state.pending_requests(), 5u);
+  for (std::uint16_t m = 0; m < 5; ++m) {
+    RequestFrame rf;
+    ASSERT_TRUE(state.take_request(rf));
+    EXPECT_EQ(rf.seq, m);
+    EXPECT_EQ(rf.method, m);
+  }
+}
+
+TEST(ConnStateTest, BadFrameLengthBreaksButKeepsEarlierFrames) {
+  for (const std::uint32_t bad : {0u, 1u, 0xffffffffu}) {
+    ConnState state{ReactorLimits{}};
+    Bytes wire = concat(frame_request(2, bytes_of({0x11})), le32(bad));
+    EXPECT_FALSE(state.feed(wire));
+    EXPECT_TRUE(state.broken());
+    EXPECT_FALSE(state.wants_read());
+    // The frame parsed before the violation still gets served.
+    RequestFrame rf;
+    ASSERT_TRUE(state.take_request(rf));
+    EXPECT_EQ(rf.method, 2u);
+    // Once broken, further bytes are refused.
+    EXPECT_FALSE(state.feed(frame_request(1, {})));
+  }
+}
+
+TEST(ConnStateTest, ResponsesEmitInSeqOrderDespiteOutOfOrderCompletion) {
+  ConnState state{ReactorLimits{}};
+  Bytes wire;
+  for (std::uint16_t m = 0; m < 3; ++m) {
+    wire = concat(wire, frame_request(m, {}));
+  }
+  ASSERT_TRUE(state.feed(wire));
+  RequestFrame a, b, c;
+  ASSERT_TRUE(state.take_request(a));
+  ASSERT_TRUE(state.take_request(b));
+  ASSERT_TRUE(state.take_request(c));
+  EXPECT_EQ(state.in_flight(), 3u);
+
+  // Complete out of order with different sizes; nothing is writable until
+  // seq 0 lands, then everything drains in seq order.
+  state.complete(c.seq, bytes_of({0xcc, 0xcc, 0xcc}));
+  state.complete(b.seq, bytes_of({0xbb}));
+  EXPECT_FALSE(state.has_writable());
+  state.complete(a.seq, bytes_of({0xaa, 0xaa}));
+  ASSERT_TRUE(state.has_writable());
+
+  const Bytes expected = concat(
+      concat(concat(le32(2), bytes_of({0xaa, 0xaa})),
+             concat(le32(1), bytes_of({0xbb}))),
+      concat(le32(3), bytes_of({0xcc, 0xcc, 0xcc})));
+  // Drain one byte per advance: crosses header/body/response boundaries.
+  EXPECT_EQ(drain_writable(state, 1), expected);
+  EXPECT_EQ(state.in_flight(), 0u);
+  EXPECT_TRUE(state.drained());
+}
+
+TEST(ConnStateTest, AdvanceCrossesResponseBoundariesInOneCall) {
+  ConnState state{ReactorLimits{}};
+  Bytes wire = concat(frame_request(0, {}), frame_request(1, {}));
+  ASSERT_TRUE(state.feed(wire));
+  RequestFrame a, b;
+  ASSERT_TRUE(state.take_request(a));
+  ASSERT_TRUE(state.take_request(b));
+  state.complete(a.seq, bytes_of({0x01}));
+  state.complete(b.seq, bytes_of({0x02, 0x03}));
+  // 4+1 + 4+2 = 11 writable bytes; consume all in one advance.
+  BytesView spans[8];
+  const std::size_t k = state.gather(spans, 8);
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < k; ++i) total += spans[i].size();
+  EXPECT_EQ(total, 11u);
+  state.advance(11);
+  EXPECT_FALSE(state.has_writable());
+  EXPECT_TRUE(state.drained());
+}
+
+TEST(ConnStateTest, PipelineWindowGatesReads) {
+  ReactorLimits limits;
+  limits.max_pipeline = 2;
+  ConnState state{limits};
+  ASSERT_TRUE(state.feed(concat(frame_request(0, {}), frame_request(1, {}))));
+  EXPECT_FALSE(state.wants_read());  // window full: 2 pending
+  RequestFrame rf;
+  ASSERT_TRUE(state.take_request(rf));
+  EXPECT_FALSE(state.wants_read());  // 1 pending + 1 in flight
+  state.complete(rf.seq, {});
+  EXPECT_FALSE(state.wants_read());  // response not fully written yet
+  state.advance(4);
+  EXPECT_TRUE(state.wants_read());  // 1 pending, 0 in flight
+}
+
+TEST(ConnStateTest, WriteQueueBudgetGatesReads) {
+  ReactorLimits limits;
+  limits.max_write_queue_bytes = 8;
+  ConnState state{limits};
+  ASSERT_TRUE(state.feed(frame_request(0, {})));
+  RequestFrame rf;
+  ASSERT_TRUE(state.take_request(rf));
+  state.complete(rf.seq, bytes_of({1, 2, 3, 4, 5, 6, 7}));  // 4 + 7 = 11
+  EXPECT_EQ(state.queued_write_bytes(), 11u);
+  EXPECT_FALSE(state.wants_read());
+  state.advance(4);
+  EXPECT_TRUE(state.wants_read());  // 7 <= 8
+}
+
+TEST(ConnStateTest, RecyclesBuffersAcrossFrames) {
+  ConnState state{ReactorLimits{}};
+  // Prime: a response body retires into the spare list...
+  ASSERT_TRUE(state.feed(frame_request(0, bytes_of({9, 9, 9}))));
+  RequestFrame rf;
+  ASSERT_TRUE(state.take_request(rf));
+  Bytes body(64, 0xee);
+  state.complete(rf.seq, std::move(body));
+  drain_writable(state, 16);
+  EXPECT_EQ(state.spare_buffers(), 1u);
+  // ...and the next frame's payload buffer comes from it.
+  ASSERT_TRUE(state.feed(frame_request(1, bytes_of({8, 8}))));
+  EXPECT_EQ(state.spare_buffers(), 0u);
+  ASSERT_TRUE(state.take_request(rf));
+  EXPECT_EQ(rf.payload, bytes_of({8, 8}));
+  EXPECT_GE(rf.payload.capacity(), 64u);  // recycled storage
+}
+
+TEST(ConnStateTest, SpareListIsBounded) {
+  const std::size_t n = BufferPool::kMaxPooled + 4;
+  Bytes wire;
+  for (std::size_t i = 0; i < n; ++i) {
+    wire = concat(wire, frame_request(0, {}));
+  }
+  ReactorLimits wide;
+  wide.max_pipeline = n + 1;
+  ConnState state2{wide};
+  ASSERT_TRUE(state2.feed(wire));
+  RequestFrame rf;
+  std::vector<std::uint64_t> seqs;
+  while (state2.take_request(rf)) seqs.push_back(rf.seq);
+  for (const auto seq : seqs) state2.complete(seq, Bytes(16, 0x5a));
+  drain_writable(state2, 1024);
+  EXPECT_LE(state2.spare_buffers(), BufferPool::kMaxPooled);
+}
+
+TEST(ConnStateTest, GatherRespectsSpanBudgetAndResumesMidEntry) {
+  ConnState state{ReactorLimits{}};
+  ASSERT_TRUE(state.feed(concat(frame_request(0, {}), frame_request(1, {}))));
+  RequestFrame a, b;
+  ASSERT_TRUE(state.take_request(a));
+  ASSERT_TRUE(state.take_request(b));
+  state.complete(a.seq, bytes_of({0x10, 0x11}));
+  state.complete(b.seq, bytes_of({0x20}));
+  BytesView one[1];
+  ASSERT_EQ(state.gather(one, 1), 1u);
+  EXPECT_EQ(one[0].size(), 4u);  // first header only
+  state.advance(2);              // part of the first header
+  ASSERT_EQ(state.gather(one, 1), 1u);
+  EXPECT_EQ(one[0].size(), 2u);  // header remainder
+  state.advance(2);
+  ASSERT_EQ(state.gather(one, 1), 1u);
+  EXPECT_EQ(one[0].size(), 2u);  // first body
+}
+
+}  // namespace
+}  // namespace ice::net

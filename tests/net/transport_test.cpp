@@ -8,8 +8,10 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstring>
 #include <future>
+#include <memory>
 #include <thread>
 
 #include "common/error.h"
@@ -60,28 +62,46 @@ TEST(LinkModelTest, InfiniteBandwidthIsLatencyOnly) {
   EXPECT_DOUBLE_EQ(m.transfer_seconds(1 << 20), 0.005);
 }
 
-TEST(TcpTransportTest, RoundTrip) {
+/// Server-behavior tests run against both transports: the epoll reactor
+/// (param true) and the legacy blocking loop (param false). The two must be
+/// observably identical from the client side.
+class TcpTransportTest : public ::testing::TestWithParam<bool> {
+ protected:
+  [[nodiscard]] TcpServerOptions options() const {
+    TcpServerOptions o;
+    o.use_reactor = GetParam();
+    return o;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Modes, TcpTransportTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "reactor" : "blocking";
+                         });
+
+TEST_P(TcpTransportTest, RoundTrip) {
   EchoHandler handler;
-  TcpServer server(handler);
+  TcpServer server(handler, 0, options());
   TcpChannel ch("127.0.0.1", server.port());
   const Bytes resp = ch.call(42, Bytes{9, 8, 7});
   EXPECT_EQ(resp, (Bytes{42, 9, 8, 7}));
   EXPECT_EQ(handler.calls.load(), 1);
 }
 
-TEST(TcpTransportTest, EmptyRequestAndResponse) {
+TEST_P(TcpTransportTest, EmptyRequestAndResponse) {
   class NullHandler : public RpcHandler {
    public:
     Bytes handle(std::uint16_t, BytesView) override { return {}; }
   } handler;
-  TcpServer server(handler);
+  TcpServer server(handler, 0, options());
   TcpChannel ch("127.0.0.1", server.port());
   EXPECT_TRUE(ch.call(0, {}).empty());
 }
 
-TEST(TcpTransportTest, LargePayload) {
+TEST_P(TcpTransportTest, LargePayload) {
   EchoHandler handler;
-  TcpServer server(handler);
+  TcpServer server(handler, 0, options());
   TcpChannel ch("127.0.0.1", server.port());
   Bytes big(1 << 20);
   for (std::size_t i = 0; i < big.size(); ++i) {
@@ -92,9 +112,9 @@ TEST(TcpTransportTest, LargePayload) {
   EXPECT_TRUE(std::equal(big.begin(), big.end(), resp.begin() + 1));
 }
 
-TEST(TcpTransportTest, SequentialCallsOnOneConnection) {
+TEST_P(TcpTransportTest, SequentialCallsOnOneConnection) {
   EchoHandler handler;
-  TcpServer server(handler);
+  TcpServer server(handler, 0, options());
   TcpChannel ch("127.0.0.1", server.port());
   for (std::uint16_t m = 0; m < 50; ++m) {
     const Bytes resp = ch.call(m, Bytes{static_cast<std::uint8_t>(m)});
@@ -103,9 +123,38 @@ TEST(TcpTransportTest, SequentialCallsOnOneConnection) {
   EXPECT_EQ(ch.stats().calls, 50u);
 }
 
-TEST(TcpTransportTest, ConcurrentClients) {
+TEST_P(TcpTransportTest, PipelinedCallsShareOneConnection) {
+  // Several threads calling through ONE channel: sends interleave on the
+  // wire and each caller still gets its own response (ticket-ordered
+  // reads). The blocking server serializes execution, the reactor
+  // pipelines it; both must return correct bytes.
   EchoHandler handler;
-  TcpServer server(handler);
+  TcpServer server(handler, 0, options());
+  TcpChannel ch("127.0.0.1", server.port());
+  std::vector<std::future<bool>> futs;
+  for (int t = 0; t < 4; ++t) {
+    futs.push_back(std::async(std::launch::async, [&ch, t] {
+      for (int i = 0; i < 25; ++i) {
+        const auto m = static_cast<std::uint16_t>(t * 25 + i);
+        // Response size varies with the payload, exercising ordering of
+        // different-sized frames on one stream.
+        const Bytes payload(1 + (m % 7), static_cast<std::uint8_t>(m));
+        Bytes expected;
+        expected.push_back(static_cast<std::uint8_t>(m));
+        expected.insert(expected.end(), payload.begin(), payload.end());
+        if (ch.call(m, payload) != expected) return false;
+      }
+      return true;
+    }));
+  }
+  for (auto& f : futs) EXPECT_TRUE(f.get());
+  EXPECT_EQ(handler.calls.load(), 100);
+  EXPECT_EQ(ch.stats().calls, 100u);
+}
+
+TEST_P(TcpTransportTest, ConcurrentClients) {
+  EchoHandler handler;
+  TcpServer server(handler, 0, options());
   std::vector<std::future<bool>> futs;
   for (int c = 0; c < 8; ++c) {
     futs.push_back(std::async(std::launch::async, [&server, c] {
@@ -122,9 +171,9 @@ TEST(TcpTransportTest, ConcurrentClients) {
   EXPECT_EQ(handler.calls.load(), 160);
 }
 
-TEST(TcpTransportTest, ByteAccountingMatchesFraming) {
+TEST_P(TcpTransportTest, ByteAccountingMatchesFraming) {
   EchoHandler handler;
-  TcpServer server(handler);
+  TcpServer server(handler, 0, options());
   TcpChannel ch("127.0.0.1", server.port());
   ch.call(1, Bytes(10, 0));
   // Request frame: 4 (len) + 2 (method) + 10; response: 4 (len) + 11.
@@ -146,9 +195,9 @@ TEST(TcpTransportTest, BadAddressThrows) {
   EXPECT_THROW(TcpChannel("not-an-ip", 1), TransportError);
 }
 
-TEST(TcpTransportTest, CallAfterServerStopThrows) {
+TEST_P(TcpTransportTest, CallAfterServerStopThrows) {
   EchoHandler handler;
-  auto server = std::make_unique<TcpServer>(handler);
+  auto server = std::make_unique<TcpServer>(handler, 0, options());
   TcpChannel ch("127.0.0.1", server->port());
   EXPECT_EQ(ch.call(1, Bytes{1}).size(), 2u);
   server.reset();  // stops and joins
@@ -160,14 +209,14 @@ TEST(TcpTransportTest, CallAfterServerStopThrows) {
       TransportError);
 }
 
-TEST(TcpTransportTest, StopIsIdempotent) {
+TEST_P(TcpTransportTest, StopIsIdempotent) {
   EchoHandler handler;
-  TcpServer server(handler);
+  TcpServer server(handler, 0, options());
   server.stop();
   server.stop();
 }
 
-TEST(TcpTransportTest, HandlerExceptionDropsConnectionOnly) {
+TEST_P(TcpTransportTest, HandlerExceptionDropsConnectionOnly) {
   class ThrowingHandler : public RpcHandler {
    public:
     Bytes handle(std::uint16_t method, BytesView) override {
@@ -175,7 +224,7 @@ TEST(TcpTransportTest, HandlerExceptionDropsConnectionOnly) {
       return Bytes{1};
     }
   } handler;
-  TcpServer server(handler);
+  TcpServer server(handler, 0, options());
   {
     TcpChannel bad("127.0.0.1", server.port());
     EXPECT_THROW(
@@ -233,25 +282,41 @@ void expect_dropped_then_still_serving(TcpServer& server, const Bytes& abuse,
   EXPECT_EQ(handler.calls.load(), before + 1) << "abuse must not reach handler";
 }
 
-TEST(TcpAbuseTest, OversizedLengthPrefixDropsConnection) {
+/// Server-side abuse runs against both transports, like TcpTransportTest.
+class TcpAbuseServerTest : public ::testing::TestWithParam<bool> {
+ protected:
+  [[nodiscard]] TcpServerOptions options() const {
+    TcpServerOptions o;
+    o.use_reactor = GetParam();
+    return o;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Modes, TcpAbuseServerTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "reactor" : "blocking";
+                         });
+
+TEST_P(TcpAbuseServerTest, OversizedLengthPrefixDropsConnection) {
   EchoHandler handler;
-  TcpServer server(handler);
+  TcpServer server(handler, 0, options());
   // 4 GiB frame announcement: the server must refuse to allocate and close.
   expect_dropped_then_still_serving(server, le32(0xffffffffu), handler);
 }
 
-TEST(TcpAbuseTest, UndersizedFrameDropsConnection) {
+TEST_P(TcpAbuseServerTest, UndersizedFrameDropsConnection) {
   EchoHandler handler;
-  TcpServer server(handler);
+  TcpServer server(handler, 0, options());
   // Frame length 1 cannot even hold the method id.
   Bytes abuse = le32(1);
   abuse.push_back(0x7f);
   expect_dropped_then_still_serving(server, abuse, handler);
 }
 
-TEST(TcpAbuseTest, TruncatedFrameThenCloseDropsConnection) {
+TEST_P(TcpAbuseServerTest, TruncatedFrameThenCloseDropsConnection) {
   EchoHandler handler;
-  TcpServer server(handler);
+  TcpServer server(handler, 0, options());
   const int before = handler.calls.load();
   {
     const int fd = raw_connect(server.port());
@@ -344,6 +409,94 @@ TEST(TcpAbuseTest, OversizedResponseLengthIsTypedError) {
   });
   TcpChannel ch("127.0.0.1", peer.port());
   EXPECT_THROW((void)ch.call(1, {}), TransportError);
+}
+
+// --- Call deadlines: a dead or stalling peer must not hang the caller -----
+
+/// Blocks the RawPeer thread until the client end closes (EOF), keeping the
+/// stalled connection alive deterministically — no sleeps.
+void hold_until_client_closes(int fd) {
+  std::uint8_t byte;
+  while (::recv(fd, &byte, 1, 0) > 0) {
+  }
+}
+
+TEST(TcpDeadlineTest, SilentPeerTimesOutWithTypedError) {
+  // The peer consumes the request and never answers. Without a deadline
+  // this call would hang forever (the original bug); with one it must
+  // surface TransportError within the budget.
+  RawPeer peer([](int fd) {
+    (void)drain_request(fd);
+    hold_until_client_closes(fd);
+  });
+  auto ch = std::make_unique<TcpChannel>("127.0.0.1", peer.port());
+  ch->set_deadline(std::chrono::milliseconds(100));
+  EXPECT_EQ(ch->deadline(), std::chrono::milliseconds(100));
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)ch->call(1, Bytes{1}), TransportError);
+  EXPECT_LT(std::chrono::steady_clock::now() - start,
+            std::chrono::seconds(5));
+  // The expiry poisoned the channel: a late response could desynchronise
+  // the stream, so further calls must fail fast.
+  EXPECT_THROW((void)ch->call(1, Bytes{1}), TransportError);
+  ch.reset();  // unblocks the peer
+}
+
+TEST(TcpDeadlineTest, StallMidResponseHeaderTimesOut) {
+  RawPeer peer([](int fd) {
+    (void)drain_request(fd);
+    const Bytes partial = {0x40, 0x00};  // 2 of 4 header bytes, then stall
+    (void)::send(fd, partial.data(), partial.size(), MSG_NOSIGNAL);
+    hold_until_client_closes(fd);
+  });
+  auto ch = std::make_unique<TcpChannel>("127.0.0.1", peer.port());
+  ch->set_deadline(std::chrono::milliseconds(100));
+  EXPECT_THROW((void)ch->call(1, {}), TransportError);
+  ch.reset();
+}
+
+TEST(TcpDeadlineTest, StallMidResponseBodyTimesOut) {
+  RawPeer peer([](int fd) {
+    (void)drain_request(fd);
+    Bytes partial = le32(64);  // promise 64 payload bytes...
+    partial.push_back(0xaa);   // ...deliver one
+    (void)::send(fd, partial.data(), partial.size(), MSG_NOSIGNAL);
+    hold_until_client_closes(fd);
+  });
+  auto ch = std::make_unique<TcpChannel>("127.0.0.1", peer.port());
+  ch->set_deadline(std::chrono::milliseconds(100));
+  EXPECT_THROW((void)ch->call(1, {}), TransportError);
+  ch.reset();
+}
+
+TEST(TcpDeadlineTest, PipelinedWaiterBehindStalledHeadTimesOutToo) {
+  // Two concurrent calls on one channel; the peer answers neither. The
+  // head caller times out in recv, and the second caller — queued behind
+  // it waiting for its turn — must time out as well, not wait forever.
+  RawPeer peer([](int fd) {
+    (void)drain_request(fd);
+    (void)drain_request(fd);
+    hold_until_client_closes(fd);
+  });
+  auto ch = std::make_unique<TcpChannel>("127.0.0.1", peer.port());
+  ch->set_deadline(std::chrono::milliseconds(150));
+  auto first = std::async(std::launch::async,
+                          [&] { (void)ch->call(1, Bytes{1}); });
+  auto second = std::async(std::launch::async,
+                           [&] { (void)ch->call(2, Bytes{2}); });
+  EXPECT_THROW(first.get(), TransportError);
+  EXPECT_THROW(second.get(), TransportError);
+  ch.reset();
+}
+
+TEST(TcpDeadlineTest, GenerousDeadlineDoesNotBreakHealthyCalls) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  TcpChannel ch("127.0.0.1", server.port());
+  ch.set_deadline(std::chrono::seconds(30));
+  for (std::uint16_t m = 0; m < 10; ++m) {
+    EXPECT_EQ(ch.call(m, Bytes{7})[1], 7u);
+  }
 }
 
 }  // namespace

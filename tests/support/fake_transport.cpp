@@ -1,0 +1,207 @@
+#include "support/fake_transport.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace ice::net::testing {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("fake_transport: " + what + ": " +
+                           std::strerror(errno));
+}
+
+void wait_readable(int fd, int timeout_ms) {
+  pollfd p{fd, POLLIN, 0};
+  const int r = ::poll(&p, 1, timeout_ms);
+  if (r < 0) fail("poll");
+  if (r == 0) throw std::runtime_error("fake_transport: recv timeout");
+}
+
+}  // namespace
+
+Bytes le32(std::uint32_t v) {
+  return Bytes{static_cast<std::uint8_t>(v),
+               static_cast<std::uint8_t>(v >> 8),
+               static_cast<std::uint8_t>(v >> 16),
+               static_cast<std::uint8_t>(v >> 24)};
+}
+
+Bytes frame_request(std::uint16_t method, BytesView payload) {
+  Bytes frame = le32(static_cast<std::uint32_t>(2 + payload.size()));
+  frame.push_back(static_cast<std::uint8_t>(method));
+  frame.push_back(static_cast<std::uint8_t>(method >> 8));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+StreamPeer::~StreamPeer() { close(); }
+
+void StreamPeer::send(BytesView bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + done, bytes.size() - done,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("send");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+void StreamPeer::send_split(BytesView bytes, std::size_t pieces) {
+  if (pieces == 0) pieces = 1;
+  if (pieces > bytes.size()) pieces = bytes.size() ? bytes.size() : 1;
+  std::size_t sent = 0;
+  for (std::size_t i = 0; i < pieces; ++i) {
+    // Even spread: the first (n % pieces) slices get one extra byte.
+    const std::size_t len =
+        bytes.size() / pieces + (i < bytes.size() % pieces ? 1 : 0);
+    send(bytes.subspan(sent, len));
+    sent += len;
+  }
+}
+
+void StreamPeer::send_request(std::uint16_t method, BytesView payload) {
+  send(frame_request(method, payload));
+}
+
+Bytes StreamPeer::recv_exact(std::size_t n, int timeout_ms) {
+  Bytes out(n);
+  std::size_t done = 0;
+  while (done < n) {
+    const ssize_t r =
+        ::recv(fd_, out.data() + done, n - done, MSG_DONTWAIT);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        wait_readable(fd_, timeout_ms);
+        continue;
+      }
+      fail("recv");
+    }
+    if (r == 0) {
+      throw std::runtime_error("fake_transport: EOF mid-read");
+    }
+    done += static_cast<std::size_t>(r);
+  }
+  return out;
+}
+
+Bytes StreamPeer::recv_response(int timeout_ms) {
+  const Bytes header = recv_exact(4, timeout_ms);
+  const std::uint32_t len = std::uint32_t{header[0]} |
+                            (std::uint32_t{header[1]} << 8) |
+                            (std::uint32_t{header[2]} << 16) |
+                            (std::uint32_t{header[3]} << 24);
+  if (len == 0) return {};
+  return recv_exact(len, timeout_ms);
+}
+
+bool StreamPeer::eof_within(int timeout_ms) {
+  for (;;) {
+    std::uint8_t byte = 0;
+    const ssize_t r = ::recv(fd_, &byte, 1, MSG_DONTWAIT);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        try {
+          wait_readable(fd_, timeout_ms);
+        } catch (const std::exception&) {
+          return false;  // still open, nothing arriving
+        }
+        continue;
+      }
+      return true;  // reset counts as closed
+    }
+    return r == 0;  // stray bytes before EOF fail the expectation
+  }
+}
+
+void StreamPeer::shutdown_write() { ::shutdown(fd_, SHUT_WR); }
+
+void StreamPeer::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+FakeTransport::FakeTransport() : StreamPeer(-1) {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) < 0) fail("socketpair");
+  fd_ = fds[0];
+  server_end_ = fds[1];
+}
+
+FakeTransport::~FakeTransport() {
+  if (server_end_ >= 0) ::close(server_end_);
+}
+
+int FakeTransport::release_server_end() {
+  const int fd = server_end_;
+  server_end_ = -1;
+  return fd;
+}
+
+RawTcpClient::RawTcpClient(std::uint16_t port) : StreamPeer(-1) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    fail("connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+std::vector<AbuseCase> wire_abuse_corpus(const Bytes& valid_frame) {
+  std::vector<AbuseCase> corpus;
+  corpus.push_back({"oversized_length_prefix", le32(0xffffffffu), 0});
+  corpus.push_back({"length_over_cap", le32((256u << 20) + 1), 0});
+  corpus.push_back({"undersized_length_zero", le32(0), 0});
+  corpus.push_back({"undersized_length_one", le32(1), 0});
+  {
+    Bytes truncated = le32(10);
+    truncated.insert(truncated.end(), {0x01, 0x00, 0xaa});
+    corpus.push_back({"truncated_frame_then_close", std::move(truncated), 0});
+  }
+  corpus.push_back({"truncated_header_then_close", Bytes{0x08, 0x00}, 0});
+  if (!valid_frame.empty()) {
+    {
+      Bytes s = valid_frame;
+      const Bytes bad = le32(0xffffffffu);
+      s.insert(s.end(), bad.begin(), bad.end());
+      corpus.push_back({"valid_frame_then_oversized_length", std::move(s), 1});
+    }
+    {
+      Bytes s = valid_frame;
+      const Bytes bad = le32(1);
+      s.insert(s.end(), bad.begin(), bad.end());
+      corpus.push_back({"valid_frame_then_undersized_length", std::move(s), 1});
+    }
+    {
+      Bytes s = valid_frame;
+      Bytes truncated = le32(64);
+      truncated.insert(truncated.end(), {0x01, 0x00});
+      s.insert(s.end(), truncated.begin(), truncated.end());
+      corpus.push_back({"valid_frame_then_truncation", std::move(s), 1});
+    }
+  }
+  return corpus;
+}
+
+}  // namespace ice::net::testing
