@@ -1,30 +1,38 @@
 #include "ice/tag_store.h"
 
 #include "common/error.h"
+#include "ice/shard_audit.h"
 
 namespace ice::proto {
+namespace {
+
+std::vector<bn::BigInt> checked(std::vector<bn::BigInt> tags) {
+  if (tags.empty()) throw ParamError("TagStore: empty tag set");
+  return tags;
+}
+
+}  // namespace
 
 TagStore::TagStore(const ProtocolParams& params,
                    std::vector<bn::BigInt> tags, pir::EvalStrategy strategy)
-    : db_(params.tag_bits()),
-      embedding_(std::make_unique<pir::Embedding>(
-          tags.empty() ? 1 : tags.size())),
-      server_(db_, *embedding_, strategy, params.parallelism) {
-  if (tags.empty()) throw ParamError("TagStore: empty tag set");
-  for (const auto& t : tags) db_.add(t);
-}
+    : server_(params.tag_bits(), checked(std::move(tags)),
+              params.shard_budget, strategy, params.parallelism) {}
 
 std::vector<bn::BigInt> retrieve_tags_direct(
     const TagStore& tpa0, const TagStore& tpa1,
     std::span<const std::size_t> indices, bn::Rng64& rng) {
-  if (tpa0.n() != tpa1.n() || tpa0.tag_bits() != tpa1.tag_bits()) {
+  if (tpa0.n() != tpa1.n() || tpa0.tag_bits() != tpa1.tag_bits() ||
+      tpa0.epoch() != tpa1.epoch()) {
     throw ParamError("retrieve_tags_direct: TPA replicas disagree");
   }
-  const pir::PirClient client(tpa0.embedding(), tpa0.tag_bits());
-  auto enc = client.encode(indices, rng);
-  const pir::PirResponse r0 = tpa0.respond(enc.queries[0]);
-  const pir::PirResponse r1 = tpa1.respond(enc.queries[1]);
-  return client.decode(enc.secrets, r0, r1);
+  const ShardPlanner planner(tpa0.shard_map(), tpa0.tag_bits());
+  ShardPlan plan = planner.plan(indices, rng);
+  if (plan.secrets.empty()) return {};
+  pir::ShardedPirResponse r0;
+  pir::ShardedPirResponse r1;
+  tpa0.respond_sharded(plan.queries[0], r0);
+  tpa1.respond_sharded(plan.queries[1], r1);
+  return planner.merge_decode(plan, r0, r1);
 }
 
 }  // namespace ice::proto

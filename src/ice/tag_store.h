@@ -4,6 +4,13 @@
 // phi, and build the polynomial/matrix representation used to answer
 // private tag queries. Both TPAs hold identical replicas (the 2-server PIR
 // non-collusion assumption).
+//
+// Since PR 7 the store is range-sharded (pir/sharded_server.h): with
+// `params.shard_budget` > 0 the tag space is partitioned into contiguous
+// shards, each an independent TPASetup instance, and queries fan out to the
+// shards they touch. `shard_budget` = 0 keeps the paper's monolithic layout;
+// the legacy single-shard surface (`embedding()`, `respond()`) remains for
+// that case and throws on a sharded store.
 #pragma once
 
 #include <memory>
@@ -14,48 +21,76 @@
 #include "ice/params.h"
 #include "pir/client.h"
 #include "pir/server.h"
+#include "pir/sharded_server.h"
 
 namespace ice::proto {
 
 class TagStore {
  public:
-  /// Takes ownership of the tag set; K comes from `params.tag_bits()`.
+  /// Takes ownership of the tag set; K comes from `params.tag_bits()`,
+  /// the shard partition from `params.shard_budget`.
   TagStore(const ProtocolParams& params, std::vector<bn::BigInt> tags,
            pir::EvalStrategy strategy = pir::EvalStrategy::kBitsliced);
 
-  [[nodiscard]] std::size_t n() const { return db_.size(); }
-  [[nodiscard]] std::size_t tag_bits() const { return db_.tag_bits(); }
-  [[nodiscard]] const pir::Embedding& embedding() const { return *embedding_; }
+  [[nodiscard]] std::size_t n() const { return server_.n(); }
+  [[nodiscard]] std::size_t tag_bits() const { return server_.tag_bits(); }
+  [[nodiscard]] std::size_t num_shards() const {
+    return server_.num_shards();
+  }
+  [[nodiscard]] std::uint64_t epoch() const { return server_.epoch(); }
+  [[nodiscard]] pir::ShardMap shard_map() const {
+    return server_.map_snapshot();
+  }
+
+  /// Legacy monolithic surface; valid only while num_shards() == 1
+  /// (throws ParamError otherwise, which the RPC layer surfaces as
+  /// kInvalidArgument — sharded deployments use the sharded methods).
+  [[nodiscard]] const pir::Embedding& embedding() const {
+    return server_.single_embedding();
+  }
+  [[nodiscard]] pir::PirResponse respond(const pir::PirQuery& query) const {
+    return server_.respond_single(query);
+  }
 
   /// Plain (non-private) tag read; used by trusted-path tests and by the
   /// naive full-download baseline.
   [[nodiscard]] bn::BigInt tag(std::size_t index) const {
-    return db_.tag(index);
+    return server_.tag(index);
   }
 
-  /// Replaces the tag of an updated block (data dynamics).
+  /// Replaces the tag of an updated block (data dynamics). Serialized
+  /// against queries only on the owning shard.
   void update(std::size_t index, const bn::BigInt& tag) {
-    db_.update(index, tag);
+    server_.update(index, tag);
   }
 
-  /// Answers one PIR query batch (paper Alg. 1 "tag response").
-  [[nodiscard]] pir::PirResponse respond(const pir::PirQuery& query) const {
-    return server_.respond(query);
+  /// Appends a tag for a newly outsourced block; may split the tail shard.
+  /// Structural: bumps the shard-map epoch. Returns the new global index.
+  std::size_t append(const bn::BigInt& tag) { return server_.append(tag); }
+
+  /// Splits shard `s` (operator-initiated rebalance). Structural: bumps
+  /// the epoch. Returns the new upper shard id.
+  std::size_t split(std::size_t s) { return server_.split(s); }
+
+  /// Answers a cross-shard fan-out query (paper Alg. 1 "tag response",
+  /// evaluated per shard in parallel). Throws pir::StaleShardMapError when
+  /// the query's epoch is stale.
+  void respond_sharded(const pir::ShardedPirQuery& query,
+                       pir::ShardedPirResponse& out) const {
+    server_.respond_sharded(query, out);
   }
 
   /// Forces the TPASetup preprocessing and reports its duration in seconds
-  /// (paper Tab. III row "TPASetup").
-  double preprocess() { return db_.build_planes(); }
+  /// (paper Tab. III row "TPASetup"; summed across shards).
+  double preprocess() { return server_.preprocess(); }
 
  private:
-  pir::TagDatabase db_;
-  std::unique_ptr<pir::Embedding> embedding_;  // stable address for server_
-  pir::PirServer server_;
+  pir::ShardedTagServer server_;
 };
 
 /// User-side helper: retrieves tags for `indices` from two TagStore replicas
 /// (direct in-process variant used by tests and single-process simulations;
-/// the RPC variant lives in entities.h).
+/// the RPC variant lives in user_client.h). Works for any shard count.
 std::vector<bn::BigInt> retrieve_tags_direct(const TagStore& tpa0,
                                              const TagStore& tpa1,
                                              std::span<const std::size_t>

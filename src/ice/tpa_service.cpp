@@ -9,12 +9,14 @@ namespace ice::proto {
 using net::ServiceError;
 using net::Status;
 
-TpaService::TpaService(pir::EvalStrategy strategy, std::size_t parallelism)
+TpaService::TpaService(pir::EvalStrategy strategy, std::size_t parallelism,
+                       std::size_t shard_budget)
     : strategy_(strategy),
       dispatch_("TpaService"),
       sessions_(session_table_config()),
       batches_(session_table_config()) {
   params_.parallelism = parallelism;
+  params_.shard_budget = shard_budget;
   const auto bind = [this](void (TpaService::*fn)(net::Reader&,
                                                   net::Writer&)) {
     return [this, fn](net::Reader& r, net::Writer& w) { (this->*fn)(r, w); };
@@ -34,6 +36,13 @@ TpaService::TpaService(pir::EvalStrategy strategy, std::size_t parallelism)
                bind(&TpaService::on_batch_finish));
   dispatch_.on(kTpaUpdateTag, "update_tag",
                bind(&TpaService::on_update_tag));
+  dispatch_.on(kTpaShardMap, "shard_map", bind(&TpaService::on_shard_map));
+  dispatch_.on(kTpaShardQuery, "shard_query",
+               bind(&TpaService::on_shard_query));
+  dispatch_.on(kTpaSplitShard, "split_shard",
+               bind(&TpaService::on_split_shard));
+  dispatch_.on(kTpaAppendTag, "append_tag",
+               bind(&TpaService::on_append_tag));
 }
 
 Bytes TpaService::handle(std::uint16_t method, BytesView request) {
@@ -270,8 +279,10 @@ void TpaService::on_update_tag(net::Reader& r, net::Writer&) {
   const auto index = static_cast<std::size_t>(r.varint());
   const bn::BigInt tag = r.bigint();
   r.expect_done();
-  // update() mutates store content, so it excludes concurrent tag queries.
-  std::unique_lock lock(store_mu_);
+  // SHARED service lock: the store pointer stays put; TagStore::update
+  // serializes against queries on the owning shard's own content lock, so
+  // an update no longer stalls audits of every other shard.
+  std::shared_lock lock(store_mu_);
   if (store_ == nullptr) {
     throw ServiceError(Status::kFailedPrecondition, "no tags stored");
   }
@@ -279,6 +290,52 @@ void TpaService::on_update_tag(net::Reader& r, net::Writer&) {
     throw ServiceError(Status::kNotFound, "tag index out of range");
   }
   store_->update(index, tag);
+}
+
+void TpaService::on_shard_map(net::Reader& r, net::Writer& w) {
+  r.expect_done();
+  std::shared_lock lock(store_mu_);
+  if (store_ == nullptr) {
+    throw ServiceError(Status::kFailedPrecondition, "no tags stored");
+  }
+  write_shard_map(w, store_->shard_map());
+}
+
+void TpaService::on_shard_query(net::Reader& r, net::Writer& w) {
+  const pir::ShardedPirQuery query = read_sharded_query(r);
+  std::shared_lock lock(store_mu_);
+  if (store_ == nullptr) {
+    throw ServiceError(Status::kFailedPrecondition, "no tags stored");
+  }
+  // A stale query epoch throws pir::StaleShardMapError (a ProtocolError),
+  // which the dispatcher maps to kFailedPrecondition for the client's
+  // refresh-and-retry path.
+  pir::ShardedPirResponse out;
+  store_->respond_sharded(query, out);
+  write_sharded_response(w, out);
+}
+
+void TpaService::on_split_shard(net::Reader& r, net::Writer& w) {
+  const auto shard = static_cast<std::size_t>(r.varint());
+  r.expect_done();
+  std::shared_lock lock(store_mu_);
+  if (store_ == nullptr) {
+    throw ServiceError(Status::kFailedPrecondition, "no tags stored");
+  }
+  store_->split(shard);  // takes the store's structure lock exclusively
+  w.u64(store_->epoch());
+}
+
+void TpaService::on_append_tag(net::Reader& r, net::Writer& w) {
+  const bn::BigInt tag = r.bigint();
+  r.expect_done();
+  std::shared_lock lock(store_mu_);
+  if (store_ == nullptr) {
+    throw ServiceError(Status::kFailedPrecondition, "no tags stored");
+  }
+  const std::size_t index = store_->append(tag);
+  w.varint(index);
+  w.u64(store_->epoch());
 }
 
 void TpaClient::set_key(const PublicKey& pk,
@@ -342,6 +399,41 @@ void TpaClient::update_tag(std::size_t index, const bn::BigInt& tag) const {
   w.bigint(tag);
   const net::PooledBytes raw = net::call_pooled(*channel_, kTpaUpdateTag, std::move(w));
   unwrap(raw);
+}
+
+pir::ShardMap TpaClient::shard_map() const {
+  net::Writer w;
+  const net::PooledBytes raw = net::call_pooled(*channel_, kTpaShardMap, std::move(w));
+  net::Reader r = unwrap(raw);
+  return read_shard_map(r);
+}
+
+pir::ShardedPirResponse TpaClient::shard_query(
+    const pir::ShardedPirQuery& query) const {
+  net::Writer w;
+  write_sharded_query(w, query);
+  const net::PooledBytes raw = net::call_pooled(*channel_, kTpaShardQuery, std::move(w));
+  net::Reader r = unwrap(raw);
+  return read_sharded_response(r);
+}
+
+std::uint64_t TpaClient::split_shard(std::size_t shard) const {
+  net::Writer w;
+  w.varint(shard);
+  const net::PooledBytes raw = net::call_pooled(*channel_, kTpaSplitShard, std::move(w));
+  net::Reader r = unwrap(raw);
+  return r.u64();
+}
+
+std::pair<std::size_t, std::uint64_t> TpaClient::append_tag(
+    const bn::BigInt& tag) const {
+  net::Writer w;
+  w.bigint(tag);
+  const net::PooledBytes raw = net::call_pooled(*channel_, kTpaAppendTag, std::move(w));
+  net::Reader r = unwrap(raw);
+  const auto index = static_cast<std::size_t>(r.varint());
+  const std::uint64_t epoch = r.u64();
+  return {index, epoch};
 }
 
 bool TpaClient::batch_finish(std::uint64_t batch_id,

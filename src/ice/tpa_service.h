@@ -41,11 +41,14 @@ class TpaService final : public net::RpcHandler {
  public:
   /// `strategy` selects the PIR evaluation path (benchmarks sweep it);
   /// `parallelism` is the worker-task budget for PIR evaluation and proof
-  /// verification (ProtocolParams::parallelism convention; a local knob,
-  /// independent of the protocol parameters received via kTpaSetKey).
+  /// verification; `shard_budget` is the per-shard row cap for the tag
+  /// store (0 = monolithic; ProtocolParams::shard_budget). All three are
+  /// local deployment knobs, independent of the protocol parameters
+  /// received via kTpaSetKey — but both TPAs of a pair must agree on
+  /// `shard_budget` (the shard-map epoch check catches drift).
   explicit TpaService(
       pir::EvalStrategy strategy = pir::EvalStrategy::kBitsliced,
-      std::size_t parallelism = 0);
+      std::size_t parallelism = 0, std::size_t shard_budget = 0);
 
   Bytes handle(std::uint16_t method, BytesView request) override;
 
@@ -71,6 +74,10 @@ class TpaService final : public net::RpcHandler {
   void on_submit_proof(net::Reader& r, net::Writer& w);
   void on_batch_finish(net::Reader& r, net::Writer& w);
   void on_update_tag(net::Reader& r, net::Writer& w);
+  void on_shard_map(net::Reader& r, net::Writer& w);
+  void on_shard_query(net::Reader& r, net::Writer& w);
+  void on_split_shard(net::Reader& r, net::Writer& w);
+  void on_append_tag(net::Reader& r, net::Writer& w);
 
   /// Copies the key + params under the shared config lock; throws
   /// ServiceError(kFailedPrecondition) before set_key.
@@ -125,6 +132,19 @@ class TpaClient {
                                   const std::vector<bn::BigInt>& tags) const;
   /// Data dynamics: replaces the stored tag of one block.
   void update_tag(std::size_t index, const bn::BigInt& tag) const;
+  /// Current shard map (epoch + per-shard sizes); the user builds its
+  /// ShardPlanner from this.
+  [[nodiscard]] pir::ShardMap shard_map() const;
+  /// Cross-shard fan-out tag query. A stale plan epoch surfaces as
+  /// RemoteError kFailedPrecondition — refresh the map and re-plan.
+  [[nodiscard]] pir::ShardedPirResponse shard_query(
+      const pir::ShardedPirQuery& query) const;
+  /// Operator rebalance: splits shard `s`; returns the new epoch.
+  std::uint64_t split_shard(std::size_t shard) const;
+  /// Appends the tag of a newly outsourced block; returns its global
+  /// index and the new epoch.
+  [[nodiscard]] std::pair<std::size_t, std::uint64_t> append_tag(
+      const bn::BigInt& tag) const;
 
  private:
   net::RpcChannel* channel_;

@@ -24,7 +24,7 @@ double UserClient::setup_file(const std::vector<Bytes>& blocks) {
       tagger_.tag_all(blocks, params_.parallelism);
   const double taggen_seconds = sw.seconds();
   n_ = blocks.size();
-  embedding_ = std::make_unique<pir::Embedding>(n_);
+  invalidate_planner();  // fresh store, fresh shard map
   for (net::RpcChannel* ch : {tpa0_, tpa1_}) {
     const TpaClient tpa(*ch);
     tpa.set_key(keys_.pk.pk, params_);
@@ -38,41 +38,88 @@ double UserClient::setup_file(const std::vector<Bytes>& blocks) {
 void UserClient::attach_file(std::size_t n_blocks) {
   if (n_blocks == 0) throw ParamError("attach_file: no blocks");
   n_ = n_blocks;
-  embedding_ = std::make_unique<pir::Embedding>(n_blocks);
+  invalidate_planner();
   std::lock_guard lock(blocks_mu_);
   updated_blocks_.clear();
 }
 
+std::shared_ptr<const ShardPlanner> UserClient::planner() {
+  std::lock_guard lock(planner_mu_);
+  if (planner_ == nullptr) {
+    // K is the ACTUAL modulus width: N built from two b/2-bit primes can
+    // be one bit short of the nominal params_.modulus_bits.
+    planner_ = std::make_shared<const ShardPlanner>(
+        TpaClient(*tpa0_).shard_map(), keys_.pk.pk.modulus_bits());
+  }
+  return planner_;
+}
+
+void UserClient::invalidate_planner() {
+  std::lock_guard lock(planner_mu_);
+  planner_.reset();
+}
+
 std::vector<bn::BigInt> UserClient::retrieve_tags(
     const std::vector<std::size_t>& indices) {
-  if (embedding_ == nullptr) throw ProtocolError("retrieve_tags: no file");
-  // K is the ACTUAL modulus width: N built from two b/2-bit primes can be
-  // one bit short of the nominal params_.modulus_bits.
-  const pir::PirClient client(*embedding_, keys_.pk.pk.modulus_bits());
-  auto enc = client.encode(indices, rng_);
-  // The two PIR servers are independent (that independence is the privacy
-  // guarantee), so their round trips overlap instead of paying the WAN
-  // latency twice per retrieval.
-  pir::PirResponse r1;
-  std::exception_ptr r1_error;
-  std::thread second([&] {
+  if (n_ == 0) throw ProtocolError("retrieve_tags: no file");
+  if (indices.empty()) return {};
+  // One retry: a structural change at the TPAs (append/split) between our
+  // planning and their evaluation is rejected remotely with
+  // kFailedPrecondition; refresh the shard map and re-plan once.
+  for (int attempt = 0;; ++attempt) {
+    const std::shared_ptr<const ShardPlanner> plan_for = planner();
+    ShardPlan plan = plan_for->plan(indices, rng_);
+    // The two PIR servers are independent (that independence is the
+    // privacy guarantee), so their round trips overlap instead of paying
+    // the WAN latency twice per retrieval.
+    pir::ShardedPirResponse r1;
+    std::exception_ptr r1_error;
+    std::thread second([&] {
+      try {
+        r1 = TpaClient(*tpa1_).shard_query(plan.queries[1]);
+      } catch (...) {
+        r1_error = std::current_exception();
+      }
+    });
+    pir::ShardedPirResponse r0;
+    std::exception_ptr r0_error;
     try {
-      r1 = TpaClient(*tpa1_).tag_query(enc.queries[1]);
+      r0 = TpaClient(*tpa0_).shard_query(plan.queries[0]);
     } catch (...) {
-      r1_error = std::current_exception();
+      r0_error = std::current_exception();
     }
-  });
-  pir::PirResponse r0;
-  std::exception_ptr r0_error;
-  try {
-    r0 = TpaClient(*tpa0_).tag_query(enc.queries[0]);
-  } catch (...) {
-    r0_error = std::current_exception();
+    second.join();
+    const std::exception_ptr error =
+        r0_error != nullptr ? r0_error : r1_error;
+    if (error != nullptr) {
+      if (attempt == 0) {
+        try {
+          std::rethrow_exception(error);
+        } catch (const net::RemoteError& e) {
+          if (e.status() == net::Status::kFailedPrecondition) {
+            invalidate_planner();
+            continue;
+          }
+          throw;
+        }
+      }
+      std::rethrow_exception(error);
+    }
+    return plan_for->merge_decode(plan, r0, r1);
   }
-  second.join();
-  if (r0_error != nullptr) std::rethrow_exception(r0_error);
-  if (r1_error != nullptr) std::rethrow_exception(r1_error);
-  return client.decode(enc.secrets, r0, r1);
+}
+
+std::size_t UserClient::append_block(BytesView content) {
+  if (n_ == 0) throw ProtocolError("append_block: no file");
+  const bn::BigInt tag = tagger_.tag(content);
+  const auto [index0, epoch0] = TpaClient(*tpa0_).append_tag(tag);
+  const auto [index1, epoch1] = TpaClient(*tpa1_).append_tag(tag);
+  if (index0 != index1 || epoch0 != epoch1) {
+    throw ProtocolError("append_block: TPA replicas disagree");
+  }
+  n_ = index0 + 1;
+  invalidate_planner();  // the tail shard changed (and may have split)
+  return index0;
 }
 
 void UserClient::forget_updated_block(std::size_t index) {
@@ -82,7 +129,7 @@ void UserClient::forget_updated_block(std::size_t index) {
 }
 
 void UserClient::commit_updated_block(std::size_t index, BytesView content) {
-  if (embedding_ == nullptr || index >= n_) {
+  if (n_ == 0 || index >= n_) {
     throw ParamError("commit_updated_block: bad index or no file");
   }
   const bn::BigInt tag = tagger_.tag(content);
@@ -100,7 +147,7 @@ void UserClient::note_updated_block(std::size_t index, Bytes new_content) {
 
 bool UserClient::audit_edge(net::RpcChannel& edge_channel,
                             std::uint32_t edge_id) {
-  if (embedding_ == nullptr) throw ProtocolError("audit_edge: no file");
+  if (n_ == 0) throw ProtocolError("audit_edge: no file");
   const EdgeClient edge(edge_channel);
   const TpaClient tpa(*tpa0_);
 
@@ -154,7 +201,7 @@ bool UserClient::audit_edge(net::RpcChannel& edge_channel,
 
 LocalizationResult UserClient::localize_corruption(
     net::RpcChannel& edge_channel) {
-  if (embedding_ == nullptr) {
+  if (n_ == 0) {
     throw ProtocolError("localize_corruption: no file");
   }
   const EdgeClient edge(edge_channel);
@@ -173,7 +220,7 @@ LocalizationResult UserClient::localize_corruption(
 
 bool UserClient::audit_edges_batch(
     const std::vector<net::RpcChannel*>& edge_channels) {
-  if (embedding_ == nullptr) throw ProtocolError("audit_edges_batch: no file");
+  if (n_ == 0) throw ProtocolError("audit_edges_batch: no file");
   if (edge_channels.empty()) {
     throw ParamError("audit_edges_batch: no edges");
   }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -25,6 +26,7 @@
 #include "ice/keys.h"
 #include "ice/localize.h"
 #include "ice/params.h"
+#include "ice/shard_audit.h"
 #include "ice/tag.h"
 #include "ice/tpa_service.h"
 #include "pir/client.h"
@@ -78,9 +80,18 @@ class UserClient {
     return updated_blocks_;
   }
 
-  /// Privately retrieves tags for `indices` from the two TPAs.
+  /// Privately retrieves tags for `indices` from the two TPAs, fanning the
+  /// query out to the shards the indexes touch (ice/shard_audit.h). The
+  /// shard-map snapshot is fetched lazily and cached; when a structural
+  /// change at the TPAs lands between planning and evaluation, the stale
+  /// plan is rejected remotely (kFailedPrecondition) and the client
+  /// refreshes its map and retries once.
   [[nodiscard]] std::vector<bn::BigInt> retrieve_tags(
       const std::vector<std::size_t>& indices);
+
+  /// Data dynamics: tags a NEW block and appends it at both TPAs (the tail
+  /// shard may split). Returns the block's global index.
+  std::size_t append_block(BytesView content);
 
   /// After a failed audit: pinpoints which of the edge's cached blocks are
   /// corrupted by bisection sub-audits over the fast local link (see
@@ -102,8 +113,17 @@ class UserClient {
   TagGenerator tagger_;
   net::RpcChannel* tpa0_;
   net::RpcChannel* tpa1_;
+  /// Cached shard planner (per-shard embeddings + PIR clients), built from
+  /// tpa0's shard map on first use and dropped on any event that can
+  /// change the map (setup, attach, append, remote stale-plan rejection).
+  /// shared_ptr so an in-flight retrieval keeps its snapshot while a
+  /// concurrent refresh swaps the cache.
+  [[nodiscard]] std::shared_ptr<const ShardPlanner> planner();
+  void invalidate_planner();
+
   std::size_t n_ = 0;
-  std::unique_ptr<pir::Embedding> embedding_;
+  mutable std::mutex planner_mu_;
+  std::shared_ptr<const ShardPlanner> planner_;
   crypto::SharedCsprng rng_;
   mutable std::mutex blocks_mu_;
   std::vector<std::pair<std::size_t, Bytes>> updated_blocks_;

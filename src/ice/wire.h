@@ -16,6 +16,7 @@
 #include "net/dispatch.h"
 #include "net/serde.h"
 #include "pir/messages.h"
+#include "pir/shard_map.h"
 
 namespace ice::proto {
 
@@ -48,6 +49,11 @@ enum Method : std::uint16_t {
   kTpaSubmitProof = 306,    // (batch_id, proof) -> ()
   kTpaBatchFinish = 307,    // (batch_id, [tag]...) -> (verdict)
   kTpaUpdateTag = 308,      // (index, tag) -> (); data dynamics
+  kTpaShardMap = 309,       // () -> (epoch, [shard size]...)
+  kTpaShardQuery = 310,     // ShardedPirQuery -> ShardedPirResponse;
+                            // stale epoch -> kFailedPrecondition
+  kTpaSplitShard = 311,     // (shard) -> (epoch); operator rebalance
+  kTpaAppendTag = 312,      // (tag) -> (index, epoch); new outsourced block
 };
 
 // Client stubs unwrap responses with net::unwrap (net/dispatch.h), which
@@ -62,6 +68,17 @@ void write_pir_query(net::Writer& w, const pir::PirQuery& q);
 pir::PirQuery read_pir_query(net::Reader& r);
 void write_pir_response(net::Writer& w, const pir::PirResponse& resp);
 pir::PirResponse read_pir_response(net::Reader& r);
+
+/// Shard map wire form: epoch + per-shard sizes (pir::ShardMap::from_sizes
+/// reconstructs the range table on the client).
+void write_shard_map(net::Writer& w, const pir::ShardMap& map);
+pir::ShardMap read_shard_map(net::Reader& r);
+
+void write_sharded_query(net::Writer& w, const pir::ShardedPirQuery& q);
+pir::ShardedPirQuery read_sharded_query(net::Reader& r);
+void write_sharded_response(net::Writer& w,
+                            const pir::ShardedPirResponse& resp);
+pir::ShardedPirResponse read_sharded_response(net::Reader& r);
 
 void write_bigint_list(net::Writer& w, const std::vector<bn::BigInt>& v);
 std::vector<bn::BigInt> read_bigint_list(net::Reader& r);

@@ -1,0 +1,157 @@
+#include "pir/shard_map.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/error.h"
+
+namespace ice::pir {
+namespace {
+
+// splitmix64 finalizer: a full-avalanche 64-bit mix, so rendezvous scores
+// for (shard, group) pairs behave like independent uniform draws.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ShardMap::ShardMap(std::size_t n, std::size_t max_shard_n)
+    : max_shard_n_(max_shard_n) {
+  const std::size_t shards =
+      (max_shard_n == 0 || n == 0) ? 1 : (n + max_shard_n - 1) / max_shard_n;
+  ranges_.reserve(shards);
+  const std::size_t base = n / shards;
+  const std::size_t extra = n % shards;
+  std::size_t begin = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    const std::size_t size = base + (s < extra ? 1 : 0);
+    ranges_.push_back({begin, begin + size});
+    begin += size;
+  }
+  check_invariants();
+}
+
+ShardMap::ShardMap(std::vector<ShardRange> ranges, std::uint64_t epoch,
+                   std::size_t max_shard_n)
+    : ranges_(std::move(ranges)), max_shard_n_(max_shard_n), epoch_(epoch) {
+  check_invariants();
+}
+
+ShardMap ShardMap::from_sizes(const std::vector<std::size_t>& sizes,
+                              std::uint64_t epoch, std::size_t max_shard_n) {
+  if (sizes.empty()) {
+    throw ParamError("ShardMap::from_sizes: empty size list");
+  }
+  std::vector<ShardRange> ranges;
+  ranges.reserve(sizes.size());
+  std::size_t begin = 0;
+  for (std::size_t size : sizes) {
+    ranges.push_back({begin, begin + size});
+    begin += size;
+  }
+  return ShardMap(std::move(ranges), epoch, max_shard_n);
+}
+
+void ShardMap::check_invariants() const {
+  if (ranges_.empty()) {
+    throw ParamError("ShardMap: no shards");
+  }
+  if (ranges_.front().begin != 0) {
+    throw ParamError("ShardMap: first shard must start at 0");
+  }
+  for (std::size_t s = 0; s < ranges_.size(); ++s) {
+    if (ranges_[s].end < ranges_[s].begin) {
+      throw ParamError("ShardMap: inverted shard range");
+    }
+    if (s + 1 < ranges_.size() && ranges_[s].end != ranges_[s + 1].begin) {
+      throw ParamError("ShardMap: shards must be contiguous");
+    }
+  }
+}
+
+const ShardRange& ShardMap::range(std::size_t shard) const {
+  if (shard >= ranges_.size()) {
+    throw ParamError("ShardMap::range: shard out of range");
+  }
+  return ranges_[shard];
+}
+
+std::size_t ShardMap::shard_of(std::size_t index) const {
+  if (index >= n()) {
+    throw ParamError("ShardMap::shard_of: index out of range");
+  }
+  // First shard whose end exceeds `index`. Empty shards share their `end`
+  // with the following shard's `begin` and therefore can never win.
+  auto it = std::upper_bound(
+      ranges_.begin(), ranges_.end(), index,
+      [](std::size_t value, const ShardRange& r) { return value < r.end; });
+  assert(it != ranges_.end() && it->contains(index));
+  return static_cast<std::size_t>(it - ranges_.begin());
+}
+
+std::size_t ShardMap::split(std::size_t s) {
+  if (s >= ranges_.size()) {
+    throw ParamError("ShardMap::split: shard out of range");
+  }
+  const ShardRange old = ranges_[s];
+  if (old.size() < 2) {
+    throw ParamError("ShardMap::split: shard too small to split");
+  }
+  const std::size_t mid = old.begin + (old.size() + 1) / 2;
+  ranges_[s] = {old.begin, mid};
+  ranges_.insert(ranges_.begin() + static_cast<std::ptrdiff_t>(s) + 1,
+                 {mid, old.end});
+  ++epoch_;
+  check_invariants();
+  return s + 1;
+}
+
+bool ShardMap::append_index() {
+  ++ranges_.back().end;
+  ++epoch_;
+  bool did_split = false;
+  if (max_shard_n_ != 0 && ranges_.back().size() > max_shard_n_) {
+    // split() bumps the epoch again; harmless — clients only compare for
+    // equality, and one structural change per epoch is merely a lower bound.
+    split(ranges_.size() - 1);
+    did_split = true;
+  }
+  check_invariants();
+  return did_split;
+}
+
+std::uint64_t ShardMap::place(std::uint64_t shard_key,
+                              std::span<const std::uint64_t> group_ids) {
+  if (group_ids.empty()) {
+    throw ParamError("ShardMap::place: empty server-group set");
+  }
+  std::uint64_t best_id = group_ids.front();
+  std::uint64_t best_score = 0;
+  bool first = true;
+  for (std::uint64_t id : group_ids) {
+    const std::uint64_t score = mix64(mix64(shard_key) ^ id);
+    if (first || score > best_score ||
+        (score == best_score && id < best_id)) {
+      best_id = id;
+      best_score = score;
+      first = false;
+    }
+  }
+  return best_id;
+}
+
+std::vector<std::uint64_t> ShardMap::placement(
+    std::span<const std::uint64_t> group_ids) const {
+  std::vector<std::uint64_t> out;
+  out.reserve(ranges_.size());
+  for (const ShardRange& r : ranges_) {
+    out.push_back(place(static_cast<std::uint64_t>(r.begin), group_ids));
+  }
+  return out;
+}
+
+}  // namespace ice::pir

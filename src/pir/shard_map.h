@@ -1,0 +1,109 @@
+// Range-sharded partition of the tag index space.
+//
+// One `pir::TagDatabase` per TPA pair caps the number of outsourced blocks
+// n at whatever a single fused sweep can hold in cache, and every PIR cost
+// (TPASetup preprocessing, per-query sweep volume, gamma = (6n)^(1/3) + 2)
+// scales with that one monolithic bit-matrix. The ShardMap partitions
+// [0, n) into contiguous range shards so each shard runs the existing
+// fused cache-blocked sweep over its own (smaller) database and embedding:
+// a |S_j|-point challenge is routed to only the shards its indexes touch,
+// and within a shard a point costs a sweep over n_s rows instead of n.
+//
+// Invariants (checked on every construction and mutation):
+//   * ranges are contiguous and ascending: ranges[0].begin == 0,
+//     ranges[s].end == ranges[s+1].begin, ranges.back().end == n;
+//   * empty shards are representable (split of a 2-element shard after an
+//     append can leave one) but `shard_of` never routes to one;
+//   * `epoch` increments on EVERY structural change (split or append):
+//     per-shard embeddings are derived from shard sizes, so a stale client
+//     plan must be detectable — the wire layer turns an epoch mismatch into
+//     a typed kFailedPrecondition instead of a garbage decode.
+//
+// Placement: `place` is rendezvous (highest-random-weight) hashing of a
+// shard key over a server-group id set — each shard lands on the group with
+// the maximal mixed score, so adding or removing one of k groups moves only
+// the ~1/k of shards whose maximum changes (pinned by the stability test).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ice::pir {
+
+/// Half-open global index range [begin, end) owned by one shard.
+struct ShardRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  [[nodiscard]] std::size_t size() const { return end - begin; }
+  [[nodiscard]] bool contains(std::size_t index) const {
+    return index >= begin && index < end;
+  }
+  friend bool operator==(const ShardRange&, const ShardRange&) = default;
+};
+
+class ShardMap {
+ public:
+  /// Balanced initial partition of [0, n) into ceil(n / max_shard_n)
+  /// contiguous shards (front shards take the remainder, mirroring
+  /// common/parallel.h chunk_bounds). `max_shard_n` = 0 means unsharded:
+  /// one shard covering everything — the paper's monolithic layout.
+  explicit ShardMap(std::size_t n, std::size_t max_shard_n = 0);
+
+  /// Reconstructs a map from per-shard sizes (the wire form) at a given
+  /// epoch. Throws ParamError when `sizes` is empty.
+  static ShardMap from_sizes(const std::vector<std::size_t>& sizes,
+                             std::uint64_t epoch,
+                             std::size_t max_shard_n = 0);
+
+  [[nodiscard]] std::size_t n() const { return ranges_.back().end; }
+  [[nodiscard]] std::size_t num_shards() const { return ranges_.size(); }
+  [[nodiscard]] std::uint64_t epoch() const { return epoch_; }
+  [[nodiscard]] std::size_t max_shard_n() const { return max_shard_n_; }
+  [[nodiscard]] const ShardRange& range(std::size_t shard) const;
+  [[nodiscard]] const std::vector<ShardRange>& ranges() const {
+    return ranges_;
+  }
+
+  /// Shard covering global `index` (binary search over the range table).
+  /// Throws ParamError for index >= n. Never returns an empty shard.
+  [[nodiscard]] std::size_t shard_of(std::size_t index) const;
+
+  /// Splits shard `s` into two contiguous halves (lower half takes the
+  /// extra element of an odd size); the new upper shard is s + 1 and every
+  /// later shard shifts up by one. Bumps the epoch. Throws ParamError when
+  /// s is out of range or has fewer than 2 entries.
+  std::size_t split(std::size_t s);
+
+  /// Appends one index to the tail shard (n grows by one) and splits the
+  /// tail when it exceeds max_shard_n (0 = never). Bumps the epoch either
+  /// way — the tail shard's size, hence its embedding, changed. Returns
+  /// true when the append triggered a split.
+  bool append_index();
+
+  /// Rendezvous placement: the id in `group_ids` whose mixed score with
+  /// `shard_key` is highest (ties break toward the smaller id). Throws
+  /// ParamError on an empty group set.
+  [[nodiscard]] static std::uint64_t place(
+      std::uint64_t shard_key, std::span<const std::uint64_t> group_ids);
+
+  /// Placement of every shard over `group_ids` (shard key = range begin,
+  /// stable for the lower half across splits).
+  [[nodiscard]] std::vector<std::uint64_t> placement(
+      std::span<const std::uint64_t> group_ids) const;
+
+  friend bool operator==(const ShardMap&, const ShardMap&) = default;
+
+ private:
+  ShardMap(std::vector<ShardRange> ranges, std::uint64_t epoch,
+           std::size_t max_shard_n);
+  void check_invariants() const;
+
+  std::vector<ShardRange> ranges_;  // never empty
+  std::size_t max_shard_n_ = 0;     // 0 = unbounded
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace ice::pir

@@ -1,0 +1,203 @@
+#include "pir/sharded_server.h"
+
+#include <mutex>
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace ice::pir {
+
+ShardedTagServer::ShardedTagServer(std::size_t tag_bits,
+                                   std::span<const bn::BigInt> tags,
+                                   std::size_t max_shard_n,
+                                   EvalStrategy strategy,
+                                   std::size_t parallelism)
+    : tag_bits_(tag_bits),
+      strategy_(strategy),
+      parallelism_(parallelism),
+      map_(tags.size(), max_shard_n) {
+  shards_.reserve(map_.num_shards());
+  for (const ShardRange& r : map_.ranges()) {
+    shards_.push_back(std::make_unique<Shard>(
+        tag_bits_, tags.subspan(r.begin, r.size()), strategy_, parallelism_));
+  }
+}
+
+std::size_t ShardedTagServer::n() const {
+  std::shared_lock lock(structure_mu_);
+  return map_.n();
+}
+
+std::size_t ShardedTagServer::num_shards() const {
+  std::shared_lock lock(structure_mu_);
+  return shards_.size();
+}
+
+std::uint64_t ShardedTagServer::epoch() const {
+  std::shared_lock lock(structure_mu_);
+  return map_.epoch();
+}
+
+ShardMap ShardedTagServer::map_snapshot() const {
+  std::shared_lock lock(structure_mu_);
+  return map_;
+}
+
+std::size_t ShardedTagServer::shard_gamma(std::size_t shard) const {
+  std::shared_lock lock(structure_mu_);
+  if (shard >= shards_.size()) {
+    throw ParamError("ShardedTagServer::shard_gamma: shard out of range");
+  }
+  return shards_[shard]->embedding.gamma();
+}
+
+bn::BigInt ShardedTagServer::tag(std::size_t index) const {
+  std::shared_lock structure(structure_mu_);
+  const std::size_t s = map_.shard_of(index);
+  const Shard& shard = *shards_[s];
+  std::shared_lock content(shard.mu);
+  return shard.db.tag(index - map_.range(s).begin);
+}
+
+void ShardedTagServer::update(std::size_t index, const bn::BigInt& tag) {
+  std::shared_lock structure(structure_mu_);
+  const std::size_t s = map_.shard_of(index);
+  Shard& shard = *shards_[s];
+  std::unique_lock content(shard.mu);
+  shard.db.update(index - map_.range(s).begin, tag);
+}
+
+std::vector<bn::BigInt> ShardedTagServer::drain_shard(std::size_t s) const {
+  const Shard& shard = *shards_[s];
+  std::vector<bn::BigInt> tags;
+  tags.reserve(shard.db.size());
+  for (std::size_t i = 0; i < shard.db.size(); ++i) {
+    tags.push_back(shard.db.tag(i));
+  }
+  return tags;
+}
+
+void ShardedTagServer::rebuild_shard(std::size_t s,
+                                     std::span<const bn::BigInt> tags) {
+  shards_[s] =
+      std::make_unique<Shard>(tag_bits_, tags, strategy_, parallelism_);
+}
+
+std::size_t ShardedTagServer::append(const bn::BigInt& tag) {
+  std::unique_lock structure(structure_mu_);
+  const std::size_t index = map_.n();
+  std::vector<bn::BigInt> tail = drain_shard(shards_.size() - 1);
+  tail.push_back(tag);
+  const bool did_split = map_.append_index();
+  if (did_split) {
+    // The tail became two shards; rebuild both halves.
+    const ShardRange lo = map_.range(map_.num_shards() - 2);
+    const ShardRange hi = map_.range(map_.num_shards() - 1);
+    const std::size_t tail_begin = lo.begin;
+    rebuild_shard(shards_.size() - 1,
+                  std::span(tail).subspan(lo.begin - tail_begin, lo.size()));
+    shards_.push_back(std::make_unique<Shard>(
+        tag_bits_,
+        std::span<const bn::BigInt>(tail).subspan(hi.begin - tail_begin,
+                                                  hi.size()),
+        strategy_, parallelism_));
+  } else {
+    // Same shard, one more row: the embedding domain (and possibly gamma)
+    // changed, so the whole shard is rebuilt. Appends are the cold path;
+    // steady-state updates go through update() and touch nothing here.
+    rebuild_shard(shards_.size() - 1, tail);
+  }
+  return index;
+}
+
+std::size_t ShardedTagServer::split(std::size_t s) {
+  std::unique_lock structure(structure_mu_);
+  if (s >= shards_.size()) {
+    throw ParamError("ShardedTagServer::split: shard out of range");
+  }
+  std::vector<bn::BigInt> tags = drain_shard(s);
+  const std::size_t upper = map_.split(s);  // validates size >= 2
+  const ShardRange lo = map_.range(s);
+  const ShardRange hi = map_.range(upper);
+  rebuild_shard(s, std::span(tags).subspan(0, lo.size()));
+  shards_.insert(
+      shards_.begin() + static_cast<std::ptrdiff_t>(upper),
+      std::make_unique<Shard>(
+          tag_bits_,
+          std::span<const bn::BigInt>(tags).subspan(lo.size(), hi.size()),
+          strategy_, parallelism_));
+  return upper;
+}
+
+void ShardedTagServer::respond_sharded(const ShardedPirQuery& query,
+                                       ShardedPirResponse& out) const {
+  std::shared_lock structure(structure_mu_);
+  if (query.epoch != map_.epoch()) {
+    throw StaleShardMapError(
+        "respond_sharded: shard map epoch mismatch (client plan is stale)");
+  }
+  if (query.shards.empty()) {
+    throw ParamError("respond_sharded: empty shard list");
+  }
+  for (std::size_t i = 0; i < query.shards.size(); ++i) {
+    const ShardQuery& sq = query.shards[i];
+    if (sq.shard >= shards_.size()) {
+      throw ParamError("respond_sharded: unknown shard id");
+    }
+    if (i > 0 && sq.shard <= query.shards[i - 1].shard) {
+      throw ParamError("respond_sharded: shard ids must strictly increase");
+    }
+    if (sq.query.points.empty()) {
+      throw ParamError("respond_sharded: empty sub-query");
+    }
+  }
+  out.shards.resize(query.shards.size());
+  // Cross-shard fan-out: each chunk claims a contiguous run of sub-queries
+  // (ThreadPool::run_chunks batched-claim broadcast) and writes disjoint
+  // pre-sized slots, so the merged response is identical at every thread
+  // count. Within a sub-query the per-shard PirServer may fan out again;
+  // nested regions run inline on pool workers (common/parallel.h).
+  parallel_chunks(
+      query.shards.size(), parallelism_,
+      [&](std::size_t /*chunk*/, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const ShardQuery& sq = query.shards[i];
+          const Shard& shard = *shards_[sq.shard];
+          std::shared_lock content(shard.mu);
+          out.shards[i].shard = sq.shard;
+          shard.server.respond_into(sq.query, out.shards[i].response);
+        }
+      });
+}
+
+const Embedding& ShardedTagServer::single_embedding() const {
+  std::shared_lock lock(structure_mu_);
+  if (shards_.size() != 1) {
+    throw ParamError(
+        "single_embedding: monolithic surface requires exactly one shard");
+  }
+  return shards_[0]->embedding;
+}
+
+PirResponse ShardedTagServer::respond_single(const PirQuery& query) const {
+  std::shared_lock structure(structure_mu_);
+  if (shards_.size() != 1) {
+    throw ParamError(
+        "respond_single: monolithic surface requires exactly one shard");
+  }
+  const Shard& shard = *shards_[0];
+  std::shared_lock content(shard.mu);
+  return shard.server.respond(query);
+}
+
+double ShardedTagServer::preprocess() const {
+  std::shared_lock structure(structure_mu_);
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    std::shared_lock content(shard->mu);
+    total += shard->db.build_planes();
+  }
+  return total;
+}
+
+}  // namespace ice::pir

@@ -1,0 +1,141 @@
+// Range-sharded TPA tag state: one TagDatabase + Embedding + PirServer per
+// shard of the ShardMap partition.
+//
+// Each shard is an independent instance of the paper's TPASetup state over
+// its own index range, so a |S_j|-point challenge routed by shard touches
+// only the rows it names: at n = 10^6 and 8 shards a 64-point batch sweeps
+// 8 databases of 125k rows (each point accumulated only within its shard)
+// instead of one 10^6-row database accumulating all 64 points per row —
+// an ~8x reduction in row-sweep volume before any cross-shard parallelism,
+// with smaller per-shard gamma (ceil((6 n_s)^{1/3}) + 2) shrinking queries
+// and responses on top. Privacy degrades gracefully: a TPA learns WHICH
+// shard(s) a query touches but, within a shard, the weight-3 perturbation
+// hides the index exactly as in the monolithic layout.
+//
+// Locking (two levels, both reader-writer):
+//   * `structure_mu_` guards the shard vector and the ShardMap. Queries,
+//     tag reads and in-place updates take it shared; `append`/`split` take
+//     it exclusive (they rebuild shard state and bump the map epoch).
+//     A fan-out therefore runs against one structural snapshot: a split
+//     cannot land mid-audit, and a query planned before a split fails the
+//     epoch check with the typed StaleShardMapError below.
+//   * Each shard's `mu` guards its CONTENT. Queries take it shared,
+//     `update` takes it exclusive — TagDatabase mutations must be
+//     serialized against readers (the plane cache is invalidated under
+//     this lock), but updates to one shard no longer block audits of any
+//     other shard, and never block the whole structure.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <span>
+#include <vector>
+
+#include "bignum/bigint.h"
+#include "common/error.h"
+#include "pir/embedding.h"
+#include "pir/messages.h"
+#include "pir/server.h"
+#include "pir/shard_map.h"
+#include "pir/tag_database.h"
+
+namespace ice::pir {
+
+/// A sharded query was planned against a shard map the server has since
+/// mutated (split or append). ProtocolError so the RPC dispatcher maps it
+/// to Status::kFailedPrecondition; the client refreshes its map and
+/// re-plans.
+class StaleShardMapError : public ProtocolError {
+ public:
+  using ProtocolError::ProtocolError;
+};
+
+class ShardedTagServer {
+ public:
+  /// Builds the initial partition of `tags` with per-shard budget
+  /// `max_shard_n` (0 = one monolithic shard, the paper's layout).
+  /// `strategy`/`parallelism` are forwarded to every per-shard PirServer;
+  /// parallelism also bounds the cross-shard fan-out of respond_sharded.
+  ShardedTagServer(std::size_t tag_bits, std::span<const bn::BigInt> tags,
+                   std::size_t max_shard_n,
+                   EvalStrategy strategy = EvalStrategy::kBitsliced,
+                   std::size_t parallelism = 1);
+
+  [[nodiscard]] std::size_t tag_bits() const { return tag_bits_; }
+  [[nodiscard]] std::size_t n() const;
+  [[nodiscard]] std::size_t num_shards() const;
+  [[nodiscard]] std::uint64_t epoch() const;
+  /// Copy of the current shard map (the wire answer to a map fetch).
+  [[nodiscard]] ShardMap map_snapshot() const;
+  /// gamma of one shard's embedding (bench/tests introspection).
+  [[nodiscard]] std::size_t shard_gamma(std::size_t shard) const;
+
+  /// Plain (non-private) tag read by global index.
+  [[nodiscard]] bn::BigInt tag(std::size_t index) const;
+
+  /// Replaces the tag at global `index`. Takes the owning shard's content
+  /// lock exclusively; concurrent queries/updates on other shards proceed.
+  void update(std::size_t index, const bn::BigInt& tag);
+
+  /// Appends a tag to the tail shard, splitting it when it outgrows the
+  /// budget. Structural: bumps the epoch. Returns the new global index.
+  std::size_t append(const bn::BigInt& tag);
+
+  /// Splits shard `s` in two (ShardMap::split semantics). Structural:
+  /// bumps the epoch. Returns the new upper shard's id.
+  std::size_t split(std::size_t s);
+
+  /// Evaluates every sub-query of `query` against one structural snapshot,
+  /// fanning the shards out over the shared ThreadPool (disjoint response
+  /// slots, so the merge is deterministic at every thread count). Throws
+  /// StaleShardMapError when query.epoch no longer matches, ParamError on
+  /// malformed shard lists (unknown, duplicate or unsorted shard ids).
+  void respond_sharded(const ShardedPirQuery& query,
+                       ShardedPirResponse& out) const;
+
+  /// Monolithic compatibility surface for the single-shard layout (the
+  /// bench/test baseline and the pre-sharding wire methods). Both throw
+  /// ParamError when num_shards() != 1. The embedding reference stays
+  /// valid until the next structural mutation.
+  [[nodiscard]] const Embedding& single_embedding() const;
+  [[nodiscard]] PirResponse respond_single(const PirQuery& query) const;
+
+  /// Forces TPASetup preprocessing (plane builds) on every shard; returns
+  /// the summed build time in seconds.
+  double preprocess() const;
+
+ private:
+  struct Shard {
+    mutable std::shared_mutex mu;  // content lock (update vs. query)
+    TagDatabase db;
+    Embedding embedding;
+    PirServer server;
+
+    Shard(std::size_t tag_bits, std::span<const bn::BigInt> tags,
+          EvalStrategy strategy, std::size_t parallelism)
+        : db(tag_bits),
+          embedding(tags.empty() ? 1 : tags.size()),
+          server(db, embedding, strategy, parallelism) {
+      for (const auto& t : tags) db.add(t);
+    }
+  };
+
+  /// Replaces shard slot `s` with a fresh Shard over `tags`. Caller holds
+  /// structure_mu_ exclusively.
+  void rebuild_shard(std::size_t s, std::span<const bn::BigInt> tags);
+  /// Collects shard `s`'s tags (caller holds structure_mu_ exclusively).
+  [[nodiscard]] std::vector<bn::BigInt> drain_shard(std::size_t s) const;
+
+  std::size_t tag_bits_;
+  EvalStrategy strategy_;
+  std::size_t parallelism_;
+
+  mutable std::shared_mutex structure_mu_;  // guards shards_ + map_
+  // unique_ptr slots: PirServer keeps non-owning pointers into its Shard,
+  // and Shard carries a mutex, so shard objects must never move.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  ShardMap map_;
+};
+
+}  // namespace ice::pir

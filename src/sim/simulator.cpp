@@ -26,8 +26,10 @@ struct World {
         csp(mec::BlockStore::synthetic(config.n_blocks, config.block_bytes,
                                        seed),
             config.parallelism),
-        tpa0(pir::EvalStrategy::kBitsliced, config.parallelism),
-        tpa1(pir::EvalStrategy::kBitsliced, config.parallelism),
+        tpa0(pir::EvalStrategy::kBitsliced, config.parallelism,
+             config.shard_budget),
+        tpa1(pir::EvalStrategy::kBitsliced, config.parallelism,
+             config.shard_budget),
         edge_csp(csp),
         user_csp(csp),
         edge(0, params, keys.pk,
@@ -52,6 +54,7 @@ struct World {
     p.modulus_bits = keys.pk.modulus_bits();
     p.block_bytes = config.block_bytes;
     p.parallelism = config.parallelism;
+    p.shard_budget = config.shard_budget;
     return p;
   }
 

@@ -33,6 +33,10 @@ struct SimConfig {
   /// 0 = hardware concurrency, 1 = single-threaded legacy path). Audit
   /// verdicts and every report counter are identical at every setting.
   std::size_t parallelism = 0;
+  /// Per-shard row budget for the TPA tag stores
+  /// (ProtocolParams::shard_budget; 0 = monolithic). Like `parallelism`, a
+  /// deployment knob: every report counter is identical at every setting.
+  std::size_t shard_budget = 0;
 };
 
 struct SimReport {

@@ -148,6 +148,110 @@ TEST(WireTest, IndexListRoundTrip) {
   EXPECT_EQ(read_index_list(r), list);
 }
 
+TEST(WireTest, ShardMapRoundTrip) {
+  // Including an empty shard: the wire form must carry it (the receiver's
+  // routing skips it, but shard ids must stay aligned across peers).
+  const pir::ShardMap map = pir::ShardMap::from_sizes({5, 0, 9, 1}, 77);
+  net::Writer w;
+  write_shard_map(w, map);
+  const Bytes buf = w.take();
+  net::Reader r(buf);
+  const pir::ShardMap back = read_shard_map(r);
+  EXPECT_EQ(back, map);
+  EXPECT_EQ(back.epoch(), 77u);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, ShardedQueryRoundTrip) {
+  SplitMix64 rng(31);
+  pir::ShardedPirQuery q;
+  q.epoch = 12;
+  for (std::uint32_t s : {0u, 3u, 7u}) {
+    pir::ShardQuery sq;
+    sq.shard = s;
+    for (int i = 0; i < 2; ++i) sq.query.points.push_back(random_vec(rng, 7));
+    q.shards.push_back(std::move(sq));
+  }
+  net::Writer w;
+  write_sharded_query(w, q);
+  const Bytes buf = w.take();
+  net::Reader r(buf);
+  const pir::ShardedPirQuery back = read_sharded_query(r);
+  EXPECT_EQ(back.epoch, 12u);
+  ASSERT_EQ(back.shards.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(back.shards[i].shard, q.shards[i].shard);
+    EXPECT_EQ(back.shards[i].query.points, q.shards[i].query.points);
+  }
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, ShardedResponseRoundTrip) {
+  SplitMix64 rng(32);
+  pir::ShardedPirResponse resp;
+  for (std::uint32_t s : {1u, 4u}) {
+    pir::ShardResponse sr;
+    sr.shard = s;
+    pir::PirSingleResponse entry;
+    entry.values = random_vec(rng, 8);
+    for (int g = 0; g < 8; ++g) entry.gradients.push_back(random_vec(rng, 5));
+    sr.response.entries.push_back(std::move(entry));
+    resp.shards.push_back(std::move(sr));
+  }
+  net::Writer w;
+  write_sharded_response(w, resp);
+  const Bytes buf = w.take();
+  net::Reader r(buf);
+  const pir::ShardedPirResponse back = read_sharded_response(r);
+  ASSERT_EQ(back.shards.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(back.shards[i].shard, resp.shards[i].shard);
+    ASSERT_EQ(back.shards[i].response.entries.size(), 1u);
+    EXPECT_EQ(back.shards[i].response.entries[0].values,
+              resp.shards[i].response.entries[0].values);
+    EXPECT_EQ(back.shards[i].response.entries[0].gradients,
+              resp.shards[i].response.entries[0].gradients);
+  }
+  EXPECT_TRUE(r.done());
+}
+
+TEST(WireTest, HostileShardCountsRejected) {
+  {
+    // Shard count beyond the 2^16 clamp.
+    net::Writer w;
+    w.u64(0);
+    w.varint((std::uint64_t{1} << 16) + 1);
+    const Bytes buf = w.take();
+    net::Reader r(buf);
+    EXPECT_THROW((void)read_shard_map(r), CodecError);
+  }
+  {
+    // A single shard claiming 2^40 + 1 rows.
+    net::Writer w;
+    w.u64(0);
+    w.varint(1);
+    w.varint((std::uint64_t{1} << 40) + 1);
+    const Bytes buf = w.take();
+    net::Reader r(buf);
+    EXPECT_THROW((void)read_shard_map(r), CodecError);
+  }
+  {
+    net::Writer w;
+    w.u64(3);
+    w.varint((std::uint64_t{1} << 16) + 1);  // sharded-query shard count
+    const Bytes buf = w.take();
+    net::Reader r(buf);
+    EXPECT_THROW((void)read_sharded_query(r), CodecError);
+  }
+  {
+    net::Writer w;
+    w.varint((std::uint64_t{1} << 16) + 1);  // sharded-response shard count
+    const Bytes buf = w.take();
+    net::Reader r(buf);
+    EXPECT_THROW((void)read_sharded_response(r), CodecError);
+  }
+}
+
 TEST(WireTest, ImplausibleLengthsRejected) {
   // A claimed count of 2^40 entries must be rejected before allocation.
   net::Writer w;

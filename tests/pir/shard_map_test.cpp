@@ -1,0 +1,215 @@
+// Shard-map edge cases: partition shape, routing around empty shards,
+// split/append epoch protocol, rendezvous placement stability.
+#include "pir/shard_map.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/error.h"
+
+namespace ice::pir {
+namespace {
+
+TEST(ShardMapTest, BudgetZeroIsMonolithic) {
+  const ShardMap map(1000, 0);
+  EXPECT_EQ(map.num_shards(), 1u);
+  EXPECT_EQ(map.n(), 1000u);
+  EXPECT_EQ(map.range(0), (ShardRange{0, 1000}));
+  EXPECT_EQ(map.epoch(), 0u);
+}
+
+TEST(ShardMapTest, BalancedPartitionRespectsBudget) {
+  const ShardMap map(100, 16);
+  EXPECT_EQ(map.num_shards(), 7u);  // ceil(100/16)
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < map.num_shards(); ++s) {
+    EXPECT_LE(map.range(s).size(), 16u);
+    EXPECT_GE(map.range(s).size(), 14u);  // balanced, not greedy-filled
+    total += map.range(s).size();
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(ShardMapTest, RangesAreContiguousAscending) {
+  const ShardMap map(97, 10);
+  EXPECT_EQ(map.range(0).begin, 0u);
+  for (std::size_t s = 0; s + 1 < map.num_shards(); ++s) {
+    EXPECT_EQ(map.range(s).end, map.range(s + 1).begin);
+  }
+  EXPECT_EQ(map.ranges().back().end, 97u);
+}
+
+TEST(ShardMapTest, ShardOfRoutesEveryIndex) {
+  const ShardMap map(97, 10);
+  for (std::size_t i = 0; i < 97; ++i) {
+    const std::size_t s = map.shard_of(i);
+    EXPECT_TRUE(map.range(s).contains(i)) << "index " << i;
+  }
+  EXPECT_THROW((void)map.shard_of(97), ParamError);
+}
+
+TEST(ShardMapTest, EmptyFileGetsOneEmptyShard) {
+  const ShardMap map(0, 8);
+  EXPECT_EQ(map.num_shards(), 1u);
+  EXPECT_EQ(map.n(), 0u);
+  EXPECT_THROW((void)map.shard_of(0), ParamError);
+}
+
+TEST(ShardMapTest, FromSizesRoundTrip) {
+  const ShardMap original(53, 9);
+  std::vector<std::size_t> sizes;
+  for (const ShardRange& r : original.ranges()) sizes.push_back(r.size());
+  const ShardMap copy = ShardMap::from_sizes(sizes, original.epoch());
+  EXPECT_EQ(copy, ShardMap::from_sizes(sizes, original.epoch()));
+  EXPECT_EQ(copy.num_shards(), original.num_shards());
+  EXPECT_EQ(copy.n(), original.n());
+  for (std::size_t s = 0; s < copy.num_shards(); ++s) {
+    EXPECT_EQ(copy.range(s), original.range(s));
+  }
+}
+
+TEST(ShardMapTest, FromSizesRejectsEmptyList) {
+  EXPECT_THROW(ShardMap::from_sizes({}, 0), ParamError);
+}
+
+TEST(ShardMapTest, EmptyShardsAreNeverRouted) {
+  // Wire form can legitimately describe empty shards; routing must skip
+  // them in both directions.
+  const ShardMap map = ShardMap::from_sizes({3, 0, 4, 0}, 5);
+  EXPECT_EQ(map.num_shards(), 4u);
+  EXPECT_EQ(map.n(), 7u);
+  EXPECT_EQ(map.epoch(), 5u);
+  EXPECT_EQ(map.shard_of(2), 0u);
+  EXPECT_EQ(map.shard_of(3), 2u);  // skips the empty shard 1
+  EXPECT_EQ(map.shard_of(6), 2u);
+  EXPECT_THROW((void)map.shard_of(7), ParamError);  // trailing empty shard
+}
+
+TEST(ShardMapTest, SingleIndexShards) {
+  const ShardMap map = ShardMap::from_sizes({1, 1, 1}, 0);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(map.shard_of(i), i);
+    EXPECT_EQ(map.range(i).size(), 1u);
+  }
+}
+
+TEST(ShardMapTest, SplitHalvesAndBumpsEpoch) {
+  ShardMap map(20, 0);
+  const std::size_t upper = map.split(0);
+  EXPECT_EQ(upper, 1u);
+  EXPECT_EQ(map.num_shards(), 2u);
+  EXPECT_EQ(map.epoch(), 1u);
+  EXPECT_EQ(map.range(0), (ShardRange{0, 10}));
+  EXPECT_EQ(map.range(1), (ShardRange{10, 20}));
+}
+
+TEST(ShardMapTest, SplitOddSizeGivesLowerHalfTheExtra) {
+  ShardMap map(7, 0);
+  map.split(0);
+  EXPECT_EQ(map.range(0).size(), 4u);
+  EXPECT_EQ(map.range(1).size(), 3u);
+}
+
+TEST(ShardMapTest, SplitShiftsLaterShards) {
+  ShardMap map(30, 10);  // {10, 10, 10}
+  map.split(0);
+  ASSERT_EQ(map.num_shards(), 4u);
+  EXPECT_EQ(map.range(0), (ShardRange{0, 5}));
+  EXPECT_EQ(map.range(1), (ShardRange{5, 10}));
+  EXPECT_EQ(map.range(2), (ShardRange{10, 20}));
+  EXPECT_EQ(map.range(3), (ShardRange{20, 30}));
+}
+
+TEST(ShardMapTest, SplitRejectsTinyAndUnknownShards) {
+  ShardMap map = ShardMap::from_sizes({1, 2}, 0);
+  EXPECT_THROW((void)map.split(0), ParamError);  // single-index shard
+  EXPECT_THROW((void)map.split(2), ParamError);  // out of range
+  EXPECT_EQ(map.epoch(), 0u);                    // failed splits don't bump
+  EXPECT_EQ(map.split(1), 2u);                   // 2-element shard splits
+}
+
+TEST(ShardMapTest, AppendGrowsTailAndAlwaysBumpsEpoch) {
+  ShardMap map(5, 8);
+  const std::uint64_t before = map.epoch();
+  EXPECT_FALSE(map.append_index());
+  EXPECT_EQ(map.n(), 6u);
+  EXPECT_EQ(map.num_shards(), 1u);
+  // Epoch must bump even without a split: the tail embedding changed.
+  EXPECT_EQ(map.epoch(), before + 1);
+}
+
+TEST(ShardMapTest, AppendPastBudgetSplitsTail) {
+  ShardMap map(8, 8);
+  EXPECT_TRUE(map.append_index());
+  EXPECT_EQ(map.n(), 9u);
+  EXPECT_EQ(map.num_shards(), 2u);
+  EXPECT_LE(map.range(0).size(), 8u);
+  EXPECT_LE(map.range(1).size(), 8u);
+  EXPECT_GE(map.epoch(), 1u);
+}
+
+TEST(ShardMapTest, PlaceIsDeterministicAndCoversGroups) {
+  const std::vector<std::uint64_t> groups = {11, 22, 33, 44};
+  std::vector<std::size_t> hits(groups.size(), 0);
+  for (std::uint64_t key = 0; key < 400; ++key) {
+    const std::uint64_t a = ShardMap::place(key, groups);
+    const std::uint64_t b = ShardMap::place(key, groups);
+    EXPECT_EQ(a, b);
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (groups[g] == a) ++hits[g];
+    }
+  }
+  // Rendezvous hashing should spread 400 keys roughly evenly over 4
+  // groups; require each group gets at least a quarter of its fair share.
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    EXPECT_GT(hits[g], 25u) << "group " << groups[g] << " starved";
+  }
+}
+
+TEST(ShardMapTest, PlaceRejectsEmptyGroupSet) {
+  EXPECT_THROW((void)ShardMap::place(1, {}), ParamError);
+}
+
+TEST(ShardMapTest, RendezvousStableUnderGroupRemoval) {
+  // The HRW guarantee: removing one of k groups moves ONLY the keys that
+  // were placed on it (expected 1/k of all keys); every other key keeps
+  // its placement.
+  std::vector<std::uint64_t> groups = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::uint64_t removed = 5;
+  const ShardMap map(4096, 16);  // 256 shards
+  const std::vector<std::uint64_t> before = map.placement(groups);
+  std::erase(groups, removed);
+  const std::vector<std::uint64_t> after = map.placement(groups);
+  std::size_t moved = 0;
+  for (std::size_t s = 0; s < before.size(); ++s) {
+    if (before[s] != after[s]) {
+      EXPECT_EQ(before[s], removed) << "shard " << s << " moved needlessly";
+      ++moved;
+    }
+  }
+  // Expected moved fraction is 1/8; allow generous slack either way but
+  // pin the <= 1/k * 2 ceiling the satellite task names.
+  EXPECT_GT(moved, 0u);
+  EXPECT_LE(moved, before.size() / 4);  // 2 * (1/8) of 256 = 64
+}
+
+TEST(ShardMapTest, RendezvousStableUnderGroupAddition) {
+  std::vector<std::uint64_t> groups = {10, 20, 30, 40};
+  const ShardMap map(2048, 16);  // 128 shards
+  const std::vector<std::uint64_t> before = map.placement(groups);
+  const std::uint64_t added = 50;
+  groups.push_back(added);
+  const std::vector<std::uint64_t> after = map.placement(groups);
+  std::size_t moved = 0;
+  for (std::size_t s = 0; s < before.size(); ++s) {
+    if (before[s] != after[s]) {
+      EXPECT_EQ(after[s], added) << "shard " << s << " moved to an old group";
+      ++moved;
+    }
+  }
+  EXPECT_LE(moved, before.size() * 2 / 5);  // 2 * (1/5) of the shards
+}
+
+}  // namespace
+}  // namespace ice::pir

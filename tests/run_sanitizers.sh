@@ -6,8 +6,12 @@
 # Lim-Lee comb cache), and the session-core concurrency layer: the sharded
 # session tables (ShardedMapTest.Concurrent*), the N-threads-interleaving
 # basic+batch stress over shared services (SessionStressTest at parallelism
-# 1/4/hardware, SessionCollisionTest.RacingStartAuditsOneWinner), and the
-# cross-service smoke under both channel families (stress_bench_sessions).
+# 1/4/hardware, SessionCollisionTest.RacingStartAuditsOneWinner), the
+# cross-service smoke under both channel families (stress_bench_sessions),
+# and the sharded audit fan-out: per-shard content locks vs. the structural
+# epoch protocol (UpdateEpochTest.ConcurrentUpdatesAppendsAndAuditsAreRaceFree,
+# ShardServiceTest.ConcurrentUpdatesAndShardedRetrievals) plus the
+# cross-shard differential suite in shard_audit_test and smoke_bench_shards.
 # ASan/UBSan covers the big-integer and PIR kernels, including the
 # multiexp/fixed_base differential tests in bignum_test (MultiExpTest.*,
 # FixedBaseTest.*) that pin the engine to Montgomery::pow.

@@ -96,6 +96,29 @@ TEST(SimulatorTest, ZeroWriteFractionNeverLosesUpdates) {
   EXPECT_GT(r.blocks_repaired, 0u);  // clean blocks still get repaired
 }
 
+TEST(SimulatorTest, ShardedAuditsMatchMonolithicRun) {
+  // shard_budget is a deployment knob: decode is exact per shard, so every
+  // audit verdict — and with it every report counter — must be identical
+  // between the sharded and monolithic tag stores for the same seed.
+  const auto keys = ice::testing::test_keypair_256();
+  const SimReport mono = run_simulation(small_config(), keys, 14);
+  SimConfig c = small_config();
+  c.shard_budget = 6;  // 40 blocks -> 7 shards
+  const SimReport sharded = run_simulation(c, keys, 14);
+  EXPECT_EQ(sharded.requests, mono.requests);
+  EXPECT_EQ(sharded.reads, mono.reads);
+  EXPECT_EQ(sharded.writes, mono.writes);
+  EXPECT_EQ(sharded.corruptions_injected, mono.corruptions_injected);
+  EXPECT_EQ(sharded.audits, mono.audits);
+  EXPECT_EQ(sharded.failed_audits, mono.failed_audits);
+  EXPECT_EQ(sharded.blocks_repaired, mono.blocks_repaired);
+  EXPECT_EQ(sharded.updates_lost, mono.updates_lost);
+  EXPECT_EQ(sharded.flushes, mono.flushes);
+  EXPECT_EQ(sharded.blocks_written_back, mono.blocks_written_back);
+  EXPECT_EQ(sharded.cache_hits, mono.cache_hits);
+  EXPECT_EQ(sharded.cache_misses, mono.cache_misses);
+}
+
 TEST(SimulatorTest, AuditTimeAccumulates) {
   const auto keys = ice::testing::test_keypair_256();
   const SimReport r = run_simulation(small_config(), keys, 13);
