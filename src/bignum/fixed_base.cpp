@@ -72,6 +72,12 @@ FixedBase::FixedBase(const Montgomery& mont, const BigInt& base,
   }
 }
 
+std::shared_ptr<const FixedBase> FixedBase::warm(const Montgomery& mont,
+                                                 const BigInt& base,
+                                                 std::size_t min_exp_bits) {
+  return mont.fixed_base(base, min_exp_bits);
+}
+
 BigInt FixedBase::pow(const BigInt& exp) const {
   BigInt out;
   pow_into(out, exp);

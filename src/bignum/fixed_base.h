@@ -34,6 +34,16 @@ class FixedBase {
   FixedBase(const Montgomery& mont, const BigInt& base,
             std::size_t max_exp_bits);
 
+  /// Eagerly builds (and caches on `mont`) the comb for `base` sized for
+  /// `min_exp_bits`-bit exponents. Montgomery::fixed_base does this lazily
+  /// on the first pow of a fresh (context, base) pair, which puts the whole
+  /// table build (~capacity squarings + 2^h multiplies) on the first
+  /// audit's critical path; key setup calls warm() so the first audit runs
+  /// at steady-state cost. Returns the cached comb.
+  static std::shared_ptr<const FixedBase> warm(const Montgomery& mont,
+                                               const BigInt& base,
+                                               std::size_t min_exp_bits);
+
   /// base^exp mod N for exp >= 0 (throws ParamError on negative exp).
   /// Exponents longer than capacity_bits() fall back to Montgomery::pow,
   /// so the result is always correct (just not comb-accelerated).

@@ -19,6 +19,25 @@
 
 namespace ice {
 
+/// Cooperative cancellation shared between a background producer task and
+/// its owner. ThreadPool itself has no way to retract a submitted task, so
+/// a long-running producer (e.g. the offline challenge refiller) polls the
+/// token at its work-item boundaries and the owner's shutdown path is
+/// request_stop() + wait-for-drain instead of racing the in-flight task.
+class CancellationToken {
+ public:
+  void request_stop() noexcept {
+    stop_.store(true, std::memory_order_release);
+  }
+  [[nodiscard]] bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+  void reset() noexcept { stop_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> stop_{false};
+};
+
 /// A fixed pool of worker threads draining a FIFO task queue, plus an
 /// allocation-free chunk-broadcast path (run_chunks) for the audit hot
 /// loops. Destruction waits for already-submitted tasks to finish.

@@ -1,0 +1,137 @@
+#include "ice/fleet_scheduler.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace ice::proto {
+
+FleetScheduler::FleetScheduler(const FleetSchedulerConfig& config)
+    : config_(config) {
+  if (config_.round_budget == 0) {
+    throw ParamError("FleetScheduler: round_budget must be >= 1");
+  }
+  if (config_.risk_decay < 0.0 || config_.risk_decay >= 1.0) {
+    throw ParamError("FleetScheduler: risk_decay must be in [0, 1)");
+  }
+}
+
+std::size_t FleetScheduler::staleness_bound() const {
+  if (config_.max_staleness != 0) return config_.max_staleness;
+  const std::size_t n = std::max<std::size_t>(entries_.size(), 1);
+  const std::size_t sweep =
+      (n + config_.round_budget - 1) / config_.round_budget;
+  return std::max<std::size_t>(2 * sweep, 1);
+}
+
+void FleetScheduler::add_edge(std::uint32_t edge_id) {
+  if (find(edge_id) != nullptr) {
+    throw ParamError("FleetScheduler: duplicate edge id");
+  }
+  Entry e;
+  e.edge_id = edge_id;
+  // One sweep short of forced: audited within ~one round_budget period.
+  const std::size_t bound = staleness_bound();
+  const std::size_t sweep = std::max<std::size_t>(bound / 2, 1);
+  e.staleness = bound > sweep ? bound - sweep : bound;
+  const auto pos = std::lower_bound(
+      entries_.begin(), entries_.end(), edge_id,
+      [](const Entry& a, std::uint32_t id) { return a.edge_id < id; });
+  entries_.insert(pos, std::move(e));
+}
+
+void FleetScheduler::note_risk(std::uint32_t edge_id, double delta) {
+  Entry* e = find(edge_id);
+  if (e == nullptr) return;
+  e->risk = std::min(config_.risk_cap,
+                     e->risk + (delta > 0.0 ? delta : config_.failure_risk));
+}
+
+double FleetScheduler::priority(const Entry& e) const {
+  return config_.staleness_weight * static_cast<double>(e.staleness) +
+         config_.risk_weight * e.risk;
+}
+
+std::vector<std::uint32_t> FleetScheduler::plan_round() {
+  for (Entry& e : entries_) e.audited_this_round = false;
+
+  // Index sort, highest priority first, ties toward the lower edge id (the
+  // entries_ vector is id-sorted, so a stable sort on priority alone does
+  // exactly that).
+  std::vector<std::size_t> order(entries_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(),
+                   [this](std::size_t a, std::size_t b) {
+                     return priority(entries_[a]) > priority(entries_[b]);
+                   });
+
+  const std::size_t bound = staleness_bound();
+  std::vector<std::uint32_t> plan;
+  plan.reserve(std::min(entries_.size(), config_.round_budget));
+  std::vector<bool> chosen(entries_.size(), false);
+  for (std::size_t i = 0;
+       i < order.size() && plan.size() < config_.round_budget; ++i) {
+    plan.push_back(entries_[order[i]].edge_id);
+    chosen[order[i]] = true;
+  }
+  // Forced inclusion — the starvation-freedom / bounded-detection hook: an
+  // edge at the staleness bound rides along even past the budget. In the
+  // priority order above such edges usually already won a slot; this sweep
+  // only fires when risk-heavy edges crowded the whole budget.
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (!chosen[i] && entries_[i].staleness >= bound) {
+      plan.push_back(entries_[i].edge_id);
+    }
+  }
+  return plan;
+}
+
+void FleetScheduler::record(std::uint32_t edge_id, bool pass) {
+  Entry* e = find(edge_id);
+  if (e == nullptr) {
+    throw ParamError("FleetScheduler: record for unknown edge");
+  }
+  e->staleness = 0;
+  e->audited_this_round = true;
+  if (pass) {
+    e->risk *= config_.risk_decay;
+  } else {
+    e->risk = std::min(config_.risk_cap, e->risk + config_.failure_risk);
+  }
+}
+
+void FleetScheduler::finish_round() {
+  ++rounds_;
+  for (Entry& e : entries_) {
+    if (!e.audited_this_round) ++e.staleness;
+    e.audited_this_round = false;
+  }
+}
+
+std::size_t FleetScheduler::staleness(std::uint32_t edge_id) const {
+  const Entry* e = find(edge_id);
+  if (e == nullptr) throw ParamError("FleetScheduler: unknown edge");
+  return e->staleness;
+}
+
+double FleetScheduler::risk(std::uint32_t edge_id) const {
+  const Entry* e = find(edge_id);
+  if (e == nullptr) throw ParamError("FleetScheduler: unknown edge");
+  return e->risk;
+}
+
+const FleetScheduler::Entry* FleetScheduler::find(
+    std::uint32_t edge_id) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), edge_id,
+      [](const Entry& a, std::uint32_t id) { return a.edge_id < id; });
+  if (it == entries_.end() || it->edge_id != edge_id) return nullptr;
+  return &*it;
+}
+
+FleetScheduler::Entry* FleetScheduler::find(std::uint32_t edge_id) {
+  return const_cast<Entry*>(
+      static_cast<const FleetScheduler*>(this)->find(edge_id));
+}
+
+}  // namespace ice::proto

@@ -1,5 +1,6 @@
 #include "ice/keys.h"
 
+#include "bignum/fixed_base.h"
 #include "bignum/montgomery.h"
 #include "bignum/prime.h"
 #include "common/error.h"
@@ -57,6 +58,12 @@ KeyPair keygen_from_primes(const bn::BigInt& p, const bn::BigInt& q,
   kp.sk.q = q;
   kp.pk.n = p * q;
   kp.pk.g = sample_generator(kp.pk.n, rng);
+  // Eager comb warm-up: every audit path exponentiates the long-lived g
+  // through the shared context's Lim-Lee comb, which is otherwise built
+  // lazily on the first challenge/tag — a first-audit latency cliff worth
+  // whole table build. Keys are minted rarely; pay it here.
+  bn::FixedBase::warm(*bn::Montgomery::shared(kp.pk.n), kp.pk.g,
+                      kp.pk.n.bit_length());
   return kp;
 }
 

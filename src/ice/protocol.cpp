@@ -89,24 +89,19 @@ void repack_tags_into(const PublicKey& pk, const std::vector<bn::BigInt>& tags,
                   });
 }
 
-bool verify_proof(const PublicKey& pk, const ProtocolParams& params,
-                  const std::vector<bn::BigInt>& repacked_tags,
-                  const Challenge& challenge, const ChallengeSecret& secret,
-                  const Proof& proof) {
-  if (repacked_tags.empty()) {
-    throw ParamError("verify_proof: no tags to verify against");
-  }
+namespace {
+
+/// Shared tail of the two verify paths: R = prod_k T~_k^{a_k}, expected =
+/// R^s, compare with the (canonically reduced) claimed proof.
+bool verify_with_coeffs(const PublicKey& pk, const ProtocolParams& params,
+                        const std::vector<bn::BigInt>& repacked_tags,
+                        const std::vector<bn::BigInt>& coeffs,
+                        const ChallengeSecret& secret, const Proof& proof) {
   const auto mont = bn::Montgomery::shared(pk.n);
   // R = prod_k T~_k^{a_k} mod N: one simultaneous multi-exponentiation
   // sharing a single squaring chain across all |S_j| tags (multiexp.h),
   // chunked over the pool with partials combined in chunk order — the
   // canonical result is bit-identical to per-tag pow at every thread count.
-  // Coefficients land in a warm thread-local vector (expand_into reuses
-  // vector and limb capacity), the aggregate and the expected value live in
-  // SBO limb storage: the steady-state verify allocates nothing.
-  static thread_local std::vector<bn::BigInt> coeffs;
-  crypto::CoefficientPrf::expand_into(challenge.e, params.coeff_bits,
-                                      repacked_tags.size(), coeffs);
   const bn::BigInt r =
       bn::multi_exp(*mont, repacked_tags, coeffs, params.parallelism);
   bn::BigInt expected;
@@ -114,6 +109,39 @@ bool verify_proof(const PublicKey& pk, const ProtocolParams& params,
   // One canonical reduction of the claimed proof (a no-op for wire-valid
   // proofs, which deserialization already range-checks).
   return expected == mont->reduce(proof.p);
+}
+
+}  // namespace
+
+bool verify_proof(const PublicKey& pk, const ProtocolParams& params,
+                  const std::vector<bn::BigInt>& repacked_tags,
+                  const Challenge& challenge, const ChallengeSecret& secret,
+                  const Proof& proof) {
+  if (repacked_tags.empty()) {
+    throw ParamError("verify_proof: no tags to verify against");
+  }
+  // Coefficients land in a warm thread-local vector (expand_into reuses
+  // vector and limb capacity), the aggregate and the expected value live in
+  // SBO limb storage: the steady-state verify allocates nothing.
+  static thread_local std::vector<bn::BigInt> coeffs;
+  crypto::CoefficientPrf::expand_into(challenge.e, params.coeff_bits,
+                                      repacked_tags.size(), coeffs);
+  return verify_with_coeffs(pk, params, repacked_tags, coeffs, secret, proof);
+}
+
+bool verify_proof_precomputed(const PublicKey& pk,
+                              const ProtocolParams& params,
+                              const std::vector<bn::BigInt>& repacked_tags,
+                              const std::vector<bn::BigInt>& coeffs,
+                              const ChallengeSecret& secret,
+                              const Proof& proof) {
+  if (repacked_tags.empty()) {
+    throw ParamError("verify_proof: no tags to verify against");
+  }
+  if (coeffs.size() != repacked_tags.size()) {
+    throw ParamError("verify_proof_precomputed: coefficient count mismatch");
+  }
+  return verify_with_coeffs(pk, params, repacked_tags, coeffs, secret, proof);
 }
 
 bn::BigInt draw_blinding(const PublicKey& pk, bn::Rng64& rng) {

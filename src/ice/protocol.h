@@ -75,6 +75,20 @@ bool verify_proof(const PublicKey& pk, const ProtocolParams& params,
                   const Challenge& challenge, const ChallengeSecret& secret,
                   const Proof& proof);
 
+/// verify_proof with the coefficient expansion already done offline:
+/// `coeffs` must be the first repacked_tags.size() entries of
+/// CoefficientPrf::expand(challenge.e, params.coeff_bits, ...) — the
+/// stream is sequential, so any longer offline expansion's prefix is the
+/// exact cold-path vector. Bit-identical to verify_proof (the cold path
+/// stays the pinned reference; tests/ice/offline_test.cpp holds the two
+/// equal); throws ParamError on a size mismatch.
+bool verify_proof_precomputed(const PublicKey& pk,
+                              const ProtocolParams& params,
+                              const std::vector<bn::BigInt>& repacked_tags,
+                              const std::vector<bn::BigInt>& coeffs,
+                              const ChallengeSecret& secret,
+                              const Proof& proof);
+
 /// Draws the user's blinding s_tilde uniformly from Z_N^* \ {1}.
 bn::BigInt draw_blinding(const PublicKey& pk, bn::Rng64& rng);
 

@@ -30,6 +30,11 @@ struct AuditSession {
   Challenge challenge;
   ChallengeSecret secret;
   Proof proof;  // valid once state == kAwaitingTags
+  /// Coefficients pre-expanded offline when this session was served from
+  /// the challenge pool (ice/offline.h); empty on the cold path. verify
+  /// uses the first |S_j| entries when enough were expanded and falls back
+  /// to the online expansion otherwise — bit-identical either way.
+  std::vector<bn::BigInt> coeffs;
 };
 
 /// One ICE-batch round at the TPA (paper §V): created by batch_begin,

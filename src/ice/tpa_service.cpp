@@ -1,5 +1,7 @@
 #include "ice/tpa_service.h"
 
+#include "bignum/fixed_base.h"
+#include "bignum/montgomery.h"
 #include "common/error.h"
 #include "ice/edge_service.h"
 #include "ice/wire.h"
@@ -10,13 +12,18 @@ using net::ServiceError;
 using net::Status;
 
 TpaService::TpaService(pir::EvalStrategy strategy, std::size_t parallelism,
-                       std::size_t shard_budget)
+                       std::size_t shard_budget, const OfflineConfig& offline)
     : strategy_(strategy),
       dispatch_("TpaService"),
       sessions_(session_table_config()),
-      batches_(session_table_config()) {
+      batches_(session_table_config()),
+      offline_cfg_(offline),
+      pool_(offline) {
   params_.parallelism = parallelism;
   params_.shard_budget = shard_budget;
+  if (offline_cfg_.enabled) {
+    offline_worker_ = std::make_unique<OfflineWorker>(pool_, rng_);
+  }
   const auto bind = [this](void (TpaService::*fn)(net::Reader&,
                                                   net::Writer&)) {
     return [this, fn](net::Reader& r, net::Writer& w) { (this->*fn)(r, w); };
@@ -77,12 +84,14 @@ void TpaService::on_set_key(net::Reader& r, net::Writer&) {
   if (!plausible_public_key(pk)) {
     throw ServiceError(Status::kInvalidArgument, "implausible public key");
   }
+  ProtocolParams params;
   {
     std::unique_lock lock(config_mu_);
     params_.coeff_bits = coeff_bits;
     params_.challenge_key_bits = key_bits;
     params_.modulus_bits = pk.n.bit_length();
-    pk_ = std::move(pk);
+    params = params_;
+    pk_ = pk;
   }
   {
     std::unique_lock lock(store_mu_);
@@ -91,6 +100,17 @@ void TpaService::on_set_key(net::Reader& r, net::Writer&) {
   // So are sessions challenged under the old key.
   sessions_.clear();
   batches_.clear();
+  // Eager comb warm-up: with a fresh modulus, the first challenge would
+  // otherwise pay the whole Lim-Lee table build for g on its critical path
+  // (tests/bignum/fixed_base_test.cpp pins the cliff). Keys change rarely;
+  // pay it here, off every audit path.
+  bn::FixedBase::warm(*bn::Montgomery::shared(pk.n), pk.g, pk.n.bit_length());
+  if (offline_cfg_.enabled) {
+    // New key ⇒ new pool generation: stored bundles drop, in-flight mints
+    // against the old key become stale offers the pool refuses.
+    pool_.rekey(pk, params);
+    offline_worker_->kick();
+  }
 }
 
 void TpaService::on_store_tags(net::Reader& r, net::Writer&) {
@@ -145,7 +165,24 @@ void TpaService::on_start_audit(net::Reader& r, net::Writer&) {
 
   AuditSession session;
   session.edge_id = edge_id;
-  session.challenge = make_challenge(pk, params, rng_, session.secret);
+  // Online/offline split: a pooled bundle turns the challenge phase into a
+  // dequeue (the g^s modexp, RNG draws and coefficient expansion already
+  // happened offline). The cold path below is the pinned reference and the
+  // pool-miss fallback — bit-identical verdict either way.
+  bool pooled = false;
+  if (offline_cfg_.enabled) {
+    ChallengeBundle bundle;
+    if (pool_.try_acquire(bundle)) {
+      session.challenge = std::move(bundle.challenge);
+      session.secret = std::move(bundle.secret);
+      session.coeffs = std::move(bundle.coeffs);
+      pooled = true;
+    }
+    offline_worker_->kick();  // refill behind this consume (or miss)
+  }
+  if (!pooled) {
+    session.challenge = make_challenge(pk, params, rng_, session.secret);
+  }
   const Challenge challenge = session.challenge;
   // Park the session in kChallenging state BEFORE the round trip so a
   // concurrent start_audit on the same nonce is refused, then challenge
@@ -196,8 +233,18 @@ void TpaService::on_submit_repacked(net::Reader& r, net::Writer& w) {
     throw ServiceError(Status::kFailedPrecondition,
                        "edge challenge still in flight");
   }
-  const bool pass = verify_proof(pk, params, tags, session->challenge,
-                                 session->secret, session->proof);
+  bool pass;
+  if (session->coeffs.size() >= tags.size()) {
+    // Pool-served session with enough pre-expanded coefficients: slice the
+    // prefix (the PRF stream is sequential, so it is the exact cold-path
+    // vector) and skip the online expansion.
+    session->coeffs.resize(tags.size());
+    pass = verify_proof_precomputed(pk, params, tags, session->coeffs,
+                                    session->secret, session->proof);
+  } else {
+    pass = verify_proof(pk, params, tags, session->challenge, session->secret,
+                        session->proof);
+  }
   {
     std::lock_guard lock(log_mu_);
     log_.append(id, session->edge_id, /*batch=*/false, pass);
@@ -217,7 +264,22 @@ void TpaService::on_batch_begin(net::Reader& r, net::Writer& w) {
   const auto [pk, params] = config_snapshot();
   (void)params;
   BatchSession batch;
-  const Challenge base = make_batch_base(pk, rng_, batch.secret);
+  Challenge base;
+  // ICE-batch only needs (s, g^s) from the TPA — the per-edge challenge
+  // keys are the user's (paper §V) — so a pooled bundle serves here too;
+  // its pre-expanded coefficients go unused, but the g^s modexp dominates
+  // the mint, so the online saving is nearly the full bundle.
+  bool pooled = false;
+  if (offline_cfg_.enabled) {
+    ChallengeBundle bundle;
+    if (pool_.try_acquire(bundle)) {
+      base.g_s = std::move(bundle.challenge.g_s);
+      batch.secret = std::move(bundle.secret);
+      pooled = true;
+    }
+    offline_worker_->kick();
+  }
+  if (!pooled) base = make_batch_base(pk, rng_, batch.secret);
   batch.expected_proofs = num_edges;
   switch (batches_.try_emplace(id, std::move(batch))) {
     case SessionTable<BatchSession>::Insert::kExists:

@@ -27,6 +27,7 @@
 #include "ice/audit_log.h"
 #include "ice/batch.h"
 #include "ice/keys.h"
+#include "ice/offline.h"
 #include "ice/params.h"
 #include "ice/protocol.h"
 #include "ice/session.h"
@@ -46,9 +47,15 @@ class TpaService final : public net::RpcHandler {
   /// local deployment knobs, independent of the protocol parameters
   /// received via kTpaSetKey — but both TPAs of a pair must agree on
   /// `shard_budget` (the shard-map epoch check catches drift).
+  /// `offline` opts the verifier into the online/offline audit split
+  /// (ice/offline.h): a background worker precomputes challenge bundles
+  /// during idle cycles and start_audit / batch_begin consume them. Off by
+  /// default — with it off, the RNG draw order and every wire byte are
+  /// exactly the pre-PR-8 cold path.
   explicit TpaService(
       pir::EvalStrategy strategy = pir::EvalStrategy::kBitsliced,
-      std::size_t parallelism = 0, std::size_t shard_budget = 0);
+      std::size_t parallelism = 0, std::size_t shard_budget = 0,
+      const OfflineConfig& offline = {});
 
   Bytes handle(std::uint16_t method, BytesView request) override;
 
@@ -63,6 +70,15 @@ class TpaService final : public net::RpcHandler {
   /// while no audit is in flight (appends are internally serialized, reads
   /// through this accessor are not).
   [[nodiscard]] const AuditLog& audit_log() const { return log_; }
+
+  /// Offline-split observability: pool depth, hit/miss/refill counters
+  /// (all zero when the split is disabled). Thread-safe.
+  [[nodiscard]] OfflineStats offline_stats() const { return pool_.stats(); }
+
+  /// Direct pool access for tests and operator tooling (stale-bundle
+  /// injection, prefill waits). The service owns the pool; do not hold
+  /// references across a service restart.
+  [[nodiscard]] ChallengePool& challenge_pool() { return pool_; }
 
  private:
   void on_set_key(net::Reader& r, net::Writer& w);
@@ -101,6 +117,13 @@ class TpaService final : public net::RpcHandler {
   SessionTable<AuditSession> sessions_;
   SessionTable<BatchSession> batches_;
   crypto::SharedCsprng rng_;
+
+  // Online/offline split (ice/offline.h). Declared after rng_ and before
+  // offline_worker_ so destruction stops the worker (which draws from
+  // rng_ and fills pool_) before either referent dies.
+  const OfflineConfig offline_cfg_;
+  ChallengePool pool_;
+  std::unique_ptr<OfflineWorker> offline_worker_;
 
   std::mutex log_mu_;
   AuditLog log_;

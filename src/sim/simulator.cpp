@@ -1,11 +1,16 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
+#include <iterator>
+#include <map>
 #include <memory>
 
 #include "common/rng.h"
+#include "common/stats.h"
 #include "common/stopwatch.h"
 #include "ice/csp_service.h"
 #include "ice/edge_service.h"
+#include "ice/fleet_scheduler.h"
 #include "ice/localize.h"
 #include "ice/tpa_service.h"
 #include "ice/user_client.h"
@@ -165,6 +170,161 @@ SimReport run_simulation(const SimConfig& config, const KeyPair& keys,
 
   report.cache_hits = world.edge.cache_for_corruption().hits();
   report.cache_misses = world.edge.cache_for_corruption().misses();
+  return report;
+}
+
+FleetReport run_fleet_simulation(const FleetConfig& config,
+                                 const KeyPair& keys, std::uint64_t seed) {
+  if (config.edges == 0) throw ParamError("fleet: edges must be >= 1");
+  if (config.rounds == 0) throw ParamError("fleet: rounds must be >= 1");
+  if (config.blocks_per_edge == 0 ||
+      config.blocks_per_edge > config.n_blocks) {
+    throw ParamError("fleet: blocks_per_edge must be in [1, n_blocks]");
+  }
+
+  ProtocolParams params;
+  params.modulus_bits = keys.pk.modulus_bits();
+  params.block_bytes = config.block_bytes;
+  params.parallelism = config.parallelism;
+
+  OfflineConfig offline;
+  offline.enabled = config.offline;
+  offline.pool_capacity = config.pool_capacity;
+  offline.pool_shards = config.pool_shards;
+  offline.coeff_count = config.coeff_count;
+
+  CspService csp(
+      mec::BlockStore::synthetic(config.n_blocks, config.block_bytes, seed),
+      config.parallelism);
+  net::InMemoryChannel csp_chan(csp);  // shared by every edge (synchronous)
+  TpaService tpa0(pir::EvalStrategy::kBitsliced, config.parallelism,
+                  /*shard_budget=*/0, offline);
+  TpaService tpa1(pir::EvalStrategy::kBitsliced, config.parallelism);
+  net::InMemoryChannel user_tpa0(tpa0);
+  net::InMemoryChannel user_tpa1(tpa1);
+
+  std::vector<std::unique_ptr<EdgeService>> edges;
+  std::vector<std::unique_ptr<net::InMemoryChannel>> edge_chans;
+  edges.reserve(config.edges);
+  edge_chans.reserve(config.edges);
+  for (std::size_t i = 0; i < config.edges; ++i) {
+    edges.push_back(std::make_unique<EdgeService>(
+        static_cast<std::uint32_t>(i), params, keys.pk,
+        mec::EdgeCache(config.blocks_per_edge, mec::EvictionPolicy::kLru),
+        csp_chan));
+    edge_chans.push_back(std::make_unique<net::InMemoryChannel>(*edges[i]));
+    tpa0.register_edge(static_cast<std::uint32_t>(i), *edge_chans[i]);
+  }
+
+  UserClient user(params, keys, user_tpa0, user_tpa1);
+  {
+    std::vector<Bytes> blocks;
+    blocks.reserve(csp.store().size());
+    for (std::size_t i = 0; i < csp.store().size(); ++i) {
+      blocks.push_back(csp.store().block(i));
+    }
+    user.setup_file(blocks);
+  }
+  // Overlapping pre-download slices around the file, as query-driven
+  // caching would produce.
+  for (std::size_t i = 0; i < config.edges; ++i) {
+    std::vector<std::size_t> slice(config.blocks_per_edge);
+    for (std::size_t k = 0; k < slice.size(); ++k) {
+      slice[k] = (i * (config.blocks_per_edge / 2 + 1) + k) % config.n_blocks;
+    }
+    std::sort(slice.begin(), slice.end());
+    slice.erase(std::unique(slice.begin(), slice.end()), slice.end());
+    edges[i]->pre_download(slice);
+  }
+
+  FleetSchedulerConfig sched_config;
+  sched_config.round_budget = config.round_budget;
+  FleetScheduler scheduler(sched_config);
+  for (std::size_t i = 0; i < config.edges; ++i) {
+    scheduler.add_edge(static_cast<std::uint32_t>(i));
+  }
+
+  SplitMix64 rng(seed ^ 0xf1ee7);
+  const CspClient cloud(csp_chan);
+  constexpr mec::CorruptionKind kKinds[] = {
+      mec::CorruptionKind::kBitFlip, mec::CorruptionKind::kByteStuck,
+      mec::CorruptionKind::kTruncate, mec::CorruptionKind::kZeroFill,
+      mec::CorruptionKind::kGarbage};
+
+  FleetReport report;
+  report.edges = config.edges;
+  report.staleness_bound = scheduler.staleness_bound();
+  // Ground truth per corrupted edge: the round the FIRST still-undetected
+  // corruption landed, and every victim block (for repair).
+  struct Pending {
+    std::size_t round = 0;
+    std::vector<std::size_t> victims;
+  };
+  std::map<std::uint32_t, Pending> pending;
+  SampleStats latencies;
+  Stopwatch wall;
+
+  for (std::size_t round = 1; round <= config.rounds; ++round) {
+    if (config.corrupt_every != 0 && round % config.corrupt_every == 1 % config.corrupt_every) {
+      const auto victim_edge =
+          static_cast<std::uint32_t>(rng.below(config.edges));
+      auto& cache = edges[victim_edge]->cache_for_corruption();
+      const auto kind = kKinds[report.corruptions_injected % std::size(kKinds)];
+      std::vector<std::size_t> victims =
+          mec::corrupt_random_blocks(cache, 1, kind, rng);
+      // Styles like kZeroFill are idempotent; if the block happened to
+      // already hold the corrupted image (double strike on one edge), fall
+      // back to a bit flip so every injection is a real integrity breach.
+      for (std::size_t index : victims) {
+        if (cache.raw_block(index) == cloud.fetch(index)) {
+          mec::corrupt_block(cache.raw_block(index),
+                             mec::CorruptionKind::kBitFlip, rng);
+        }
+      }
+      ++report.corruptions_injected;
+      auto [it, fresh] = pending.try_emplace(victim_edge);
+      if (fresh) it->second.round = round;
+      it->second.victims.insert(it->second.victims.end(), victims.begin(),
+                                victims.end());
+    }
+
+    for (const std::uint32_t id : scheduler.plan_round()) {
+      Stopwatch sw;
+      const bool pass = user.audit_edge(*edge_chans[id], id);
+      latencies.add(sw.seconds());
+      ++report.audits;
+      scheduler.record(id, pass);
+      if (pass) continue;
+      ++report.failed_audits;
+      const auto it = pending.find(id);
+      if (it == pending.end()) continue;  // cannot happen: no false alarms
+      ++report.corruptions_detected;
+      report.max_detection_lag_rounds = std::max(
+          report.max_detection_lag_rounds, round - it->second.round);
+      // Repair from the cloud's clean copies (nothing here is dirty).
+      auto& cache = edges[id]->cache_for_corruption();
+      for (const std::size_t index : it->second.victims) {
+        if (cache.contains(index)) cache.raw_block(index) = cloud.fetch(index);
+      }
+      pending.erase(it);
+    }
+    scheduler.finish_round();
+    for (std::size_t i = 0; i < config.edges; ++i) {
+      report.max_staleness_seen =
+          std::max(report.max_staleness_seen,
+                   scheduler.staleness(static_cast<std::uint32_t>(i)));
+    }
+  }
+
+  report.wall_seconds = wall.seconds();
+  report.rounds = config.rounds;
+  report.audit_seconds_total =
+      latencies.empty() ? 0.0 : latencies.mean() * latencies.count();
+  report.audit_seconds_mean = latencies.empty() ? 0.0 : latencies.mean();
+  report.audit_seconds_p95 = latencies.empty() ? 0.0 : latencies.percentile(95);
+  const proto::OfflineStats pool = tpa0.offline_stats();
+  report.pool_hits = pool.hits;
+  report.pool_misses = pool.misses;
   return report;
 }
 

@@ -68,4 +68,69 @@ struct SimReport {
 SimReport run_simulation(const SimConfig& config, const proto::KeyPair& keys,
                          std::uint64_t seed);
 
+/// Fleet-scale audit scheduling scenario (PR 8): one verifier TPA watches
+/// `edges` edge caches, running continuous audit rounds planned by
+/// ice/fleet_scheduler.h with the online/offline challenge split enabled.
+/// Each round the scheduler picks `round_budget` edges by staleness and
+/// corruption risk; silent corruption strikes a random edge every
+/// `corrupt_every` rounds and the report tracks how many rounds it survived
+/// before an audit caught it.
+struct FleetConfig {
+  std::size_t edges = 100;
+  std::size_t n_blocks = 96;         // file size (tags at the TPAs)
+  std::size_t block_bytes = 256;
+  std::size_t blocks_per_edge = 8;   // pre-download set size per edge
+  std::size_t rounds = 12;
+  std::size_t round_budget = 16;     // audits per round (scheduler budget)
+  std::size_t corrupt_every = 3;     // rounds between injections (0 = never)
+  std::size_t parallelism = 0;       // ProtocolParams convention
+  /// Online/offline split at the verifier TPA (ice/offline.h). On by
+  /// default here — the whole point of the fleet scenario; audit verdicts
+  /// and detection counters are identical with it off, just slower.
+  bool offline = true;
+  std::size_t pool_capacity = 32;
+  std::size_t pool_shards = 4;
+  std::size_t coeff_count = 64;      // >= blocks_per_edge for full precompute
+};
+
+struct FleetReport {
+  std::size_t edges = 0;
+  std::size_t rounds = 0;
+  std::size_t audits = 0;
+  std::size_t failed_audits = 0;
+  std::size_t corruptions_injected = 0;
+  std::size_t corruptions_detected = 0;
+  /// Rounds between an injection and the failing audit that exposed it,
+  /// worst case over all detections. The scheduler guarantees this stays
+  /// <= staleness_bound (+1 for an injection landing mid-round).
+  std::size_t max_detection_lag_rounds = 0;
+  std::size_t staleness_bound = 0;     // scheduler's forced-audit threshold
+  std::size_t max_staleness_seen = 0;  // worst staleness any edge reached
+  std::uint64_t pool_hits = 0;         // start_audit served from the pool
+  std::uint64_t pool_misses = 0;       // cold-path fallbacks
+  double audit_seconds_total = 0.0;
+  double audit_seconds_mean = 0.0;
+  double audit_seconds_p95 = 0.0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double pool_hit_rate() const {
+    const auto total = pool_hits + pool_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(pool_hits) /
+                            static_cast<double>(total);
+  }
+  [[nodiscard]] double audits_per_second() const {
+    return wall_seconds > 0.0
+               ? static_cast<double>(audits) / wall_seconds
+               : 0.0;
+  }
+};
+
+/// Runs the fleet scenario. Audit verdicts and every detection counter are
+/// deterministic for a fixed (config, keys, seed) — pool hit/miss counts
+/// are not (the refill worker races the audit loop by design).
+FleetReport run_fleet_simulation(const FleetConfig& config,
+                                 const proto::KeyPair& keys,
+                                 std::uint64_t seed);
+
 }  // namespace ice::sim

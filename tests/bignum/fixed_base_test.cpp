@@ -150,5 +150,31 @@ TEST(FixedBaseCacheTest, ConcurrentLookupsAgree) {
   for (int w = 0; w < 8; ++w) EXPECT_EQ(ok[w], 1) << "worker " << w;
 }
 
+// warm() is the eager key-setup hook: after it, the first hot-path lookup
+// of (context, base) is a cache hit instead of a whole table build — the
+// first-audit latency cliff the lazy path used to pay.
+TEST(FixedBaseCacheTest, WarmEagerlyBuildsAndCachesTheComb) {
+  const BigInt n = fixture_modulus(128);
+  const Montgomery mont(n);
+  SplitMix64 gen(63);
+  Rng64Adapter rng(gen);
+  const BigInt g = random_unit(rng, n);
+
+  ASSERT_EQ(mont.fixed_base_cache_size(), 0u);
+  const auto comb = FixedBase::warm(mont, g, n.bit_length());
+  EXPECT_EQ(mont.fixed_base_cache_size(), 1u);
+  EXPECT_GE(comb->capacity_bits(), n.bit_length());
+
+  // Steady state immediately: same handle, no rebuild, correct powers.
+  EXPECT_EQ(mont.fixed_base(g, n.bit_length()).get(), comb.get());
+  EXPECT_EQ(mont.fixed_base_cache_size(), 1u);
+  const BigInt e = random_bits(rng, n.bit_length());
+  EXPECT_EQ(comb->pow(e), mont.pow(g, e));
+
+  // Idempotent: warming again is a lookup, not a second table.
+  EXPECT_EQ(FixedBase::warm(mont, g, n.bit_length()).get(), comb.get());
+  EXPECT_EQ(mont.fixed_base_cache_size(), 1u);
+}
+
 }  // namespace
 }  // namespace ice::bn

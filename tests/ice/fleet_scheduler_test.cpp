@@ -1,0 +1,155 @@
+// FleetScheduler (ice/fleet_scheduler.h): priority ordering, the forced-
+// staleness inclusion, and the two guarantees it buys — starvation-freedom
+// for clean edges and a bounded number of rounds until any edge (so any
+// corruption) is audited, whatever the risk distribution does.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/error.h"
+#include "ice/fleet_scheduler.h"
+
+namespace ice::proto {
+namespace {
+
+FleetSchedulerConfig config_with_budget(std::size_t budget) {
+  FleetSchedulerConfig config;
+  config.round_budget = budget;
+  return config;
+}
+
+TEST(FleetSchedulerTest, RejectsBadConfig) {
+  FleetSchedulerConfig config;
+  config.round_budget = 0;
+  EXPECT_THROW(FleetScheduler{config}, ParamError);
+  config.round_budget = 1;
+  config.risk_decay = 1.0;  // would never forget a failure
+  EXPECT_THROW(FleetScheduler{config}, ParamError);
+}
+
+TEST(FleetSchedulerTest, DuplicateAndUnknownEdgesThrow) {
+  FleetScheduler sched(config_with_budget(2));
+  sched.add_edge(7);
+  EXPECT_THROW(sched.add_edge(7), ParamError);
+  EXPECT_THROW(sched.record(8, true), ParamError);
+  EXPECT_THROW((void)sched.staleness(8), ParamError);
+  sched.note_risk(8);  // unknown edges are silently ignored by design
+}
+
+TEST(FleetSchedulerTest, RiskyEdgeWinsTheBudget) {
+  FleetScheduler sched(config_with_budget(1));
+  for (std::uint32_t id = 0; id < 4; ++id) sched.add_edge(id);
+  // Equal staleness everywhere; edge 2 is the suspicious one.
+  sched.note_risk(2);
+  const auto plan = sched.plan_round();
+  ASSERT_FALSE(plan.empty());
+  EXPECT_EQ(plan[0], 2u);
+}
+
+TEST(FleetSchedulerTest, FailedAuditSpikesRiskAndCleanAuditsDecayIt) {
+  FleetScheduler sched(config_with_budget(2));
+  sched.add_edge(0);
+  sched.add_edge(1);
+  (void)sched.plan_round();
+  sched.record(0, /*pass=*/false);
+  sched.record(1, /*pass=*/true);
+  sched.finish_round();
+  EXPECT_GT(sched.risk(0), 0.0);
+  EXPECT_EQ(sched.risk(1), 0.0);
+  const double spiked = sched.risk(0);
+  (void)sched.plan_round();
+  sched.record(0, /*pass=*/true);
+  sched.finish_round();
+  EXPECT_LT(sched.risk(0), spiked);
+  // Repeated failures saturate at the cap instead of growing unboundedly.
+  for (int i = 0; i < 10; ++i) {
+    (void)sched.plan_round();
+    sched.record(0, false);
+    sched.finish_round();
+  }
+  EXPECT_LE(sched.risk(0), 16.0 + 1e-9);
+}
+
+TEST(FleetSchedulerTest, PlanIsDeterministicAndWithinBudgetPlusForced) {
+  FleetScheduler sched(config_with_budget(3));
+  for (std::uint32_t id = 0; id < 10; ++id) sched.add_edge(id);
+  const auto a = sched.plan_round();
+  const auto b = sched.plan_round();
+  EXPECT_EQ(a, b);
+  EXPECT_LE(a.size(), 3u + 10u);  // budget + (at most) every forced edge
+  const std::set<std::uint32_t> unique(a.begin(), a.end());
+  EXPECT_EQ(unique.size(), a.size()) << "an edge planned twice in one round";
+}
+
+/// Starvation-freedom: even with a hot set of permanently failing edges
+/// soaking up the whole scored budget, every clean edge keeps getting
+/// audited and no edge's staleness ever exceeds the bound.
+TEST(FleetSchedulerTest, CleanEdgesAreNeverStarvedByRiskyOnes) {
+  constexpr std::size_t kEdges = 24;
+  FleetScheduler sched(config_with_budget(3));
+  for (std::uint32_t id = 0; id < kEdges; ++id) sched.add_edge(id);
+  const std::size_t bound = sched.staleness_bound();
+
+  std::map<std::uint32_t, std::size_t> audits;
+  for (std::size_t round = 0; round < 6 * bound; ++round) {
+    for (const std::uint32_t id : sched.plan_round()) {
+      // Edges 0..2 fail every audit, pinning their risk at the cap.
+      sched.record(id, /*pass=*/id > 2);
+      ++audits[id];
+    }
+    sched.finish_round();
+    for (std::uint32_t id = 0; id < kEdges; ++id) {
+      ASSERT_LE(sched.staleness(id), bound)
+          << "edge " << id << " starved at round " << round;
+    }
+  }
+  for (std::uint32_t id = 0; id < kEdges; ++id) {
+    EXPECT_GE(audits[id], 2u) << "edge " << id << " was never re-audited";
+  }
+}
+
+/// Bounded detection: wherever the fleet is in its schedule, an edge that
+/// starts failing is audited (= the corruption detected) within
+/// staleness_bound rounds.
+TEST(FleetSchedulerTest, AnyEdgeIsAuditedWithinTheStalenessBound) {
+  constexpr std::size_t kEdges = 30;
+  FleetScheduler sched(config_with_budget(4));
+  for (std::uint32_t id = 0; id < kEdges; ++id) sched.add_edge(id);
+  const std::size_t bound = sched.staleness_bound();
+
+  // Warm the schedule into an arbitrary mid-operation state.
+  for (std::size_t round = 0; round < 7; ++round) {
+    for (const std::uint32_t id : sched.plan_round()) sched.record(id, true);
+    sched.finish_round();
+  }
+  // "Corrupt" edge 17: from this round on its audits fail. Count rounds
+  // until the scheduler first visits it.
+  std::size_t lag = 0;
+  bool audited = false;
+  for (; lag <= bound && !audited; ++lag) {
+    for (const std::uint32_t id : sched.plan_round()) {
+      sched.record(id, id != 17);
+      if (id == 17) audited = true;
+    }
+    sched.finish_round();
+  }
+  EXPECT_TRUE(audited);
+  EXPECT_LE(lag, bound);
+}
+
+TEST(FleetSchedulerTest, AutoBoundTracksFleetAndBudget) {
+  FleetScheduler sched(config_with_budget(8));
+  for (std::uint32_t id = 0; id < 100; ++id) sched.add_edge(id);
+  // 2 * ceil(100 / 8) = 26.
+  EXPECT_EQ(sched.staleness_bound(), 26u);
+  FleetSchedulerConfig pinned = config_with_budget(8);
+  pinned.max_staleness = 5;
+  FleetScheduler explicit_bound(pinned);
+  explicit_bound.add_edge(0);
+  EXPECT_EQ(explicit_bound.staleness_bound(), 5u);
+}
+
+}  // namespace
+}  // namespace ice::proto

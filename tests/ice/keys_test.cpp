@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "bignum/fixed_base.h"
 #include "bignum/montgomery.h"
 #include "bignum/prime.h"
 #include "common/error.h"
@@ -101,6 +102,23 @@ TEST_F(KeysTest, DistinctSeedsGiveDistinctGenerators) {
   const KeyPair b = ice::testing::test_keypair_256(2);
   EXPECT_EQ(a.pk.n, b.pk.n);  // same fixture primes
   EXPECT_NE(a.pk.g, b.pk.g);  // fresh generator draw
+}
+
+// Key setup eagerly warms the shared context's Lim-Lee comb for g, so the
+// FIRST audit after keygen runs at steady-state cost instead of paying the
+// whole table build on its critical path (the first-vs-steady-state cliff;
+// see FixedBaseCacheTest.WarmEagerlyBuildsAndCachesTheComb for the
+// comb-level regression).
+TEST_F(KeysTest, KeygenWarmsTheSharedCombForTheGenerator) {
+  const KeyPair kp = ice::testing::test_keypair_256();
+  const auto mont = bn::Montgomery::shared(kp.pk.n);
+  ASSERT_GE(mont->fixed_base_cache_size(), 1u);
+  const std::size_t warmed = mont->fixed_base_cache_size();
+  // The hot-path lookup the first challenge performs must be a pure cache
+  // hit: same comb, no new entry, capacity already audit-sized.
+  const auto comb = mont->fixed_base(kp.pk.g, kp.pk.n.bit_length());
+  EXPECT_EQ(mont->fixed_base_cache_size(), warmed);
+  EXPECT_GE(comb->capacity_bits(), kp.pk.n.bit_length());
 }
 
 }  // namespace

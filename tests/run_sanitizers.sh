@@ -12,6 +12,12 @@
 # epoch protocol (UpdateEpochTest.ConcurrentUpdatesAppendsAndAuditsAreRaceFree,
 # ShardServiceTest.ConcurrentUpdatesAndShardedRetrievals) plus the
 # cross-shard differential suite in shard_audit_test and smoke_bench_shards.
+# The online/offline split adds its own TSan targets: the OfflineWorker's
+# refill task racing try_acquire/rekey on the sharded ChallengePool
+# (OfflineWorkerTest.StopDuringRefillDoesNotRace,
+# ConcurrentRekeyNeverLeavesStaleBundles), the pool-served vs cold-path
+# service differential (OfflineServiceTest.*), and the fleet simulation's
+# scheduler loop over pooled challenges (FleetSimTest.*, smoke_bench_fleet).
 # ASan/UBSan covers the big-integer and PIR kernels, including the
 # multiexp/fixed_base differential tests in bignum_test (MultiExpTest.*,
 # FixedBaseTest.*) that pin the engine to Montgomery::pow.
