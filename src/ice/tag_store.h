@@ -11,8 +11,16 @@
 // shards they touch. `shard_budget` = 0 keeps the paper's monolithic layout;
 // the legacy single-shard surface (`embedding()`, `respond()`) remains for
 // that case and throws on a sharded store.
+//
+// Since PR 9 the store runs the epoch engine (DESIGN.md §15): `update()`
+// stages into the next epoch, `close_epoch()` merges, and audit sessions
+// take a SnapshotPin for their whole lifetime. A pin is advisory — the
+// hard snapshot guarantee comes from the sharded server's structure lock —
+// but it lets a non-forced close refuse while audits are in flight instead
+// of failing them, and it feeds the pins_active counter.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <vector>
@@ -24,6 +32,20 @@
 #include "pir/sharded_server.h"
 
 namespace ice::proto {
+
+/// RAII snapshot pin held by an audit session (stashed in session state, so
+/// it must survive thread handoff: a shared_ptr with a counting deleter,
+/// not a shared_mutex — unlock_shared from another thread would be UB).
+/// Releasing the last copy decrements the store's active-pin count.
+using SnapshotPin = std::shared_ptr<const void>;
+
+/// Store-level epoch counters (ISSUE 9 satellite: stats surface).
+struct StoreEpochStats {
+  pir::EpochStats db;                // aggregated across shards
+  std::uint64_t pins_taken = 0;      // lifetime SnapshotPin count
+  std::uint64_t pins_active = 0;     // currently outstanding
+  std::uint64_t closes_skipped = 0;  // non-forced closes refused by pins
+};
 
 class TagStore {
  public:
@@ -58,11 +80,38 @@ class TagStore {
     return server_.tag(index);
   }
 
-  /// Replaces the tag of an updated block (data dynamics). Serialized
-  /// against queries only on the owning shard.
+  /// Stages the replacement tag of an updated block (data dynamics) into
+  /// the next epoch. Lock-light: rides alongside queries of the same shard
+  /// and stays invisible until close_epoch().
   void update(std::size_t index, const bn::BigInt& tag) {
     server_.update(index, tag);
   }
+
+  /// Legacy direct-write baseline (bench_updates A/B arm): exclusive
+  /// content lock + full plane invalidation on the owning shard.
+  void update_in_place(std::size_t index, const bn::BigInt& tag) {
+    server_.update_in_place(index, tag);
+  }
+
+  /// Pins the current epoch snapshot for the lifetime of the returned
+  /// handle. Cheap (one atomic increment); copies share the same pin.
+  [[nodiscard]] SnapshotPin pin() const;
+  [[nodiscard]] std::uint64_t pins_active() const {
+    return latch_->load(std::memory_order_acquire);
+  }
+
+  /// Merges staged updates and advances the epoch. With `force` false the
+  /// close is refused (closed=false, nothing merged) while any SnapshotPin
+  /// is outstanding — operator tooling defers rather than invalidating
+  /// in-flight audits. The verifier-driven path (UserClient) forces: its
+  /// own epoch gate already excludes its audits.
+  pir::EpochCloseResult close_epoch(bool force = false);
+
+  /// Rows staged for the next epoch across all shards.
+  [[nodiscard]] std::size_t staged_updates() const {
+    return server_.staged_updates();
+  }
+  [[nodiscard]] StoreEpochStats epoch_stats() const;
 
   /// Appends a tag for a newly outsourced block; may split the tail shard.
   /// Structural: bumps the shard-map epoch. Returns the new global index.
@@ -86,6 +135,12 @@ class TagStore {
 
  private:
   pir::ShardedTagServer server_;
+  // Pin latch: shared with every outstanding SnapshotPin's deleter, so a
+  // pin released after the store is gone (session purged late) is safe.
+  std::shared_ptr<std::atomic<std::uint64_t>> latch_ =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
+  mutable std::atomic<std::uint64_t> pins_taken_{0};
+  std::atomic<std::uint64_t> closes_skipped_{0};
 };
 
 /// User-side helper: retrieves tags for `indices` from two TagStore replicas

@@ -50,6 +50,8 @@ TpaService::TpaService(pir::EvalStrategy strategy, std::size_t parallelism,
                bind(&TpaService::on_split_shard));
   dispatch_.on(kTpaAppendTag, "append_tag",
                bind(&TpaService::on_append_tag));
+  dispatch_.on(kTpaCloseEpoch, "close_epoch",
+               bind(&TpaService::on_close_epoch));
 }
 
 Bytes TpaService::handle(std::uint16_t method, BytesView request) {
@@ -65,6 +67,12 @@ void TpaService::register_edge(std::uint32_t edge_id,
 bool TpaService::has_tags() const {
   std::shared_lock lock(store_mu_);
   return store_ != nullptr;
+}
+
+StoreEpochStats TpaService::epoch_stats() const {
+  std::shared_lock lock(store_mu_);
+  if (store_ == nullptr) return {};
+  return store_->epoch_stats();
 }
 
 std::pair<PublicKey, ProtocolParams> TpaService::config_snapshot() const {
@@ -183,6 +191,13 @@ void TpaService::on_start_audit(net::Reader& r, net::Writer&) {
   if (!pooled) {
     session.challenge = make_challenge(pk, params, rng_, session.secret);
   }
+  {
+    // Pin the epoch snapshot for the session's lifetime (DESIGN.md §15):
+    // a non-forced close_epoch defers while this audit is in flight. The
+    // pin dies with the session — consumed, aborted or TTL-purged.
+    std::shared_lock store_lock(store_mu_);
+    if (store_ != nullptr) session.store_pin = store_->pin();
+  }
   const Challenge challenge = session.challenge;
   // Park the session in kChallenging state BEFORE the round trip so a
   // concurrent start_audit on the same nonce is refused, then challenge
@@ -281,6 +296,11 @@ void TpaService::on_batch_begin(net::Reader& r, net::Writer& w) {
   }
   if (!pooled) base = make_batch_base(pk, rng_, batch.secret);
   batch.expected_proofs = num_edges;
+  {
+    // Same snapshot pin as start_audit, held for the whole batch round.
+    std::shared_lock store_lock(store_mu_);
+    if (store_ != nullptr) batch.store_pin = store_->pin();
+  }
   switch (batches_.try_emplace(id, std::move(batch))) {
     case SessionTable<BatchSession>::Insert::kExists:
       throw ServiceError(Status::kAlreadyExists, "batch id already in use");
@@ -337,21 +357,28 @@ void TpaService::on_batch_finish(net::Reader& r, net::Writer& w) {
   w.u8(pass ? 1 : 0);
 }
 
-void TpaService::on_update_tag(net::Reader& r, net::Writer&) {
+void TpaService::on_update_tag(net::Reader& r, net::Writer& w) {
   const auto index = static_cast<std::size_t>(r.varint());
   const bn::BigInt tag = r.bigint();
   r.expect_done();
-  // SHARED service lock: the store pointer stays put; TagStore::update
-  // serializes against queries on the owning shard's own content lock, so
-  // an update no longer stalls audits of every other shard.
+  // SHARED service lock: the store pointer stays put, and TagStore::update
+  // only stages into the delta plane — an update storm rides alongside
+  // in-flight audits (snapshot isolation, DESIGN.md §15).
   std::shared_lock lock(store_mu_);
   if (store_ == nullptr) {
     throw ServiceError(Status::kFailedPrecondition, "no tags stored");
   }
+  // Typed kInvalidArgument envelopes for hostile wire input: a caller must
+  // never be able to turn a bad index or oversized tag into anything but a
+  // clean refusal (ISSUE 9 hardening satellite).
   if (index >= store_->n()) {
-    throw ServiceError(Status::kNotFound, "tag index out of range");
+    throw ServiceError(Status::kInvalidArgument, "tag index out of range");
+  }
+  if (tag.is_negative() || tag.bit_length() > store_->tag_bits()) {
+    throw ServiceError(Status::kInvalidArgument, "tag out of range for K bits");
   }
   store_->update(index, tag);
+  w.u64(store_->epoch());  // the epoch the update was staged under
 }
 
 void TpaService::on_shard_map(net::Reader& r, net::Writer& w) {
@@ -384,6 +411,11 @@ void TpaService::on_split_shard(net::Reader& r, net::Writer& w) {
   if (store_ == nullptr) {
     throw ServiceError(Status::kFailedPrecondition, "no tags stored");
   }
+  // Explicit typed refusal before the store throws ParamError deeper down:
+  // a hostile shard id is a caller bug, not a service precondition.
+  if (shard >= store_->num_shards()) {
+    throw ServiceError(Status::kInvalidArgument, "shard id out of range");
+  }
   store_->split(shard);  // takes the store's structure lock exclusively
   w.u64(store_->epoch());
 }
@@ -395,9 +427,25 @@ void TpaService::on_append_tag(net::Reader& r, net::Writer& w) {
   if (store_ == nullptr) {
     throw ServiceError(Status::kFailedPrecondition, "no tags stored");
   }
+  if (tag.is_negative() || tag.bit_length() > store_->tag_bits()) {
+    throw ServiceError(Status::kInvalidArgument, "tag out of range for K bits");
+  }
   const std::size_t index = store_->append(tag);
   w.varint(index);
   w.u64(store_->epoch());
+}
+
+void TpaService::on_close_epoch(net::Reader& r, net::Writer& w) {
+  const bool force = r.u8() != 0;
+  r.expect_done();
+  std::shared_lock lock(store_mu_);
+  if (store_ == nullptr) {
+    throw ServiceError(Status::kFailedPrecondition, "no tags stored");
+  }
+  const pir::EpochCloseResult result = store_->close_epoch(force);
+  w.u8(result.closed ? 1 : 0);
+  w.u64(result.epoch);
+  w.varint(result.rows_merged);
 }
 
 void TpaClient::set_key(const PublicKey& pk,
@@ -455,12 +503,26 @@ bn::BigInt TpaClient::batch_begin(std::uint64_t batch_id,
   return r.bigint();
 }
 
-void TpaClient::update_tag(std::size_t index, const bn::BigInt& tag) const {
+std::uint64_t TpaClient::update_tag(std::size_t index,
+                                    const bn::BigInt& tag) const {
   net::Writer w;
   w.varint(index);
   w.bigint(tag);
   const net::PooledBytes raw = net::call_pooled(*channel_, kTpaUpdateTag, std::move(w));
-  unwrap(raw);
+  net::Reader r = unwrap(raw);
+  return r.u64();
+}
+
+TpaClient::CloseEpochReply TpaClient::close_epoch(bool force) const {
+  net::Writer w;
+  w.u8(force ? 1 : 0);
+  const net::PooledBytes raw = net::call_pooled(*channel_, kTpaCloseEpoch, std::move(w));
+  net::Reader r = unwrap(raw);
+  CloseEpochReply reply;
+  reply.closed = r.u8() == 1;
+  reply.epoch = r.u64();
+  reply.rows_merged = r.varint();
+  return reply;
 }
 
 pir::ShardMap TpaClient::shard_map() const {

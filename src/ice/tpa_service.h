@@ -66,6 +66,11 @@ class TpaService final : public net::RpcHandler {
   /// Direct state access for tests.
   [[nodiscard]] bool has_tags() const;
 
+  /// Epoch-engine observability (DESIGN.md §15): merge/rebuild counters
+  /// aggregated across shards plus snapshot-pin gauges. All zero before
+  /// tags are stored. Thread-safe.
+  [[nodiscard]] StoreEpochStats epoch_stats() const;
+
   /// Tamper-evident record of every verdict this TPA issued. Read it only
   /// while no audit is in flight (appends are internally serialized, reads
   /// through this accessor are not).
@@ -94,6 +99,7 @@ class TpaService final : public net::RpcHandler {
   void on_shard_query(net::Reader& r, net::Writer& w);
   void on_split_shard(net::Reader& r, net::Writer& w);
   void on_append_tag(net::Reader& r, net::Writer& w);
+  void on_close_epoch(net::Reader& r, net::Writer& w);
 
   /// Copies the key + params under the shared config lock; throws
   /// ServiceError(kFailedPrecondition) before set_key.
@@ -153,8 +159,21 @@ class TpaClient {
   /// ICE-batch: closes the batch with the repacked union tags.
   [[nodiscard]] bool batch_finish(std::uint64_t batch_id,
                                   const std::vector<bn::BigInt>& tags) const;
-  /// Data dynamics: replaces the stored tag of one block.
-  void update_tag(std::size_t index, const bn::BigInt& tag) const;
+  /// Data dynamics: stages the replacement tag of one block into the next
+  /// epoch (invisible to retrievals until close_epoch). Returns the epoch
+  /// the update was staged under. A hostile index or out-of-range tag is
+  /// refused with RemoteError kInvalidArgument.
+  std::uint64_t update_tag(std::size_t index, const bn::BigInt& tag) const;
+  /// What one kTpaCloseEpoch call did at this replica.
+  struct CloseEpochReply {
+    bool closed = false;
+    std::uint64_t epoch = 0;
+    std::uint64_t rows_merged = 0;
+  };
+  /// Merges staged updates into the readable snapshot. With force=false
+  /// the TPA refuses (closed=false) while audit sessions hold snapshot
+  /// pins; the verifier-driven UserClient path forces.
+  [[nodiscard]] CloseEpochReply close_epoch(bool force) const;
   /// Current shard map (epoch + per-shard sizes); the user builds its
   /// ShardPlanner from this.
   [[nodiscard]] pir::ShardMap shard_map() const;

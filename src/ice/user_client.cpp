@@ -128,13 +128,45 @@ void UserClient::forget_updated_block(std::size_t index) {
                 [index](const auto& e) { return e.first == index; });
 }
 
+std::uint64_t UserClient::update_block(std::size_t index, BytesView content) {
+  if (n_ == 0 || index >= n_) {
+    throw ParamError("update_block: bad index or no file");
+  }
+  const bn::BigInt tag = tagger_.tag(content);
+  const std::uint64_t epoch0 = TpaClient(*tpa0_).update_tag(index, tag);
+  const std::uint64_t epoch1 = TpaClient(*tpa1_).update_tag(index, tag);
+  if (epoch0 != epoch1) {
+    throw ProtocolError("update_block: TPA replicas disagree");
+  }
+  return epoch0;
+}
+
+bool UserClient::close_epochs() {
+  // Exclusive gate: no audit of ours is mid-flight, so forcing past the
+  // TPA-side pins is safe — the pins protect audits, and ours are the only
+  // ones against this file.
+  std::unique_lock gate(epoch_gate_);
+  const auto r0 = TpaClient(*tpa0_).close_epoch(/*force=*/true);
+  const auto r1 = TpaClient(*tpa1_).close_epoch(/*force=*/true);
+  if (r0.closed != r1.closed || r0.epoch != r1.epoch) {
+    throw ProtocolError("close_epochs: TPA replicas disagree");
+  }
+  if (r0.closed) {
+    // The map epoch moved; drop the planner now instead of paying a
+    // stale-plan round trip on the next retrieval.
+    invalidate_planner();
+  }
+  return r0.closed;
+}
+
 void UserClient::commit_updated_block(std::size_t index, BytesView content) {
   if (n_ == 0 || index >= n_) {
     throw ParamError("commit_updated_block: bad index or no file");
   }
-  const bn::BigInt tag = tagger_.tag(content);
-  TpaClient(*tpa0_).update_tag(index, tag);
-  TpaClient(*tpa1_).update_tag(index, tag);
+  update_block(index, content);
+  close_epochs();
+  // Only forget after the close: until the merge lands, audits must keep
+  // repacking this block's tag from the note.
   forget_updated_block(index);
 }
 
@@ -148,6 +180,9 @@ void UserClient::note_updated_block(std::size_t index, Bytes new_content) {
 bool UserClient::audit_edge(net::RpcChannel& edge_channel,
                             std::uint32_t edge_id) {
   if (n_ == 0) throw ProtocolError("audit_edge: no file");
+  // Shared epoch gate: close_epochs cannot land between our tag retrieval
+  // and the verdict, so the whole audit reads one epoch snapshot.
+  std::shared_lock gate(epoch_gate_);
   const EdgeClient edge(edge_channel);
   const TpaClient tpa(*tpa0_);
 
@@ -204,6 +239,7 @@ LocalizationResult UserClient::localize_corruption(
   if (n_ == 0) {
     throw ProtocolError("localize_corruption: no file");
   }
+  std::shared_lock gate(epoch_gate_);
   const EdgeClient edge(edge_channel);
   const std::vector<std::size_t> s_j = edge.index_query();
   std::vector<bn::BigInt> tags = retrieve_tags(s_j);
@@ -224,6 +260,7 @@ bool UserClient::audit_edges_batch(
   if (edge_channels.empty()) {
     throw ParamError("audit_edges_batch: no edges");
   }
+  std::shared_lock gate(epoch_gate_);
   const TpaClient tpa(*tpa0_);
 
   // IndexQuery every edge (fast local links).

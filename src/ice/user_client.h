@@ -18,6 +18,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "bignum/random.h"
@@ -68,9 +69,26 @@ class UserClient {
   /// lost to corruption and rolled back to the cloud version).
   void forget_updated_block(std::size_t index);
 
-  /// Data dynamics: once an update has been written back to the CSP, store
-  /// its fresh tag at BOTH TPAs and drop the session note. Afterwards
-  /// ordinary audits cover the new content with no special casing.
+  /// Data dynamics, storm path: re-tags the block and STAGES the fresh tag
+  /// at both TPAs under the current epoch (TagDatabase delta plane). The
+  /// tag is invisible to retrievals until close_epochs() merges it — so an
+  /// update storm never perturbs concurrent audits — and the session note
+  /// must stay in place until then. Returns the epoch staged under; throws
+  /// ProtocolError when the replicas disagree.
+  std::uint64_t update_block(std::size_t index, BytesView content);
+
+  /// Closes the epoch at BOTH TPAs in lockstep (forced: the client-side
+  /// epoch gate, not TPA pins, protects this client's own audits — the
+  /// call excludes them by taking the gate exclusively). Returns true when
+  /// staged rows merged; the cached planner is dropped in that case (the
+  /// map epoch moved).
+  bool close_epochs();
+
+  /// Data dynamics, synchronous path: once an update has been written back
+  /// to the CSP, stages its fresh tag at BOTH TPAs, closes the epoch, and
+  /// drops the session note. Afterwards ordinary audits cover the new
+  /// content with no special casing. Blocks until in-flight audits of this
+  /// client release the epoch gate.
   void commit_updated_block(std::size_t index, BytesView content);
 
   /// Snapshot of the blocks updated this session and not yet committed.
@@ -122,6 +140,12 @@ class UserClient {
   void invalidate_planner();
 
   std::size_t n_ = 0;
+  /// Epoch gate (DESIGN.md §15): audit flows hold it shared for their full
+  /// duration; close_epochs takes it exclusively. Replica epochs therefore
+  /// never move mid-audit FOR THIS CLIENT's audits — which is why closes
+  /// force past the TPA-side advisory pins. Only top-level entry points
+  /// lock it (shared_mutex is not recursive).
+  mutable std::shared_mutex epoch_gate_;
   mutable std::mutex planner_mu_;
   std::shared_ptr<const ShardPlanner> planner_;
   crypto::SharedCsprng rng_;

@@ -48,12 +48,15 @@ enum Method : std::uint16_t {
   kTpaBatchBegin = 305,     // (batch_id, num_edges) -> (g_s)
   kTpaSubmitProof = 306,    // (batch_id, proof) -> ()
   kTpaBatchFinish = 307,    // (batch_id, [tag]...) -> (verdict)
-  kTpaUpdateTag = 308,      // (index, tag) -> (); data dynamics
+  kTpaUpdateTag = 308,      // (index, tag) -> (epoch); stages into
+                            // the next epoch (data dynamics)
   kTpaShardMap = 309,       // () -> (epoch, [shard size]...)
   kTpaShardQuery = 310,     // ShardedPirQuery -> ShardedPirResponse;
                             // stale epoch -> kFailedPrecondition
   kTpaSplitShard = 311,     // (shard) -> (epoch); operator rebalance
   kTpaAppendTag = 312,      // (tag) -> (index, epoch); new outsourced block
+  kTpaCloseEpoch = 313,     // (force u8) -> (closed u8, epoch, rows merged);
+                            // merges staged updates (DESIGN.md §15)
 };
 
 // Client stubs unwrap responses with net::unwrap (net/dispatch.h), which

@@ -32,6 +32,32 @@ std::size_t ZipfWorkload::next(SplitMix64& rng) {
   return static_cast<std::size_t>(it - cdf_.begin());
 }
 
+MixedWorkload::MixedWorkload(std::unique_ptr<WorkloadGenerator> reads,
+                             std::unique_ptr<WorkloadGenerator> writes,
+                             double write_fraction)
+    : reads_(std::move(reads)),
+      writes_(std::move(writes)),
+      write_fraction_(write_fraction) {
+  if (reads_ == nullptr || writes_ == nullptr) {
+    throw ParamError("MixedWorkload: null generator");
+  }
+  if (reads_->universe() != writes_->universe()) {
+    throw ParamError("MixedWorkload: read/write universes differ");
+  }
+  if (write_fraction < 0 || write_fraction > 1) {
+    throw ParamError("MixedWorkload: write_fraction must be in [0, 1]");
+  }
+}
+
+AccessOp MixedWorkload::next_op(SplitMix64& rng) {
+  AccessOp op;
+  op.write = rng.uniform01() < write_fraction_;
+  op.index = op.write ? writes_->next(rng) : reads_->next(rng);
+  return op;
+}
+
+std::size_t MixedWorkload::next(SplitMix64& rng) { return next_op(rng).index; }
+
 HotspotWorkload::HotspotWorkload(std::size_t n, std::size_t hot_count,
                                  double hot_fraction)
     : n_(n), hot_count_(hot_count), hot_fraction_(hot_fraction) {

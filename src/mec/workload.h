@@ -45,6 +45,43 @@ class ZipfWorkload final : public WorkloadGenerator {
   std::vector<double> cdf_;
 };
 
+/// One access of a read/write mixed stream.
+struct AccessOp {
+  std::size_t index = 0;
+  bool write = false;
+};
+
+/// Read/write mixed stream: each op is a write with probability
+/// `write_fraction`, and reads/writes draw their indexes from separate
+/// generators (real edge traffic skews differently — e.g. Zipf reads over
+/// the whole file vs uniform writes over a working set). Feeds the
+/// update-storm sim scenario and bench_updates.
+class MixedWorkload final : public WorkloadGenerator {
+ public:
+  /// Both generators must cover the same universe. `write_fraction` in
+  /// [0, 1]; 0 degenerates to the read generator, 1 to the write one.
+  MixedWorkload(std::unique_ptr<WorkloadGenerator> reads,
+                std::unique_ptr<WorkloadGenerator> writes,
+                double write_fraction);
+
+  /// Full op draw: kind first, then the index from that kind's generator
+  /// (so the read stream is unperturbed by the write mix, given one RNG
+  /// per consumer).
+  AccessOp next_op(SplitMix64& rng);
+
+  /// WorkloadGenerator surface: index of next_op (kind discarded).
+  std::size_t next(SplitMix64& rng) override;
+  [[nodiscard]] std::size_t universe() const override {
+    return reads_->universe();
+  }
+  [[nodiscard]] double write_fraction() const { return write_fraction_; }
+
+ private:
+  std::unique_ptr<WorkloadGenerator> reads_;
+  std::unique_ptr<WorkloadGenerator> writes_;
+  double write_fraction_;
+};
+
 /// Hotspot: a fraction of accesses hits a small hot set, the rest uniform.
 class HotspotWorkload final : public WorkloadGenerator {
  public:

@@ -213,14 +213,15 @@ PirSingleResponse PirServer::eval_matrix(const GF4Vector& q) const {
     for (std::size_t pi = plane_begin; pi < plane_end; ++pi) {
       GF4 value;
       std::fill(grad.begin(), grad.end(), GF4::zero());
-      for (std::uint32_t i : db_->plane(pi)) {  // only nonzero coefficients
+      // only nonzero coefficients; the view applies the epoch overlay
+      db_->plane(pi).for_each([&](std::uint32_t i) {
         const MonomialEval& e = evals[i];
         const Embedding::Triple& t = triples[i];
         value += e.mono;
         grad[t[0]] += e.deriv[0];
         grad[t[1]] += e.deriv[1];
         grad[t[2]] += e.deriv[2];
-      }
+      });
       out.values[pi] = value;
       for (std::size_t j = 0; j < gamma; ++j) out.gradients[j][pi] = grad[j];
     }
@@ -378,19 +379,20 @@ void PirServer::eval_matrix_batch(const std::vector<GF4Vector>& qs,
   parallel_chunks(k, parallelism_, [&](std::size_t, std::size_t plane_begin,
                                        std::size_t plane_end) {
     for (std::size_t pi = plane_begin; pi < plane_end; ++pi) {
-      const std::vector<std::uint32_t>& plane = db_->plane(pi);
+      const PlaneView plane = db_->plane(pi);
       for (std::size_t p = 0; p < m; ++p) {
         const MonomialEval* const pev = ev + p * n;
         GF4 value;
         PirSingleResponse& entry = out.entries[p];
-        for (std::uint32_t i : plane) {  // only nonzero coefficients
+        // only nonzero coefficients; the view applies the epoch overlay
+        plane.for_each([&](std::uint32_t i) {
           const MonomialEval& e = pev[i];
           const Embedding::Triple& t = triples[i];
           value += e.mono;
           entry.gradients[t[0]][pi] += e.deriv[0];
           entry.gradients[t[1]][pi] += e.deriv[1];
           entry.gradients[t[2]][pi] += e.deriv[2];
-        }
+        });
         entry.values[pi] = value;
       }
     }

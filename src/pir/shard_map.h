@@ -83,6 +83,12 @@ class ShardMap {
   /// true when the append triggered a split.
   bool append_index();
 
+  /// Content-epoch bump with no structural change: an epoch close that
+  /// merged staged rows changed tag values (hence correct proofs), so a
+  /// client plan minted before the close must be detectably stale even
+  /// though every range is unchanged. DESIGN.md §15.
+  void bump_epoch() { ++epoch_; }
+
   /// Rendezvous placement: the id in `group_ids` whose mixed score with
   /// `shard_key` is highest (ties break toward the smaller id). Throws
   /// ParamError on an empty group set.

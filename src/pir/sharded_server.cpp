@@ -63,8 +63,60 @@ void ShardedTagServer::update(std::size_t index, const bn::BigInt& tag) {
   std::shared_lock structure(structure_mu_);
   const std::size_t s = map_.shard_of(index);
   Shard& shard = *shards_[s];
-  std::unique_lock content(shard.mu);
+  // Shared content lock: staging is internally synchronized and never
+  // touches base rows, so updates ride alongside queries of this shard.
+  std::shared_lock content(shard.mu);
   shard.db.update(index - map_.range(s).begin, tag);
+}
+
+void ShardedTagServer::update_in_place(std::size_t index,
+                                       const bn::BigInt& tag) {
+  std::shared_lock structure(structure_mu_);
+  const std::size_t s = map_.shard_of(index);
+  Shard& shard = *shards_[s];
+  std::unique_lock content(shard.mu);
+  shard.db.update_in_place(index - map_.range(s).begin, tag);
+}
+
+EpochCloseResult ShardedTagServer::close_epoch() {
+  std::unique_lock structure(structure_mu_);
+  EpochCloseResult out;
+  for (auto& shard : shards_) {
+    const EpochMergeStats m = shard->db.close_epoch();
+    out.rows_merged += m.rows_merged;
+    if (m.planes_rebuilt) ++out.plane_rebuilds;
+  }
+  if (out.rows_merged > 0) {
+    // Content changed: plans minted before the close would decode the new
+    // tags against pre-close expectations, so the epoch must move. An
+    // empty close leaves planners valid.
+    map_.bump_epoch();
+    out.closed = true;
+  }
+  out.epoch = map_.epoch();
+  return out;
+}
+
+std::size_t ShardedTagServer::staged_updates() const {
+  std::shared_lock structure(structure_mu_);
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->db.staged_updates();
+  return total;
+}
+
+EpochStats ShardedTagServer::epoch_stats() const {
+  std::shared_lock structure(structure_mu_);
+  EpochStats out;
+  for (const auto& shard : shards_) {
+    const EpochStats s = shard->db.epoch_stats();
+    out.epochs_closed += s.epochs_closed;
+    out.rows_merged += s.rows_merged;
+    out.plane_rebuilds += s.plane_rebuilds;
+    out.rebuilds_avoided += s.rebuilds_avoided;
+    out.staged_rows += s.staged_rows;
+    out.dirty_rows += s.dirty_rows;
+  }
+  return out;
 }
 
 std::vector<bn::BigInt> ShardedTagServer::drain_shard(std::size_t s) const {
@@ -86,7 +138,11 @@ void ShardedTagServer::rebuild_shard(std::size_t s,
 std::size_t ShardedTagServer::append(const bn::BigInt& tag) {
   std::unique_lock structure(structure_mu_);
   const std::size_t index = map_.n();
-  std::vector<bn::BigInt> tail = drain_shard(shards_.size() - 1);
+  const std::size_t last = shards_.size() - 1;
+  // drain_shard reads base rows only: staged updates must be carried over
+  // explicitly or a rebuild would silently drop the pending epoch.
+  const auto staged = shards_[last]->db.staged_snapshot();
+  std::vector<bn::BigInt> tail = drain_shard(last);
   tail.push_back(tag);
   const bool did_split = map_.append_index();
   if (did_split) {
@@ -94,18 +150,26 @@ std::size_t ShardedTagServer::append(const bn::BigInt& tag) {
     const ShardRange lo = map_.range(map_.num_shards() - 2);
     const ShardRange hi = map_.range(map_.num_shards() - 1);
     const std::size_t tail_begin = lo.begin;
-    rebuild_shard(shards_.size() - 1,
+    rebuild_shard(last,
                   std::span(tail).subspan(lo.begin - tail_begin, lo.size()));
     shards_.push_back(std::make_unique<Shard>(
         tag_bits_,
         std::span<const bn::BigInt>(tail).subspan(hi.begin - tail_begin,
                                                   hi.size()),
         strategy_, parallelism_));
+    for (const auto& [local, t] : staged) {
+      if (local < lo.size()) {
+        shards_[last]->db.update(local, t);
+      } else {
+        shards_[last + 1]->db.update(local - lo.size(), t);
+      }
+    }
   } else {
     // Same shard, one more row: the embedding domain (and possibly gamma)
     // changed, so the whole shard is rebuilt. Appends are the cold path;
     // steady-state updates go through update() and touch nothing here.
-    rebuild_shard(shards_.size() - 1, tail);
+    rebuild_shard(last, tail);
+    for (const auto& [local, t] : staged) shards_[last]->db.update(local, t);
   }
   return index;
 }
@@ -115,6 +179,7 @@ std::size_t ShardedTagServer::split(std::size_t s) {
   if (s >= shards_.size()) {
     throw ParamError("ShardedTagServer::split: shard out of range");
   }
+  const auto staged = shards_[s]->db.staged_snapshot();
   std::vector<bn::BigInt> tags = drain_shard(s);
   const std::size_t upper = map_.split(s);  // validates size >= 2
   const ShardRange lo = map_.range(s);
@@ -126,6 +191,14 @@ std::size_t ShardedTagServer::split(std::size_t s) {
           tag_bits_,
           std::span<const bn::BigInt>(tags).subspan(lo.size(), hi.size()),
           strategy_, parallelism_));
+  // Re-stage pending updates into whichever half owns them now.
+  for (const auto& [local, t] : staged) {
+    if (local < lo.size()) {
+      shards_[s]->db.update(local, t);
+    } else {
+      shards_[upper]->db.update(local - lo.size(), t);
+    }
+  }
   return upper;
 }
 

@@ -12,18 +12,19 @@
 // shard(s) a query touches but, within a shard, the weight-3 perturbation
 // hides the index exactly as in the monolithic layout.
 //
-// Locking (two levels, both reader-writer):
+// Locking (two levels, both reader-writer) + epochs (DESIGN.md §15):
 //   * `structure_mu_` guards the shard vector and the ShardMap. Queries,
-//     tag reads and in-place updates take it shared; `append`/`split` take
-//     it exclusive (they rebuild shard state and bump the map epoch).
-//     A fan-out therefore runs against one structural snapshot: a split
-//     cannot land mid-audit, and a query planned before a split fails the
-//     epoch check with the typed StaleShardMapError below.
-//   * Each shard's `mu` guards its CONTENT. Queries take it shared,
-//     `update` takes it exclusive — TagDatabase mutations must be
-//     serialized against readers (the plane cache is invalidated under
-//     this lock), but updates to one shard no longer block audits of any
-//     other shard, and never block the whole structure.
+//     tag reads and staged updates take it shared; `append`/`split`/
+//     `close_epoch` take it exclusive (they mutate base state and bump the
+//     map epoch). A fan-out therefore runs against one structural AND
+//     content snapshot: neither a split nor an epoch close can land
+//     mid-audit, and a query planned before either fails the epoch check
+//     with the typed StaleShardMapError below.
+//   * Each shard's `mu` guards its CONTENT for paths that edit base rows
+//     directly. Queries take it shared; `update` now STAGES into the
+//     TagDatabase delta plane and also takes it only shared — an update
+//     storm no longer excludes audits of the same shard. Only the legacy
+//     `update_in_place` baseline still takes it exclusive.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +52,14 @@ class StaleShardMapError : public ProtocolError {
   using ProtocolError::ProtocolError;
 };
 
+/// What one server-wide close_epoch() did.
+struct EpochCloseResult {
+  bool closed = false;            // false: no shard had staged rows
+  std::uint64_t epoch = 0;        // map epoch after the call
+  std::size_t rows_merged = 0;    // staged rows applied across all shards
+  std::size_t plane_rebuilds = 0; // shards whose overlay forced a rebuild
+};
+
 class ShardedTagServer {
  public:
   /// Builds the initial partition of `tags` with per-shard budget
@@ -74,9 +83,28 @@ class ShardedTagServer {
   /// Plain (non-private) tag read by global index.
   [[nodiscard]] bn::BigInt tag(std::size_t index) const;
 
-  /// Replaces the tag at global `index`. Takes the owning shard's content
-  /// lock exclusively; concurrent queries/updates on other shards proceed.
+  /// Stages a replacement for the tag at global `index` into the next
+  /// epoch (TagDatabase::update). Takes only SHARED locks: concurrent
+  /// queries of the same shard proceed, and the new tag stays invisible to
+  /// every read until close_epoch() merges it.
   void update(std::size_t index, const bn::BigInt& tag);
+
+  /// Legacy pre-epoch baseline: writes the row directly under the owning
+  /// shard's exclusive content lock and drops its plane cache. Kept for
+  /// the bench_updates A/B arm.
+  void update_in_place(std::size_t index, const bn::BigInt& tag);
+
+  /// Merges every shard's staged rows into its base state under the
+  /// exclusive structure lock, and bumps the map epoch iff any row merged
+  /// (so in-flight client plans turn detectably stale, but an empty close
+  /// never churns planners).
+  EpochCloseResult close_epoch();
+
+  /// Rows currently staged for the next epoch, across all shards.
+  [[nodiscard]] std::size_t staged_updates() const;
+
+  /// Aggregated epoch-engine counters across all shards.
+  [[nodiscard]] EpochStats epoch_stats() const;
 
   /// Appends a tag to the tail shard, splitting it when it outgrows the
   /// budget. Structural: bumps the epoch. Returns the new global index.

@@ -328,4 +328,103 @@ FleetReport run_fleet_simulation(const FleetConfig& config,
   return report;
 }
 
+UpdateStormReport run_update_storm_simulation(const UpdateStormConfig& config,
+                                              const KeyPair& keys,
+                                              std::uint64_t seed) {
+  if (config.rounds == 0 || config.ops_per_round == 0) {
+    throw ParamError("storm: rounds and ops_per_round must be >= 1");
+  }
+  if (config.close_every == 0) {
+    throw ParamError("storm: close_every must be >= 1");
+  }
+
+  SimConfig sim;
+  sim.n_blocks = config.n_blocks;
+  sim.block_bytes = config.block_bytes;
+  sim.cache_capacity = config.cache_capacity;
+  sim.parallelism = config.parallelism;
+  sim.shard_budget = config.shard_budget;
+  World world(sim, keys, seed);
+
+  SplitMix64 rng(seed ^ 0x5702f1);
+  mec::MixedWorkload workload(
+      std::make_unique<mec::ZipfWorkload>(config.n_blocks,
+                                          config.zipf_exponent),
+      std::make_unique<mec::HotspotWorkload>(config.n_blocks,
+                                             config.hot_blocks,
+                                             config.hot_fraction),
+      config.write_fraction);
+  const EdgeClient edge(world.edge_channel);
+  UpdateStormReport report;
+  SampleStats audit_latency;
+
+  // Delayed write-back boundary: push dirty blocks to the CSP, merge the
+  // staged tag delta into the readable epoch, then drop the session notes
+  // (from here the merged tags cover the new content directly).
+  auto flush_and_close = [&] {
+    Stopwatch sw;
+    report.blocks_written_back += edge.flush();
+    if (world.user.close_epochs()) ++report.epoch_closes;
+    for (const auto& [index, content] : world.user.updated_blocks()) {
+      (void)content;
+      world.user.forget_updated_block(index);
+    }
+    report.close_seconds_total += sw.seconds();
+  };
+
+  for (std::size_t round = 1; round <= config.rounds; ++round) {
+    for (std::size_t op = 0; op < config.ops_per_round; ++op) {
+      const mec::AccessOp access = workload.next_op(rng);
+      ++report.ops;
+      if (access.write) {
+        Bytes content(config.block_bytes);
+        for (auto& b : content) b = static_cast<std::uint8_t>(rng());
+        try {
+          edge.write(access.index, content);
+        } catch (const ProtocolError&) {
+          // Cache full of dirty blocks: write pressure forces the
+          // write-back + close early, as a real edge would.
+          flush_and_close();
+          edge.write(access.index, content);
+        }
+        // Stage the re-tag at both TPAs (invisible until the close) and
+        // note the update so mid-storm audits repack the fresh tag.
+        Stopwatch sw;
+        world.user.update_block(access.index, content);
+        report.update_seconds_total += sw.seconds();
+        ++report.updates_staged;
+        world.user.note_updated_block(access.index, std::move(content));
+      } else {
+        ++report.reads;
+        try {
+          (void)edge.read(access.index);
+        } catch (const ProtocolError&) {
+          flush_and_close();
+          (void)edge.read(access.index);
+        }
+      }
+    }
+    // The measured axis: a full audit mid-storm, staged delta outstanding.
+    Stopwatch sw;
+    const bool pass = world.user.audit_edge(world.edge_channel, 0);
+    audit_latency.add(sw.seconds());
+    ++report.audits;
+    if (!pass) ++report.failed_audits;
+    if (round % config.close_every == 0) flush_and_close();
+  }
+
+  report.rounds = config.rounds;
+  report.audit_seconds_mean =
+      audit_latency.empty() ? 0.0 : audit_latency.mean();
+  report.audit_seconds_p95 =
+      audit_latency.empty() ? 0.0 : audit_latency.percentile(95);
+  const StoreEpochStats stats = world.tpa0.epoch_stats();
+  report.epochs_closed = stats.db.epochs_closed;
+  report.rows_merged = stats.db.rows_merged;
+  report.plane_rebuilds = stats.db.plane_rebuilds;
+  report.rebuilds_avoided = stats.db.rebuilds_avoided;
+  report.pins_taken = stats.pins_taken;
+  return report;
+}
+
 }  // namespace ice::sim

@@ -133,4 +133,63 @@ FleetReport run_fleet_simulation(const FleetConfig& config,
                                  const proto::KeyPair& keys,
                                  std::uint64_t seed);
 
+/// Update-storm scenario (PR 9): measures update throughput and audit
+/// latency AGAINST each other on the epoch engine. A read/write mixed
+/// stream (mec::MixedWorkload: Zipf reads, hotspot writes) drives delayed
+/// write-back at the edge while every write re-tags its block and STAGES
+/// the fresh tag at both TPAs (UserClient::update_block); one full audit
+/// runs per round mid-storm; every `close_every` rounds the edge flushes
+/// to the CSP and the client closes the epoch at both TPAs, merging the
+/// accumulated delta. Audits must pass throughout — session notes cover
+/// dirty blocks before the close, merged tags after.
+struct UpdateStormConfig {
+  std::size_t n_blocks = 96;
+  std::size_t block_bytes = 256;
+  std::size_t cache_capacity = 24;
+  double zipf_exponent = 1.0;        // read popularity skew
+  std::size_t hot_blocks = 8;        // write working set
+  double hot_fraction = 0.8;         // share of writes landing in it
+  double write_fraction = 0.3;       // share of mixed ops that are writes
+  std::size_t rounds = 6;
+  std::size_t ops_per_round = 40;
+  std::size_t close_every = 2;       // rounds between flush + epoch close
+  std::size_t parallelism = 0;       // ProtocolParams convention
+  std::size_t shard_budget = 0;      // 0 = monolithic
+};
+
+struct UpdateStormReport {
+  std::size_t rounds = 0;
+  std::size_t ops = 0;
+  std::size_t reads = 0;
+  std::size_t updates_staged = 0;
+  std::size_t audits = 0;
+  std::size_t failed_audits = 0;     // always 0: snapshot isolation + notes
+  std::size_t epoch_closes = 0;      // close_epochs() calls that merged rows
+  std::size_t blocks_written_back = 0;
+  // Epoch-engine counters from the verifier TPA (TpaService::epoch_stats).
+  std::uint64_t epochs_closed = 0;
+  std::uint64_t rows_merged = 0;
+  std::uint64_t plane_rebuilds = 0;
+  std::uint64_t rebuilds_avoided = 0;
+  std::uint64_t pins_taken = 0;
+  // The two axes measured against each other (wall-clock; not
+  // deterministic, unlike every counter above).
+  double update_seconds_total = 0.0;  // staging time across all writes
+  double close_seconds_total = 0.0;   // flush + close_epochs time
+  double audit_seconds_mean = 0.0;
+  double audit_seconds_p95 = 0.0;
+
+  [[nodiscard]] double updates_per_second() const {
+    return update_seconds_total > 0.0
+               ? static_cast<double>(updates_staged) / update_seconds_total
+               : 0.0;
+  }
+};
+
+/// Runs the update-storm scenario. Verdicts and all counters except the
+/// wall-clock fields are deterministic for a fixed (config, keys, seed).
+UpdateStormReport run_update_storm_simulation(const UpdateStormConfig& config,
+                                              const proto::KeyPair& keys,
+                                              std::uint64_t seed);
+
 }  // namespace ice::sim

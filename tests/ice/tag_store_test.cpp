@@ -38,12 +38,51 @@ TEST_F(TagStoreTest, StoresAndReadsBack) {
   for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(store.tag(i), tags[i]);
 }
 
-TEST_F(TagStoreTest, UpdateReplacesTag) {
+TEST_F(TagStoreTest, UpdateStagesUntilEpochClose) {
   const auto blocks = ice::testing::make_blocks(4, 64, 2);
-  TagStore store(params_, tagger_.tag_all(blocks));
+  const auto tags = tagger_.tag_all(blocks);
+  TagStore store(params_, tags);
   const bn::BigInt fresh = tagger_.tag(ice::testing::make_blocks(1, 64, 3)[0]);
   store.update(2, fresh);
+  EXPECT_EQ(store.tag(2), tags[2]);  // snapshot isolation: staged only
+  EXPECT_EQ(store.staged_updates(), 1u);
+  const auto closed = store.close_epoch(/*force=*/true);
+  EXPECT_TRUE(closed.closed);
+  EXPECT_EQ(closed.rows_merged, 1u);
   EXPECT_EQ(store.tag(2), fresh);
+  EXPECT_EQ(store.epoch(), closed.epoch);
+}
+
+// A non-forced close defers while any SnapshotPin is outstanding; dropping
+// the pin lets it through. This is the operator-tooling guard — the
+// verifier-driven path forces, its own epoch gate excludes its audits.
+TEST_F(TagStoreTest, PinsRefuseNonForcedClose) {
+  const auto blocks = ice::testing::make_blocks(4, 64, 12);
+  TagStore store(params_, tagger_.tag_all(blocks));
+  const bn::BigInt fresh =
+      tagger_.tag(ice::testing::make_blocks(1, 64, 13)[0]);
+  store.update(1, fresh);
+
+  SnapshotPin pin = store.pin();
+  EXPECT_EQ(store.pins_active(), 1u);
+  const auto refused = store.close_epoch(/*force=*/false);
+  EXPECT_FALSE(refused.closed);
+  EXPECT_EQ(store.staged_updates(), 1u);  // nothing merged
+  EXPECT_EQ(store.epoch_stats().closes_skipped, 1u);
+
+  {
+    SnapshotPin copy = pin;  // copies share the pin, count stays 1-owner
+    EXPECT_EQ(store.pins_active(), 1u);
+  }
+  pin.reset();
+  EXPECT_EQ(store.pins_active(), 0u);
+  EXPECT_TRUE(store.close_epoch(/*force=*/false).closed);
+  EXPECT_EQ(store.tag(1), fresh);
+
+  const auto stats = store.epoch_stats();
+  EXPECT_EQ(stats.pins_taken, 1u);
+  EXPECT_EQ(stats.db.epochs_closed, 1u);
+  EXPECT_EQ(stats.db.rows_merged, 1u);
 }
 
 TEST_F(TagStoreTest, PreprocessReportsTime) {
@@ -65,7 +104,7 @@ TEST_F(TagStoreTest, DirectRetrievalRecoversExactTags) {
   }
 }
 
-TEST_F(TagStoreTest, RetrievalAfterUpdateSeesNewTag) {
+TEST_F(TagStoreTest, RetrievalAfterUpdateAndCloseSeesNewTag) {
   const auto blocks = ice::testing::make_blocks(10, 64, 6);
   const auto tags = tagger_.tag_all(blocks);
   TagStore tpa0(params_, tags);
@@ -73,6 +112,11 @@ TEST_F(TagStoreTest, RetrievalAfterUpdateSeesNewTag) {
   const bn::BigInt fresh = tagger_.tag(ice::testing::make_blocks(1, 64, 7)[0]);
   tpa0.update(3, fresh);
   tpa1.update(3, fresh);
+  // Pre-close retrieval decodes the epoch-t snapshot on both replicas.
+  const auto pre = retrieve_tags_direct(tpa0, tpa1, {{3}}, rng_);
+  EXPECT_EQ(pre[0], tags[3]);
+  ASSERT_TRUE(tpa0.close_epoch(/*force=*/true).closed);
+  ASSERT_TRUE(tpa1.close_epoch(/*force=*/true).closed);
   const auto got = retrieve_tags_direct(tpa0, tpa1, {{3}}, rng_);
   EXPECT_EQ(got[0], fresh);
 }

@@ -63,6 +63,66 @@ TEST(WorkloadTest, ParamValidation) {
   EXPECT_THROW(HotspotWorkload(10, 5, 1.5), ParamError);
 }
 
+MixedWorkload make_mixed(std::size_t n, double write_fraction) {
+  return MixedWorkload(std::make_unique<ZipfWorkload>(n, 1.0),
+                       std::make_unique<HotspotWorkload>(n, 4, 0.9),
+                       write_fraction);
+}
+
+TEST(MixedWorkloadTest, WriteFractionMatchesMix) {
+  MixedWorkload w = make_mixed(100, 0.3);
+  SplitMix64 rng(9);
+  int writes = 0;
+  const int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    const AccessOp op = w.next_op(rng);
+    EXPECT_LT(op.index, 100u);
+    if (op.write) ++writes;
+  }
+  EXPECT_NEAR(writes, kTrials * 0.3, kTrials * 0.03);
+  EXPECT_DOUBLE_EQ(w.write_fraction(), 0.3);
+  EXPECT_EQ(w.universe(), 100u);
+}
+
+TEST(MixedWorkloadTest, DegenerateFractionsUseOneGenerator) {
+  SplitMix64 rng(10);
+  MixedWorkload reads_only = make_mixed(50, 0.0);
+  MixedWorkload writes_only = make_mixed(50, 1.0);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(reads_only.next_op(rng).write);
+    const AccessOp op = writes_only.next_op(rng);
+    EXPECT_TRUE(op.write);
+    EXPECT_LT(op.index, 50u);
+  }
+}
+
+TEST(MixedWorkloadTest, DeterministicForFixedRng) {
+  MixedWorkload a = make_mixed(64, 0.4);
+  MixedWorkload b = make_mixed(64, 0.4);
+  SplitMix64 ra(11), rb(11);
+  for (int i = 0; i < 200; ++i) {
+    const AccessOp oa = a.next_op(ra);
+    const AccessOp ob = b.next_op(rb);
+    EXPECT_EQ(oa.index, ob.index);
+    EXPECT_EQ(oa.write, ob.write);
+  }
+}
+
+TEST(MixedWorkloadTest, Validation) {
+  EXPECT_THROW(MixedWorkload(nullptr,
+                             std::make_unique<UniformWorkload>(10), 0.5),
+               ParamError);
+  EXPECT_THROW(MixedWorkload(std::make_unique<UniformWorkload>(10), nullptr,
+                             0.5),
+               ParamError);
+  // Universes must agree: reads over 10 blocks, writes over 9.
+  EXPECT_THROW(MixedWorkload(std::make_unique<UniformWorkload>(10),
+                             std::make_unique<UniformWorkload>(9), 0.5),
+               ParamError);
+  EXPECT_THROW(make_mixed(10, -0.1), ParamError);
+  EXPECT_THROW(make_mixed(10, 1.1), ParamError);
+}
+
 class CorruptionKindTest : public ::testing::TestWithParam<CorruptionKind> {};
 
 TEST_P(CorruptionKindTest, ChangesRandomContent) {

@@ -56,20 +56,65 @@ TEST(TagDatabaseTest, PlanesListSetBits) {
   db.add(bn::BigInt(0b00000001));  // index 0: bit 0
   db.add(bn::BigInt(0b00000011));  // index 1: bits 0,1
   db.add(bn::BigInt(0b10000000));  // index 2: bit 7
-  EXPECT_EQ(db.plane(0), (std::vector<std::uint32_t>{0, 1}));
-  EXPECT_EQ(db.plane(1), (std::vector<std::uint32_t>{1}));
-  EXPECT_EQ(db.plane(7), (std::vector<std::uint32_t>{2}));
+  EXPECT_EQ(db.plane(0).materialize(), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(db.plane(1).materialize(), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(db.plane(7).materialize(), (std::vector<std::uint32_t>{2}));
   EXPECT_TRUE(db.plane(5).empty());
 }
 
-TEST(TagDatabaseTest, PlanesRebuiltAfterUpdate) {
+// An update STAGES into the next epoch: invisible to every read surface
+// until close_epoch(), then the planes reflect it without a full rebuild.
+TEST(TagDatabaseTest, StagedUpdateInvisibleUntilClose) {
   TagDatabase db(8);
   db.add(bn::BigInt(0b1));
   EXPECT_EQ(db.plane(0).size(), 1u);
   db.update(0, bn::BigInt(0b10));
+  // Snapshot isolation: the epoch-t read surface is unchanged.
+  EXPECT_EQ(db.tag(0), bn::BigInt(0b1));
+  EXPECT_EQ(db.plane(0).materialize(), (std::vector<std::uint32_t>{0}));
+  EXPECT_TRUE(db.plane(1).empty());
+  EXPECT_EQ(db.staged_updates(), 1u);
+
+  const EpochMergeStats merged = db.close_epoch();
+  EXPECT_TRUE(merged.closed);
+  EXPECT_EQ(merged.epoch, 1u);
+  EXPECT_EQ(merged.rows_merged, 1u);
   EXPECT_TRUE(db.plane(0).empty());
-  EXPECT_EQ(db.plane(1), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(db.plane(1).materialize(), (std::vector<std::uint32_t>{0}));
   EXPECT_EQ(db.tag(0), bn::BigInt(0b10));
+  EXPECT_EQ(db.staged_updates(), 0u);
+}
+
+TEST(TagDatabaseTest, RestagingAnIndexOverwritesItsPendingRow) {
+  TagDatabase db(8);
+  db.add(bn::BigInt(1));
+  db.add(bn::BigInt(2));
+  db.update(0, bn::BigInt(7));
+  db.update(0, bn::BigInt(9));  // restage: overwrites, no second slot
+  db.update(1, bn::BigInt(5));
+  EXPECT_EQ(db.staged_updates(), 2u);
+
+  const auto staged = db.staged_snapshot();
+  ASSERT_EQ(staged.size(), 2u);
+  EXPECT_EQ(staged[0].first, 0u);
+  EXPECT_EQ(staged[0].second, bn::BigInt(9));
+  EXPECT_EQ(staged[1].first, 1u);
+  EXPECT_EQ(staged[1].second, bn::BigInt(5));
+
+  const EpochMergeStats merged = db.close_epoch();
+  EXPECT_EQ(merged.rows_merged, 2u);  // distinct rows, not update calls
+  EXPECT_EQ(db.tag(0), bn::BigInt(9));
+  EXPECT_EQ(db.tag(1), bn::BigInt(5));
+}
+
+TEST(TagDatabaseTest, EmptyCloseIsANoOp) {
+  TagDatabase db(8);
+  db.add(bn::BigInt(1));
+  const EpochMergeStats merged = db.close_epoch();
+  EXPECT_FALSE(merged.closed);
+  EXPECT_EQ(merged.rows_merged, 0u);
+  EXPECT_EQ(db.epoch(), 0u);
+  EXPECT_EQ(db.epoch_stats().epochs_closed, 0u);
 }
 
 TEST(TagDatabaseTest, PlanesConsistentWithBitsRandomized) {
@@ -85,8 +130,89 @@ TEST(TagDatabaseTest, PlanesConsistentWithBitsRandomized) {
     for (std::size_t i = 0; i < n; ++i) {
       if (db.bit(i, pi)) expect.push_back(static_cast<std::uint32_t>(i));
     }
-    EXPECT_EQ(db.plane(pi), expect) << "plane " << pi;
+    EXPECT_EQ(db.plane(pi).materialize(), expect) << "plane " << pi;
   }
+}
+
+// The PlaneView overlay (warm planes + merged epochs, no rebuild) must be
+// bit-identical to a cold full build of the same final state.
+TEST(TagDatabaseTest, PlaneOverlayMatchesFreshBuildRandomized) {
+  SplitMix64 gen(0xeb0c);
+  bn::Rng64Adapter rng(gen);
+  const std::size_t n = 60, tag_bits = 96;
+  TagDatabase db(tag_bits);
+  for (std::size_t i = 0; i < n; ++i) db.add(bn::random_bits(rng, tag_bits));
+  (void)db.build_planes();  // warm cache before the update epochs
+
+  for (int round = 0; round < 3; ++round) {
+    for (int u = 0; u < 8; ++u) {
+      db.update(gen.below(n), bn::random_bits(rng, tag_bits));
+    }
+    const EpochMergeStats merged = db.close_epoch();
+    EXPECT_TRUE(merged.closed);
+    EXPECT_FALSE(merged.planes_rebuilt);  // far below threshold max(64, n/8)
+
+    TagDatabase fresh(tag_bits);
+    for (std::size_t i = 0; i < n; ++i) fresh.add(db.tag(i));
+    for (std::size_t pi = 0; pi < tag_bits; ++pi) {
+      EXPECT_EQ(db.plane(pi).materialize(), fresh.plane(pi).materialize())
+          << "round " << round << " plane " << pi;
+      EXPECT_EQ(db.plane(pi).size(), fresh.plane(pi).size());
+    }
+  }
+  EXPECT_EQ(db.epoch(), 3u);
+  EXPECT_EQ(db.epoch_stats().rebuilds_avoided, 3u);
+}
+
+// Once the overlay outgrows max(64, n/8) dirty rows, a close pays one full
+// rebuild and the overlay resets.
+TEST(TagDatabaseTest, ThresholdTriggersFullPlaneRebuild) {
+  SplitMix64 gen(0x7ead);
+  bn::Rng64Adapter rng(gen);
+  const std::size_t n = 80, tag_bits = 32;  // threshold = max(64, 10) = 64
+  TagDatabase db(tag_bits);
+  for (std::size_t i = 0; i < n; ++i) db.add(bn::random_bits(rng, tag_bits));
+  (void)db.build_planes();
+
+  for (std::size_t i = 0; i < 65; ++i) {  // 65 distinct rows > 64
+    db.update(i, bn::random_bits(rng, tag_bits));
+  }
+  const EpochMergeStats merged = db.close_epoch();
+  EXPECT_TRUE(merged.planes_rebuilt);
+  EXPECT_EQ(db.epoch_stats().plane_rebuilds, 1u);
+  EXPECT_EQ(db.epoch_stats().dirty_rows, 0u);  // overlay cleared
+  for (std::size_t pi = 0; pi < tag_bits; ++pi) {
+    std::vector<std::uint32_t> expect;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (db.bit(i, pi)) expect.push_back(static_cast<std::uint32_t>(i));
+    }
+    EXPECT_EQ(db.plane(pi).materialize(), expect) << "plane " << pi;
+  }
+}
+
+// add() keeps a warm plane cache warm: the new tail index is appended to
+// exactly the planes whose bit is set, without touching the overlay.
+TEST(TagDatabaseTest, AddExtendsWarmPlanesInPlace) {
+  TagDatabase db(8);
+  db.add(bn::BigInt(0b1));
+  (void)db.build_planes();
+  db.add(bn::BigInt(0b101));
+  EXPECT_EQ(db.plane(0).materialize(), (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(db.plane(2).materialize(), (std::vector<std::uint32_t>{1}));
+  EXPECT_EQ(db.epoch_stats().dirty_rows, 0u);
+}
+
+// The pre-epoch baseline still works: a direct write drops the whole plane
+// cache and the next plane() pays a cold rebuild of the new state.
+TEST(TagDatabaseTest, UpdateInPlaceInvalidatesPlanes) {
+  TagDatabase db(8);
+  db.add(bn::BigInt(0b1));
+  EXPECT_EQ(db.plane(0).size(), 1u);
+  db.update_in_place(0, bn::BigInt(0b10));
+  EXPECT_EQ(db.tag(0), bn::BigInt(0b10));  // immediate, no epoch
+  EXPECT_TRUE(db.plane(0).empty());
+  EXPECT_EQ(db.plane(1).materialize(), (std::vector<std::uint32_t>{0}));
+  EXPECT_EQ(db.epoch(), 0u);
 }
 
 TEST(TagDatabaseTest, RowWordsMatchLimbs) {
@@ -104,9 +230,9 @@ TEST(TagDatabaseTest, BuildPlanesReturnsTime) {
   EXPECT_GE(db.build_planes(), 0.0);
 }
 
-// Guards the lazy planes_valid_ invalidation: a kMatrix retrieval served
-// BEFORE an update must not leave stale plane index lists behind — the
-// retrieval AFTER the update has to see the replaced tag.
+// End-to-end epoch semantics through the kMatrix eval path: a retrieval
+// between update() and close_epoch() still decodes the OLD tag (snapshot
+// isolation), and the retrieval after the close sees the replacement.
 TEST(TagDatabaseTest, UpdateVisibleThroughMatrixStrategyRetrieval) {
   SplitMix64 gen(0xa11d);
   bn::Rng64Adapter rng(gen);
@@ -128,8 +254,11 @@ TEST(TagDatabaseTest, UpdateVisibleThroughMatrixStrategyRetrieval) {
   // Force the lazy plane build with a pre-update retrieval.
   EXPECT_EQ(retrieve(target), db.tag(target));
 
+  const bn::BigInt before = db.tag(target);
   const bn::BigInt replacement = bn::random_bits(rng, tag_bits);
   db.update(target, replacement);
+  EXPECT_EQ(retrieve(target), before);  // staged: the snapshot still rules
+  ASSERT_TRUE(db.close_epoch().closed);
   EXPECT_EQ(retrieve(target), replacement);
   // Neighbours are untouched.
   EXPECT_EQ(retrieve(target - 1), db.tag(target - 1));

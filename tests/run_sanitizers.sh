@@ -12,6 +12,12 @@
 # epoch protocol (UpdateEpochTest.ConcurrentUpdatesAppendsAndAuditsAreRaceFree,
 # ShardServiceTest.ConcurrentUpdatesAndShardedRetrievals) plus the
 # cross-shard differential suite in shard_audit_test and smoke_bench_shards.
+# The PR 9 epoch engine adds the snapshot-isolation storm targets: staged
+# updates + epoch closes + appends racing fan-out audits
+# (UpdateEpochTest.StormAuditsMatchQuiescedReferenceBitExact pins mid-storm
+# verdicts bit-exact to the quiesced reference), the mid-audit differential
+# across layouts (EpochServiceTest.*), the update-storm sim scenario
+# (UpdateStormTest.*) and the two-arm storm bench (smoke_bench_updates).
 # The online/offline split adds its own TSan targets: the OfflineWorker's
 # refill task racing try_acquire/rekey on the sharded ChallengePool
 # (OfflineWorkerTest.StopDuringRefillDoesNotRace,

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/error.h"
 #include "support/ice_fixtures.h"
 
 namespace ice::sim {
@@ -123,6 +124,83 @@ TEST(SimulatorTest, AuditTimeAccumulates) {
   const auto keys = ice::testing::test_keypair_256();
   const SimReport r = run_simulation(small_config(), keys, 13);
   EXPECT_GT(r.audit_seconds_total, 0.0);
+}
+
+UpdateStormConfig small_storm() {
+  UpdateStormConfig c;
+  c.n_blocks = 32;
+  c.block_bytes = 128;
+  c.cache_capacity = 8;
+  c.rounds = 4;
+  c.ops_per_round = 20;
+  c.close_every = 2;
+  return c;
+}
+
+TEST(UpdateStormTest, AuditsStayGreenThroughTheStorm) {
+  const auto keys = ice::testing::test_keypair_256();
+  const UpdateStormReport r = run_update_storm_simulation(small_storm(),
+                                                          keys, 15);
+  EXPECT_EQ(r.rounds, 4u);
+  EXPECT_EQ(r.ops, 4u * 20);
+  EXPECT_EQ(r.ops, r.reads + r.updates_staged);
+  EXPECT_GT(r.updates_staged, 0u);
+  EXPECT_EQ(r.audits, 4u);
+  // The tentpole acceptance: one audit per round runs MID-STORM against
+  // the pinned snapshot (with session notes covering dirty blocks) and
+  // every verdict passes.
+  EXPECT_EQ(r.failed_audits, 0u);
+  EXPECT_GT(r.epoch_closes, 0u);
+  EXPECT_GT(r.blocks_written_back, 0u);
+  // Epoch-engine counters flow through from the verifier TPA.
+  EXPECT_EQ(r.epochs_closed, r.epoch_closes);
+  EXPECT_GE(r.rows_merged, r.epochs_closed);
+  EXPECT_EQ(r.plane_rebuilds + r.rebuilds_avoided, r.epochs_closed);
+  EXPECT_GE(r.pins_taken, r.audits);
+  EXPECT_GT(r.updates_per_second(), 0.0);
+}
+
+TEST(UpdateStormTest, CountersDeterministicForFixedSeed) {
+  const auto keys = ice::testing::test_keypair_256();
+  const UpdateStormReport a = run_update_storm_simulation(small_storm(),
+                                                          keys, 16);
+  const UpdateStormReport b = run_update_storm_simulation(small_storm(),
+                                                          keys, 16);
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.reads, b.reads);
+  EXPECT_EQ(a.updates_staged, b.updates_staged);
+  EXPECT_EQ(a.failed_audits, b.failed_audits);
+  EXPECT_EQ(a.epoch_closes, b.epoch_closes);
+  EXPECT_EQ(a.rows_merged, b.rows_merged);
+  EXPECT_EQ(a.blocks_written_back, b.blocks_written_back);
+}
+
+TEST(UpdateStormTest, ShardedStormMatchesMonolithicCounters) {
+  const auto keys = ice::testing::test_keypair_256();
+  const UpdateStormReport mono = run_update_storm_simulation(small_storm(),
+                                                             keys, 17);
+  UpdateStormConfig c = small_storm();
+  c.shard_budget = 10;  // 32 blocks -> 4 shards
+  const UpdateStormReport sharded = run_update_storm_simulation(c, keys, 17);
+  EXPECT_EQ(sharded.ops, mono.ops);
+  EXPECT_EQ(sharded.updates_staged, mono.updates_staged);
+  EXPECT_EQ(sharded.failed_audits, mono.failed_audits);
+  EXPECT_EQ(sharded.epoch_closes, mono.epoch_closes);
+  EXPECT_EQ(sharded.rows_merged, mono.rows_merged);
+  EXPECT_EQ(sharded.blocks_written_back, mono.blocks_written_back);
+}
+
+TEST(UpdateStormTest, ConfigValidation) {
+  const auto keys = ice::testing::test_keypair_256();
+  UpdateStormConfig c = small_storm();
+  c.rounds = 0;
+  EXPECT_THROW(run_update_storm_simulation(c, keys, 18), ParamError);
+  c = small_storm();
+  c.close_every = 0;
+  EXPECT_THROW(run_update_storm_simulation(c, keys, 18), ParamError);
+  c = small_storm();
+  c.ops_per_round = 0;
+  EXPECT_THROW(run_update_storm_simulation(c, keys, 18), ParamError);
 }
 
 }  // namespace
